@@ -1,0 +1,514 @@
+(* ALICE benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 7) and runs the ablations DESIGN.md calls
+   out.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe table2     # one section
+     sections: table1 table2 figure4 security overhead soc ablation micro
+
+   Paper reference values are printed next to the measured ones so the
+   output doubles as the data source for EXPERIMENTS.md. The [micro]
+   section registers one Bechamel Test.make per table/figure and reports
+   monotonic-clock estimates for the underlying kernels. *)
+
+module A = Alice
+module B = Alice_benchmarks.Suite
+module C = Alice_config
+module F = Alice_fabric
+module N = Alice_netlist
+module V = Alice_verilog
+module Sec = Alice_security
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: benchmark characteristics                                  *)
+(* ------------------------------------------------------------------ *)
+
+let paper_table1 =
+  [ ("DES3", "CEP", 11, 11, (12, 301));
+    ("FIR", "CEP", 5, 5, (64, 384));
+    ("IIR", "CEP", 5, 5, (66, 384));
+    ("SHA256", "CEP", 3, 3, (38, 774));
+    ("SASC", "IWLS05", 2, 3, (23, 28));
+    ("USB_PHY", "IWLS05", 3, 3, (17, 33));
+    ("GCD", "OpenROAD", 10, 11, (6, 68)) ]
+
+let run_table1 () =
+  section "Table 1: characteristics of the selected benchmarks";
+  Format.printf "%-8s %-9s %8s %10s %14s   %s@." "Design" "Suite" "Modules"
+    "Instances" "I/O [min,max]" "(paper)";
+  List.iter
+    (fun (b : B.benchmark) ->
+      let d = B.elaborate b in
+      let row = A.Report.table1_row ~design_name:b.B.name d in
+      let _, _, pm, pi, (plo, phi) =
+        List.find (fun (n, _, _, _, _) -> n = b.B.name) paper_table1
+      in
+      Format.printf "%-8s %-9s %8d %10d %14s   (%d, %d, [%d, %d])@." b.B.name
+        b.B.suite row.A.Report.t1_modules row.A.Report.t1_instances
+        (Printf.sprintf "[%d, %d]" row.A.Report.t1_io_min row.A.Report.t1_io_max)
+        pm pi plo phi)
+    B.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: the full flow under both configurations                    *)
+(* ------------------------------------------------------------------ *)
+
+(* the paper's Table 2, for side-by-side printing:
+   (design, R, C, valid, S, sizes, redacted) *)
+let paper_table2_cfg1 =
+  [ ("DES3", 8, Some 218, Some 216, Some 2105, "8x8, 8x8", Some 4);
+    ("FIR", 1, Some 1, Some 1, Some 1, "6x6", Some 1);
+    ("IIR", 0, None, None, None, "-", None);
+    ("SHA256", 1, Some 1, Some 1, Some 1, "12x12", Some 1);
+    ("SASC", 1, Some 1, Some 1, Some 1, "7x7", Some 1);
+    ("USB_PHY", 2, Some 3, Some 1, Some 1, "7x7", Some 1);
+    ("GCD", 9, Some 28, Some 19, Some 76, "4x4, 4x4", Some 2) ]
+
+let paper_table2_cfg2 =
+  [ ("DES3", 8, Some 255, Some 255, Some 245, "14x14", Some 8);
+    ("FIR", 3, Some 3, Some 3, Some 3, "6x6", Some 1);
+    ("IIR", 2, Some 2, Some 2, Some 2, "15x15", Some 1);
+    ("SHA256", 1, Some 1, Some 1, Some 1, "12x12", Some 1);
+    ("SASC", 1, Some 1, Some 1, Some 1, "7x7", Some 1);
+    ("USB_PHY", 2, Some 3, Some 1, Some 1, "7x7", Some 1);
+    ("GCD", 10, Some 70, Some 37, Some 33, "5x5", Some 3) ]
+
+let opt_str = function None -> "-" | Some v -> string_of_int v
+
+let run_table2_config label config_of paper =
+  Format.printf "@.--- %s ---@." label;
+  Format.printf "%a" A.Report.pp_table2_header ();
+  let flows =
+    List.map
+      (fun (b : B.benchmark) ->
+        let flow = A.Flow.run ~config:(config_of b) (B.parse b) in
+        Format.printf "%a%!" A.Report.pp_table2_row
+          (A.Report.row_of_flow ~design_name:b.B.name flow);
+        (b, flow))
+      B.all
+  in
+  Format.printf "paper reference (structural columns):@.";
+  List.iter
+    (fun (name, r, c, valid, s, sizes, redacted) ->
+      Format.printf "  %-8s |R|=%-3d |C|=%-4s valid=%-4s |S|=%-5s %-12s redacted=%s@."
+        name r (opt_str c) (opt_str valid) (opt_str s) sizes (opt_str redacted))
+    paper;
+  flows
+
+let run_table2 () =
+  section "Table 2: ALICE under the two configurations";
+  let flows1 = run_table2_config "cfg1: 64 I/O pins and 2 eFPGAs" B.config1 paper_table2_cfg1 in
+  let flows2 = run_table2_config "cfg2: 96 I/O pins and 1 eFPGA" B.config2 paper_table2_cfg2 in
+  (flows1, flows2)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: physical area of the two GCD solutions                    *)
+(* ------------------------------------------------------------------ *)
+
+let solution_area (b : B.benchmark) (flow : A.Flow.t) : float * string =
+  match flow.A.Flow.selection.A.Selection.best with
+  | None -> (nan, "-")
+  | Some best ->
+    let fabrics =
+      List.map
+        (fun (e : A.Selection.efpga_impl) -> e.impl.F.Size_search.fabric)
+        best.A.Selection.efpgas
+    in
+    (* remaining ASIC logic: the opaque redacted design (fabric stubs are
+       empty) synthesized and counted in gate equivalents *)
+    let asic_gates =
+      match A.Flow.redact ~view:A.Redact.Opaque flow with
+      | None -> 0
+      | Some r ->
+        let ast = V.Parser.parse r.A.Redact.verilog in
+        let d = V.Elaborate.elaborate ~top:b.B.top ast in
+        N.Stats.logic_gate_count (N.Synth.synthesize d)
+    in
+    ( F.Area.solution_area ~asic_gates fabrics,
+      String.concat " + " (List.map F.Fabric.size_label fabrics) )
+
+let run_figure4 () =
+  section "Figure 4: physical area of the two GCD solutions (NanGate 45nm model)";
+  let gcd = Option.get (B.find "GCD") in
+  let ast = B.parse gcd in
+  let flow1 = A.Flow.run ~config:(B.config1 gcd) ast in
+  let flow2 = A.Flow.run ~config:(B.config2 gcd) ast in
+  let a1, s1 = solution_area gcd flow1 in
+  let a2, s2 = solution_area gcd flow2 in
+  Format.printf "cfg1 (%s): %10.0f um^2   (paper: two 4x4, 52,629 um^2)@." s1 a1;
+  Format.printf "cfg2 (%s): %10.0f um^2   (paper: one 5x5,  54,512 um^2)@." s2 a2;
+  Format.printf "ratio cfg2/cfg1: measured %.2f, paper %.2f@." (a2 /. a1)
+    (54512. /. 52629.);
+  Format.printf
+    "(the paper's claim is that the two solutions are area-equivalent;@.\
+    \ see EXPERIMENTS.md on why a tile-additive model cannot reproduce@.\
+    \ the exact pair of numbers)@."
+
+(* ------------------------------------------------------------------ *)
+(* Security ablation: SAT attack vs fabric utilization (Eq. 1 basis)   *)
+(* ------------------------------------------------------------------ *)
+
+let run_security () =
+  section "Security ablation: exact SAT attack vs approximate baseline";
+  Format.printf "%-18s %6s %9s | %6s %8s %9s | %9s %8s@." "candidate" "LUTs"
+    "key bits" "DIPs" "time(s)" "SAT" "agree%" "hill(s)";
+  let attack_one label mapped =
+    let locked = Sec.Locked.of_mapped mapped in
+    let oracle = Sec.Locked.make_oracle locked in
+    let budget = { Sec.Sat_attack.max_iterations = 200; max_seconds = 30.0 } in
+    let o = Sec.Sat_attack.attack ~budget locked ~oracle in
+    let correct =
+      match o.Sec.Sat_attack.key with
+      | Some key -> Sec.Metrics.key_is_correct locked key
+      | None -> false
+    in
+    let approx =
+      Sec.Approx_attack.attack
+        ~budget:{ Sec.Approx_attack.queries = 96; max_flips = 2000; restarts = 4 }
+        locked ~oracle
+    in
+    Format.printf "%-18s %6d %9d | %6d %8.2f %9s | %8.0f%% %8.2f@." label
+      (N.Circuit.lut_count mapped) o.Sec.Sat_attack.key_bits
+      o.Sec.Sat_attack.iterations o.Sec.Sat_attack.seconds
+      (if o.Sec.Sat_attack.success then (if correct then "correct" else "WRONG")
+       else "timeout")
+      (100.0 *. approx.Sec.Approx_attack.best_agreement)
+      approx.Sec.Approx_attack.seconds
+  in
+  List.iter
+    (fun (label, bench, module_name) ->
+      let b = Option.get (B.find bench) in
+      let design = B.elaborate b in
+      let circuit = N.Synth.synthesize_module design module_name in
+      let mapped, _ = N.Lutmap.map ~k:4 circuit in
+      attack_one label mapped)
+    [ ("GCD/ctrl", "GCD", "gcd_ctrl");
+      ("GCD/is_zero", "GCD", "is_zero");
+      ("GCD/cmp_eq", "GCD", "cmp_eq");
+      ("GCD/cmp_lt", "GCD", "cmp_lt");
+      ("GCD/subtractor", "GCD", "subtractor");
+      ("DES3/sbox1", "DES3", "sbox1");
+      ("DES3/sbox5", "DES3", "sbox5") ];
+  Format.printf
+    "@.Reading: key length grows with the logic placed on the fabric, and@.\
+     the function class decides how fast DIPs prune it: arithmetic@.\
+     (subtractor, the little FSM) falls in seconds, while comparators,@.\
+     zero-detectors and s-boxes — point-function-like cones, exactly the@.\
+     shapes the logic-locking literature calls SAT-resistant — exhaust@.\
+     the attack budget. The hill-climbing baseline reaches high *query*@.\
+     agreement cheaply everywhere but never certifies a key, which is@.\
+     why the exact-attack columns are the security signal. Redacting@.\
+     onto a well-utilized fabric keeps every configured bit meaningful,@.\
+     the direction Eq. 1 encodes.@."
+
+(* ------------------------------------------------------------------ *)
+(* Overheads: the paper's "area/time/power overheads are in line with  *)
+(* previous studies" remark, quantified per chosen eFPGA               *)
+(* ------------------------------------------------------------------ *)
+
+let run_overhead () =
+  section "Overheads of the chosen eFPGAs vs an ASIC implementation";
+  Format.printf "%-22s %10s %10s %10s@." "eFPGA (design/fabric)" "area x"
+    "delay x" "power x";
+  let analyze design_name (flow : A.Flow.t) =
+    match flow.A.Flow.selection.A.Selection.best with
+    | None -> ()
+    | Some best ->
+      List.iter
+        (fun (e : A.Selection.efpga_impl) ->
+          let impl = e.A.Selection.impl in
+          let mapped = e.A.Selection.mapped in
+          let placement = impl.F.Size_search.placement in
+          (* ASIC reference: a 4-LUT covers about two NAND2-equivalents *)
+          let asic_gates = N.Stats.logic_gate_count mapped * 2 in
+          let area_ratio =
+            F.Area.fabric_area impl.F.Size_search.fabric
+            /. Float.max 1.0 (F.Area.asic_area ~gates:asic_gates)
+          in
+          let t = F.Timing.estimate placement mapped in
+          let delay_ratio =
+            t.F.Timing.critical_path_ns
+            /. Float.max 0.001 (F.Timing.asic_reference_ns mapped)
+          in
+          let fabric_power =
+            F.Power.estimate ~vectors:128
+              ~wirelength_of:(F.Power.placed_wirelength placement) mapped
+          in
+          let asic_power = F.Power.estimate ~vectors:128 mapped in
+          let power_ratio =
+            fabric_power.F.Power.weighted_activity
+            /. Float.max 0.001 asic_power.F.Power.weighted_activity
+          in
+          Format.printf "%-22s %10.1f %10.1f %10.1f@."
+            (Printf.sprintf "%s/%s" design_name
+               (F.Fabric.size_label impl.F.Size_search.fabric))
+            area_ratio delay_ratio power_ratio)
+        best.A.Selection.efpgas
+  in
+  List.iter
+    (fun name ->
+      let b = Option.get (B.find name) in
+      analyze name (A.Flow.run ~config:(B.config1 b) (B.parse b)))
+    [ "GCD"; "SASC"; "USB_PHY"; "FIR" ];
+  Format.printf
+    "@.Reading: for blocks this small, soft-fabric redaction costs two to@.     three orders of magnitude in area, roughly 10x in delay, and@.     several-fold in switched capacitance relative to standard cells —@.     in line with previous eFPGA-redaction studies; as the paper notes,@.     the overheads depend on the fabric, not on which modules fill it.@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices                                     *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_ablation () =
+  section "Ablation 1: score formula (utilization reward vs literal Eq. 1 penalty)";
+  let describe flow =
+    match flow.A.Flow.selection.A.Selection.best with
+    | None -> "no solution"
+    | Some best ->
+      Printf.sprintf "%s, %d redacted"
+        (String.concat " + "
+           (List.map
+              (fun (e : A.Selection.efpga_impl) ->
+                F.Fabric.size_label e.impl.F.Size_search.fabric)
+              best.A.Selection.efpgas))
+        best.A.Selection.redacted_instances
+  in
+  List.iter
+    (fun (name, label, cfg_of) ->
+      let b = Option.get (B.find name) in
+      let ast = B.parse b in
+      let base : C.Flow_config.t = cfg_of b in
+      let reward =
+        A.Flow.run ~config:{ base with C.Flow_config.score_formula = C.Flow_config.Reward } ast
+      in
+      let penalty =
+        A.Flow.run ~config:{ base with C.Flow_config.score_formula = C.Flow_config.Penalty } ast
+      in
+      Format.printf "%-10s reward: %-28s penalty: %s@." label (describe reward)
+        (describe penalty))
+    [ ("GCD", "GCD/cfg1", B.config1); ("GCD", "GCD/cfg2", B.config2);
+      ("IIR", "IIR/cfg2", B.config2); ("FIR", "FIR/cfg2", B.config2) ];
+  Format.printf
+    "(the paper's GCD/cfg1 and IIR/cfg2 rows match the penalty reading,@.\
+    \ its DES3/FIR/GCD-cfg2 rows the reward reading — see EXPERIMENTS.md)@.";
+
+  section "Ablation 2: Eq. 1 weights on GCD/cfg2";
+  let gcd = Option.get (B.find "GCD") in
+  let ast = B.parse gcd in
+  List.iter
+    (fun (alpha, beta) ->
+      let cfg = { (B.config2 gcd) with C.Flow_config.alpha; beta } in
+      let flow = A.Flow.run ~config:cfg ast in
+      Format.printf "  alpha=%.1f beta=%.1f -> %s@." alpha beta (describe flow))
+    [ (1.0, 1.0); (2.0, 1.0); (1.0, 2.0); (1.0, 0.0); (0.0, 1.0) ];
+
+  section "Ablation 3: selection time scales with the number of candidates";
+  (* sweep the I/O limit: more admissible clusters, more CreateEFPGA runs *)
+  List.iter
+    (fun pins ->
+      let cfg = { (B.config2 gcd) with C.Flow_config.max_io_pins = pins } in
+      let flow, seconds = time (fun () -> A.Flow.run ~config:cfg ast) in
+      Format.printf "  max pins %3d: |C|=%3d valid=%3d selection %.2fs (total %.2fs)@."
+        pins
+        (List.length flow.A.Flow.clusters)
+        (A.Flow.valid_efpga_count flow)
+        flow.A.Flow.times.A.Flow.selection_s seconds)
+    [ 32; 48; 64; 80; 96; 128 ];
+
+  section "Ablation 4: fixed-point clustering vs direct subset enumeration";
+  let b = gcd in
+  let design = B.elaborate b in
+  let df = Alice_analysis.Dataflow.build design in
+  let cfg = B.config2 b in
+  let filt = A.Filtering.run df cfg in
+  let fixed, t_fixed = time (fun () -> A.Clustering.run df cfg filt) in
+  let enum, t_enum =
+    time (fun () ->
+        let candidates = Array.of_list (A.Filtering.candidate_instances filt) in
+        let n = Array.length candidates in
+        let out = ref [] in
+        for mask = 1 to (1 lsl n) - 1 do
+          let members = ref [] in
+          for i = 0 to n - 1 do
+            if (mask lsr i) land 1 = 1 then members := candidates.(i) :: !members
+          done;
+          let cl = A.Clustering.make_cluster design !members in
+          if
+            A.Clustering.check_parameters cfg cl
+            && A.Clustering.cluster_independent cfg df cl
+          then out := cl :: !out
+        done;
+        !out)
+  in
+  Format.printf "  fixed point: %d clusters in %.4fs@." (List.length fixed) t_fixed;
+  Format.printf "  enumeration: %d clusters in %.4fs (2^%d subsets)@."
+    (List.length enum) t_enum
+    (List.length (A.Filtering.candidate_instances filt));
+  let keys l = List.sort compare (List.map (fun (c : A.Clustering.cluster) -> c.A.Clustering.key) l) in
+  Format.printf "  result sets identical: %b@." (keys fixed = keys enum);
+
+  section "Ablation 5: placement effort (greedy hill climb vs annealing)";
+  List.iter
+    (fun (bench, module_name, w) ->
+      let bm = Option.get (B.find bench) in
+      let design = B.elaborate bm in
+      let mapped, _ =
+        Alice_netlist.Lutmap.map ~k:4
+          (Alice_netlist.Synth.synthesize_module design module_name)
+      in
+      let fabric = F.Fabric.make F.Arch.default w in
+      let g, tg = time (fun () -> F.Place.place ~effort:`Greedy fabric mapped) in
+      let a, ta = time (fun () -> F.Place.place ~effort:`Anneal fabric mapped) in
+      Format.printf
+        "  %-18s %dx%d: greedy HPWL %7.0f (%5.2fs)   anneal HPWL %7.0f (%5.2fs)  %+.0f%%@."
+        (bench ^ "/" ^ module_name) w w g.F.Place.wirelength tg
+        a.F.Place.wirelength ta
+        (100.0 *. (a.F.Place.wirelength -. g.F.Place.wirelength)
+         /. Float.max 1.0 g.F.Place.wirelength))
+    [ ("GCD", "subtractor", 6); ("SASC", "sasc_fifo", 8); ("SHA256", "kconst_rom", 13) ]
+
+(* ------------------------------------------------------------------ *)
+(* SoC context: Section 7's remark that GCD's fabrics dominate its     *)
+(* tiny die but fade inside a larger system (PicoSoC in [4])           *)
+(* ------------------------------------------------------------------ *)
+
+let run_soc () =
+  section "SoC context: fabric area share, GCD standalone vs inside a SoC";
+  let share name ast top selected =
+    let cfg =
+      { C.Flow_config.cfg1 with
+        C.Flow_config.selected_outputs = selected; top = Some top;
+        min_fabric_size = 4; max_fabric_size = 20; target_utilization = 0.5;
+        min_clb_utilization = 0.3 }
+    in
+    let flow = A.Flow.run ~config:cfg ast in
+    match flow.A.Flow.selection.A.Selection.best with
+    | None -> Format.printf "%-12s no solution@." name
+    | Some best ->
+      let fabrics =
+        List.map
+          (fun (e : A.Selection.efpga_impl) -> e.impl.F.Size_search.fabric)
+          best.A.Selection.efpgas
+      in
+      let fabric_area =
+        List.fold_left (fun acc f -> acc +. F.Area.fabric_area f) 0.0 fabrics
+      in
+      let asic_gates =
+        match A.Flow.redact ~view:A.Redact.Opaque flow with
+        | None -> 0
+        | Some r ->
+          let rast = V.Parser.parse r.A.Redact.verilog in
+          N.Stats.logic_gate_count
+            (N.Synth.synthesize (V.Elaborate.elaborate ~top rast))
+      in
+      let total = fabric_area +. F.Area.asic_area ~gates:asic_gates in
+      Format.printf "%-12s eFPGAs %-12s total %8.0f um^2, fabric share %3.0f%%@."
+        name
+        (String.concat "+" (List.map F.Fabric.size_label fabrics))
+        total
+        (100.0 *. fabric_area /. total)
+  in
+  let gcd = Option.get (B.find "GCD") in
+  share "GCD alone" (B.parse gcd) "gcd" [ "result" ];
+  let soc_ast =
+    V.Parser.parse ~file:"soc.v" Alice_benchmarks.Soc.source
+  in
+  share "GCD in SoC" soc_ast Alice_benchmarks.Soc.top
+    Alice_benchmarks.Soc.selected_outputs;
+  Format.printf
+    "@.Reading: the flow picks the same fabrics in both contexts, but@.\
+     their share of the die falls as the surrounding system grows (and@.\
+     keeps falling toward PicoSoC scale) — the paper's closing@.\
+     observation about integration.@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  section "Bechamel micro-benchmarks (kernel of each table/figure)";
+  let open Bechamel in
+  let gcd = Option.get (B.find "GCD") in
+  let gcd_ast = B.parse gcd in
+  let sasc = Option.get (B.find "SASC") in
+  let sasc_ast = B.parse sasc in
+  let gcd_design = B.elaborate gcd in
+  let mapped, _ =
+    N.Lutmap.map ~k:4 (N.Synth.synthesize_module gcd_design "is_zero")
+  in
+  let tests =
+    [ (* Table 1 kernel: parse + elaborate + characteristics *)
+      Test.make ~name:"table1_elaborate_gcd"
+        (Staged.stage (fun () ->
+             let d = V.Elaborate.elaborate ~top:"gcd" gcd_ast in
+             ignore (Alice_analysis.Iocount.summarize d)));
+      (* Table 2 kernels: one full flow per configuration *)
+      Test.make ~name:"table2_flow_gcd_cfg1"
+        (Staged.stage (fun () -> ignore (A.Flow.run ~config:(B.config1 gcd) gcd_ast)));
+      Test.make ~name:"table2_flow_sasc_cfg2"
+        (Staged.stage (fun () -> ignore (A.Flow.run ~config:(B.config2 sasc) sasc_ast)));
+      (* Figure 4 kernel: fabric area evaluation *)
+      Test.make ~name:"figure4_area_model"
+        (Staged.stage (fun () ->
+             ignore
+               (F.Area.solution_area ~asic_gates:1000
+                  [ F.Fabric.make F.Arch.default 4; F.Fabric.make F.Arch.default 5 ])));
+      (* security kernel: one SAT-attack run on a small candidate *)
+      Test.make ~name:"security_attack_is_zero"
+        (Staged.stage (fun () ->
+             let locked = Sec.Locked.of_mapped mapped in
+             let oracle = Sec.Locked.make_oracle locked in
+             ignore
+               (Sec.Sat_attack.attack
+                  ~budget:{ Sec.Sat_attack.max_iterations = 64; max_seconds = 10.0 }
+                  locked ~oracle))) ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              (Toolkit.Instance.monotonic_clock) raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Format.printf "  %-28s %14.0f ns/run@." name est
+          | Some _ | None -> Format.printf "  %-28s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  (match what with
+  | "table1" -> run_table1 ()
+  | "table2" -> ignore (run_table2 ())
+  | "figure4" -> run_figure4 ()
+  | "security" -> run_security ()
+  | "overhead" -> run_overhead ()
+  | "soc" -> run_soc ()
+  | "ablation" -> run_ablation ()
+  | "micro" -> run_micro ()
+  | "all" | _ ->
+    run_table1 ();
+    ignore (run_table2 ());
+    run_figure4 ();
+    run_security ();
+    run_overhead ();
+    run_soc ();
+    run_ablation ();
+    run_micro ());
+  Format.printf "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,287 @@
+(* The ALICE command-line tool.
+
+     alice inspect  design.v                 # Table-1 style characteristics
+     alice redact   design.v -c flow.yaml -o out.v [--opaque]
+     alice attack    design.v -m module      # lock a module and SAT-attack it
+     alice decompose design.v -m module      # fine-grained redaction prep
+     alice simulate  design.v --vcd out.vcd  # random-stimulus simulation
+     alice bench     <name>                  # run a bundled benchmark
+
+   The YAML configuration file follows the paper's Section 3; see
+   Alice_config.Flow_config for the recognized keys. *)
+
+open Cmdliner
+
+module A = Alice
+module B = Alice_benchmarks.Suite
+module C = Alice_config
+module F = Alice_fabric
+module N = Alice_netlist
+module V = Alice_verilog
+module Sec = Alice_security
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load_design path =
+  let src = read_file path in
+  V.Parser.parse ~file:path src
+
+let load_config = function
+  | None -> C.Flow_config.default
+  | Some path -> C.Flow_config.of_string (read_file path)
+
+let handle_errors f =
+  match f () with
+  | () -> 0
+  | exception V.Loc.Error (loc, msg) ->
+    Printf.eprintf "%s: %s\n" (V.Loc.to_string loc) msg;
+    1
+  | exception N.Synth.Synthesis_error msg ->
+    Printf.eprintf "synthesis error: %s\n" msg;
+    1
+  | exception A.Redact.Redaction_error msg ->
+    Printf.eprintf "redaction error: %s\n" msg;
+    1
+  | exception Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    1
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+
+(* ---------- inspect ---------- *)
+
+let inspect_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let top =
+    Arg.(value & opt (some string) None & info [ "t"; "top" ] ~docv:"MODULE")
+  in
+  let run file top =
+    handle_errors (fun () ->
+        let ast = load_design file in
+        let d = V.Elaborate.elaborate ?top ast in
+        Format.printf "top module: %s@." d.V.Elaborate.d_top;
+        Format.printf "%a" A.Report.pp_table1_header ();
+        Format.printf "%a" A.Report.pp_table1_row
+          (A.Report.table1_row ~design_name:(Filename.basename file) d);
+        Format.printf "@.modules:@.";
+        List.iter
+          (fun (m : V.Elaborate.emodule) ->
+            Format.printf "  %-24s %4d I/O pins, %d instance(s)@."
+              m.V.Elaborate.em_name
+              (V.Elaborate.io_pin_count m)
+              (List.length (V.Design.instances_of_module d m.V.Elaborate.em_name)))
+          (V.Design.non_top_modules d))
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show design characteristics (Table 1 style)")
+    Term.(const run $ file $ top)
+
+(* ---------- redact ---------- *)
+
+let redact_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let config =
+    Arg.(value & opt (some file) None & info [ "c"; "config" ] ~docv:"FLOW.yaml")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.v")
+  in
+  let opaque = Arg.(value & flag & info [ "opaque" ] ~doc:"Emit the foundry view") in
+  let run file config output opaque =
+    handle_errors (fun () ->
+        let ast = load_design file in
+        let cfg = load_config config in
+        let flow = A.Flow.run ~config:cfg ast in
+        Format.eprintf "%a" A.Report.pp_table2_header ();
+        Format.eprintf "%a" A.Report.pp_table2_row
+          (A.Report.row_of_flow ~design_name:(Filename.basename file) flow);
+        let view = if opaque then A.Redact.Opaque else A.Redact.Programmed in
+        match A.Flow.redact ~view flow with
+        | None ->
+          Format.eprintf "no feasible redaction under this configuration@.";
+          exit 2
+        | Some r ->
+          List.iter
+            (fun (s : A.Redact.efpga_site) ->
+              Format.eprintf "%s at %s: %d modules, gpio %d in / %d out@."
+                s.efpga_name s.insertion_point (List.length s.members)
+                s.gpio_in_width s.gpio_out_width)
+            r.A.Redact.sites;
+          (match output with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc r.A.Redact.verilog;
+            close_out oc;
+            Format.eprintf "wrote %s@." path
+          | None -> print_string r.A.Redact.verilog))
+  in
+  Cmd.v
+    (Cmd.info "redact" ~doc:"Run the ALICE flow and emit the redacted design")
+    Term.(const run $ file $ config $ output $ opaque)
+
+(* ---------- attack ---------- *)
+
+let attack_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let module_name =
+    Arg.(required & opt (some string) None & info [ "m"; "module" ] ~docv:"MODULE")
+  in
+  let iterations =
+    Arg.(value & opt int 256 & info [ "iterations" ] ~docv:"N")
+  in
+  let seconds = Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S") in
+  let run file module_name iterations seconds =
+    handle_errors (fun () ->
+        let ast = load_design file in
+        let d = V.Elaborate.elaborate ast in
+        let circuit = N.Synth.synthesize_module d module_name in
+        let mapped, _ = N.Lutmap.map ~k:4 circuit in
+        Format.printf "module %s: %d LUTs, %d FFs, %d I/O bits@." module_name
+          (N.Circuit.lut_count mapped) (N.Circuit.dff_count mapped)
+          (N.Circuit.io_bit_count mapped);
+        let budget =
+          { Sec.Sat_attack.max_iterations = iterations; max_seconds = seconds }
+        in
+        let locked = Sec.Locked.of_mapped mapped in
+        let oracle = Sec.Locked.make_oracle locked in
+        let o = Sec.Sat_attack.attack ~budget locked ~oracle in
+        Format.printf "key space: %d bits@." o.Sec.Sat_attack.key_bits;
+        if o.Sec.Sat_attack.success then begin
+          let correct =
+            match o.Sec.Sat_attack.key with
+            | Some key -> Sec.Metrics.key_is_correct locked key
+            | None -> false
+          in
+          Format.printf
+            "attack converged after %d distinguishing inputs in %.2fs; \
+             recovered key is %s@."
+            o.Sec.Sat_attack.iterations o.Sec.Sat_attack.seconds
+            (if correct then "functionally correct" else "NOT correct")
+        end
+        else
+          Format.printf "attack exhausted its budget after %d DIPs (%.2fs)@."
+            o.Sec.Sat_attack.iterations o.Sec.Sat_attack.seconds)
+  in
+  Cmd.v
+    (Cmd.info "attack"
+       ~doc:"Lock one module as an eFPGA and run the oracle-guided SAT attack")
+    Term.(const run $ file $ module_name $ iterations $ seconds)
+
+(* ---------- decompose ---------- *)
+
+let decompose_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let module_name =
+    Arg.(required & opt (some string) None & info [ "m"; "module" ] ~docv:"MODULE")
+  in
+  let pins = Arg.(value & opt int 64 & info [ "pins" ] ~docv:"N") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.v")
+  in
+  let run file module_name pins output =
+    handle_errors (fun () ->
+        let ast = load_design file in
+        match A.Decompose.decompose_module ast ~module_name ~max_io_pins:pins with
+        | exception A.Decompose.Unsupported msg ->
+          Printf.eprintf "cannot decompose: %s\n" msg;
+          exit 2
+        | design', plan ->
+          List.iter2
+            (fun part outs ->
+              Format.eprintf "%s <- outputs {%s}@." part (String.concat ", " outs))
+            plan.A.Decompose.part_names plan.A.Decompose.group_outputs;
+          let text = V.Pp.design_to_string design' in
+          (match output with
+          | Some path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Format.eprintf "wrote %s@." path
+          | None -> print_string text))
+  in
+  Cmd.v
+    (Cmd.info "decompose"
+       ~doc:"Split a combinational module into eFPGA-sized parts              (fine-grained redaction pre-processing)")
+    Term.(const run $ file $ module_name $ pins $ output)
+
+(* ---------- simulate ---------- *)
+
+let simulate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let top =
+    Arg.(value & opt (some string) None & info [ "t"; "top" ] ~docv:"MODULE")
+  in
+  let cycles = Arg.(value & opt int 32 & info [ "cycles" ] ~docv:"N") in
+  let vcd_out =
+    Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"OUT.vcd")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S") in
+  let run file top cycles vcd_out seed =
+    handle_errors (fun () ->
+        let ast = load_design file in
+        let d = V.Elaborate.elaborate ?top ast in
+        let c = N.Synth.synthesize d in
+        let sim = N.Simulate.create c in
+        let vcd = N.Vcd.create ~module_name:d.V.Elaborate.d_top sim in
+        let st = Random.State.make [| seed |] in
+        for _ = 1 to cycles do
+          List.iter
+            (fun (name, nets) ->
+              N.Simulate.set_input_bits sim name
+                (Array.init (Array.length nets) (fun _ -> Random.State.bool st)))
+            c.N.Circuit.inputs;
+          N.Simulate.step sim;
+          N.Simulate.eval sim;
+          N.Vcd.sample vcd
+        done;
+        List.iter
+          (fun (name, _) ->
+            Format.printf "%s = %d@." name (N.Simulate.read_output sim name))
+          c.N.Circuit.outputs;
+        match vcd_out with
+        | Some path ->
+          N.Vcd.write_file vcd path;
+          Format.eprintf "wrote %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Synthesize and simulate a design with random stimuli;              optionally dump a VCD waveform")
+    Term.(const run $ file $ top $ cycles $ vcd_out $ seed)
+
+(* ---------- bench ---------- *)
+
+let bench_cmd =
+  let bench_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in
+  let cfg2 = Arg.(value & flag & info [ "cfg2" ] ~doc:"Use the paper's cfg2") in
+  let run name cfg2 =
+    handle_errors (fun () ->
+        match B.find name with
+        | None ->
+          Printf.eprintf "unknown benchmark %s (have: %s)\n" name
+            (String.concat ", " (List.map (fun b -> b.B.name) B.all));
+          exit 1
+        | Some b ->
+          let config = if cfg2 then B.config2 b else B.config1 b in
+          let flow = A.Flow.run ~config (B.parse b) in
+          Format.printf "%a" A.Report.pp_table2_header ();
+          Format.printf "%a" A.Report.pp_table2_row
+            (A.Report.row_of_flow ~design_name:b.B.name flow);
+          match flow.A.Flow.selection.A.Selection.best with
+          | None -> ()
+          | Some best -> Format.printf "best: %a@." A.Selection.pp_solution best)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Run a bundled benchmark through the flow")
+    Term.(const run $ bench_name $ cfg2)
+
+let () =
+  let doc = "automatic eFPGA redaction (DAC'22 ALICE flow)" in
+  let info = Cmd.info "alice" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ inspect_cmd; redact_cmd; attack_cmd; decompose_cmd; simulate_cmd; bench_cmd ]))

@@ -1,0 +1,91 @@
+(* Bitstream demo: the full life of a redacted design.
+
+     dune exec examples/bitstream_demo.exe
+
+   1. ALICE redacts a small design in the *structural* view: the module
+      bodies are gone; in their place sits a real LUT-array fabric
+      behind a configuration scan chain, its interface exposed as chip
+      pins.
+   2. The secret bitstream is shifted in through those pins — watch the
+      design compute garbage before configuration and the right answer
+      after.
+   3. A waveform of the configuration + operation is dumped as VCD. *)
+
+module A = Alice
+module C = Alice_config
+module N = Alice_netlist
+module V = Alice_verilog
+
+let design_src =
+  {|module checksum (input [7:0] a, output [7:0] y);
+    assign y = ((a << 1) ^ {4'h0, a[7:4]}) + 8'h2b;
+  endmodule
+  module parity (input [7:0] a, output p);
+    assign p = ^a;
+  endmodule
+  module top (input [7:0] x, output [7:0] cs, output par);
+    checksum u_cs (.a(x), .y(cs));
+    parity u_par (.a(x), .p(par));
+  endmodule|}
+
+let () =
+  let config =
+    { C.Flow_config.default with
+      C.Flow_config.max_io_pins = 32; max_efpgas = 1;
+      min_fabric_size = 2; max_fabric_size = 10;
+      selected_outputs = [ "cs" ] }
+  in
+  let flow = A.Flow.run_source ~config design_src in
+  let r =
+    match A.Flow.redact ~view:A.Redact.Structural flow with
+    | Some r -> r
+    | None -> failwith "no feasible redaction"
+  in
+  let site = List.hd r.A.Redact.sites in
+  Format.printf "redacted %d module(s) onto %s; %d secret bits@."
+    (List.length site.A.Redact.members)
+    site.A.Redact.efpga_name
+    (Array.length site.A.Redact.bitstream);
+  Format.printf "module definitions gone from the netlist: %s@.@."
+    (String.concat ", " r.A.Redact.removed_modules);
+
+  (* the foundry-view netlist, parsed and simulated with our own tools *)
+  let c =
+    N.Synth.synthesize
+      (V.Elaborate.elaborate ~top:"top" (V.Parser.parse r.A.Redact.verilog))
+  in
+  let sim = N.Simulate.create c in
+  let vcd = N.Vcd.create ~module_name:"top" sim in
+  let reference x = (((x lsl 1) lxor (x lsr 4)) + 0x2b) land 0xff in
+
+  N.Simulate.set_input sim "x" 0x5a;
+  N.Simulate.eval sim;
+  N.Vcd.sample vcd;
+  Format.printf "before configuration: cs(0x5a) = 0x%02x (expected 0x%02x) — hidden@."
+    (N.Simulate.read_output sim "cs") (reference 0x5a);
+
+  (* shift the bitstream in through the chip pins *)
+  let en = site.A.Redact.efpga_name ^ "_cfg_en" in
+  let cin = site.A.Redact.efpga_name ^ "_cfg_in" in
+  let bits = site.A.Redact.bitstream in
+  N.Simulate.set_input sim en 1;
+  for j = Array.length bits - 1 downto 0 do
+    N.Simulate.set_input sim cin (if bits.(j) then 1 else 0);
+    N.Simulate.step sim
+  done;
+  N.Simulate.set_input sim en 0;
+  Format.printf "configuration loaded: %d cycles on the scan chain@."
+    (Array.length bits);
+
+  let all_ok = ref true in
+  for x = 0 to 255 do
+    N.Simulate.set_input sim "x" x;
+    N.Simulate.eval sim;
+    if x land 0x3f = 0 then N.Vcd.sample vcd;
+    if N.Simulate.read_output sim "cs" <> reference x then all_ok := false
+  done;
+  Format.printf "after configuration: all 256 inputs correct = %b@." !all_ok;
+
+  let path = Filename.temp_file "alice_bitstream" ".vcd" in
+  N.Vcd.write_file vcd path;
+  Format.printf "waveform written to %s@." path

@@ -1,0 +1,100 @@
+(** Dominator analysis.
+
+    ALICE uses a dominator-tree analysis on the module hierarchy to pick
+    the insertion point of a multi-module eFPGA instance (Section 6): the
+    chosen point is the nearest node dominating every redacted instance,
+    which for a tree-shaped hierarchy is their lowest common ancestor.
+
+    The general algorithm (Cooper-Harvey-Kennedy iterative dominators) is
+    implemented over {!Graph} so that it also serves arbitrary rooted
+    flow graphs; the hierarchy LCA is the specialization ALICE calls. *)
+
+(** [idoms g root] returns an array mapping each node id to its immediate
+    dominator (root maps to itself; unreachable nodes map to -1). *)
+let idoms (g : Graph.t) (root : int) : int array =
+  let order = Graph.reverse_postorder g root in
+  let n = Graph.node_count g in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i v -> rpo_index.(v) <- i) order;
+  let idom = Array.make n (-1) in
+  idom.(root) <- root;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if v <> root then begin
+          let preds =
+            List.filter (fun p -> rpo_index.(p) >= 0 && idom.(p) >= 0) (Graph.pred g v)
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left (fun acc p -> intersect acc p) first rest in
+            if idom.(v) <> new_idom then begin
+              idom.(v) <- new_idom;
+              changed := true
+            end
+        end)
+      order
+  done;
+  idom
+
+(** Does [a] dominate [b]? *)
+let dominates (idom : int array) ~(root : int) a b =
+  let rec up v = if v = a then true else if v = root then a = root else up idom.(v) in
+  up b
+
+(** Nearest common dominator of a non-empty list of nodes. *)
+let common_dominator (idom : int array) ~(root : int) (nodes : int list) : int =
+  let rec chain v acc = if v = root then root :: acc else chain idom.(v) (v :: acc) in
+  match nodes with
+  | [] -> invalid_arg "common_dominator: empty"
+  | first :: rest ->
+    let ancestors = chain first [] in
+    let is_common d = List.for_all (fun v -> dominates idom ~root d v) rest in
+    (* walk from the node upward; the chain is root-first, so scan from the end *)
+    let rec last_common best = function
+      | [] -> best
+      | d :: more -> if is_common d then last_common d more else best
+    in
+    last_common root ancestors
+
+module V = Alice_verilog
+
+(** Lowest common ancestor of instance paths in the design hierarchy:
+    the path of the module instance under which the eFPGA holding all
+    [paths] should be placed. *)
+let hierarchy_insertion_point (d : V.Elaborate.design) (paths : string list) : string =
+  let root = V.Design.instance_tree d in
+  let g = Graph.create () in
+  let rec add (node : V.Design.tree) =
+    let v = Graph.node g node.path in
+    List.iter
+      (fun (c : V.Design.tree) ->
+        Graph.add_edge g v (Graph.node g c.path);
+        add c)
+      node.children
+  in
+  add root;
+  let ids =
+    List.map
+      (fun p ->
+        match Graph.find_node g p with
+        | Some id -> id
+        | None -> invalid_arg (Printf.sprintf "unknown instance path %s" p))
+      paths
+  in
+  let root_id = Graph.node g root.path in
+  let idom = idoms g root_id in
+  (* the insertion point must strictly contain the instances, so start the
+     search from the parents (an instance does not dominate its siblings) *)
+  let parents =
+    List.map (fun id -> if id = root_id then id else idom.(id)) ids
+  in
+  Graph.label g (common_dominator idom ~root:root_id parents)

@@ -1,0 +1,18 @@
+(** Dominator analysis (iterative Cooper–Harvey–Kennedy over {!Graph}),
+    plus the hierarchy specialization ALICE uses to place a multi-module
+    eFPGA instance: the nearest node dominating every redacted instance. *)
+
+(** [idoms g root] maps each node id to its immediate dominator (root to
+    itself; unreachable nodes to -1). *)
+val idoms : Graph.t -> int -> int array
+
+(** Does [a] dominate [b]? *)
+val dominates : int array -> root:int -> int -> int -> bool
+
+(** Nearest common dominator of a non-empty node list. *)
+val common_dominator : int array -> root:int -> int list -> int
+
+(** Lowest common ancestor of instance paths in the design hierarchy:
+    where the eFPGA holding all [paths] should be inserted. *)
+val hierarchy_insertion_point :
+  Alice_verilog.Elaborate.design -> string list -> string

@@ -1,0 +1,43 @@
+(** I/O pin accounting: the structural criterion of Algorithms 1 and 2.
+
+    For a single module, the pin count is the sum of its port widths. For
+    a multi-module cluster the paper aggregates the pins of the member
+    modules (Section 5), since each redacted instance keeps its own
+    connections to the surrounding logic through the eFPGA GPIOs. *)
+
+module V = Alice_verilog
+
+let of_module (m : V.Elaborate.emodule) : int = V.Elaborate.io_pin_count m
+
+let of_instance (d : V.Elaborate.design) (n : V.Design.tree) : int =
+  of_module (V.Elaborate.find_emodule d n.module_name)
+
+(** Aggregated I/O pins of a cluster of instances. *)
+let of_cluster (d : V.Elaborate.design) (nodes : V.Design.tree list) : int =
+  List.fold_left (fun acc n -> acc + of_instance d n) 0 nodes
+
+(** Split pin count: inputs (plus inouts) and outputs (plus inouts),
+    needed when mapping to directional GPIO budgets. *)
+let directional_of_cluster (d : V.Elaborate.design) (nodes : V.Design.tree list) :
+    int * int =
+  List.fold_left
+    (fun (ins, outs) (n : V.Design.tree) ->
+      let m = V.Elaborate.find_emodule d n.module_name in
+      ( ins + V.Elaborate.input_pin_count m,
+        outs + V.Elaborate.output_pin_count m ))
+    (0, 0) nodes
+
+(** Table 1's per-design summary: modules, redactable instances and the
+    [min,max] module I/O pin range. *)
+type summary = {
+  module_total : int;
+  instance_total : int;
+  io_min : int;
+  io_max : int;
+}
+
+let summarize (d : V.Elaborate.design) : summary =
+  let io_min, io_max = V.Design.io_pin_range d in
+  { module_total = V.Design.module_count d;
+    instance_total = V.Design.instance_count d;
+    io_min; io_max }

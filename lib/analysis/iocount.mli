@@ -1,0 +1,25 @@
+(** I/O pin accounting: the structural criterion of Algorithms 1 and 2.
+    Multi-module clusters aggregate the pins of their members (paper
+    Section 5). *)
+
+val of_module : Alice_verilog.Elaborate.emodule -> int
+
+val of_instance : Alice_verilog.Elaborate.design -> Alice_verilog.Design.tree -> int
+
+(** Aggregated I/O pins of a cluster of instances. *)
+val of_cluster :
+  Alice_verilog.Elaborate.design -> Alice_verilog.Design.tree list -> int
+
+(** (inputs+inouts, outputs+inouts) split of a cluster's pins. *)
+val directional_of_cluster :
+  Alice_verilog.Elaborate.design -> Alice_verilog.Design.tree list -> int * int
+
+(** Table 1's per-design summary. *)
+type summary = {
+  module_total : int;
+  instance_total : int;
+  io_min : int;
+  io_max : int;
+}
+
+val summarize : Alice_verilog.Elaborate.design -> summary

@@ -1,0 +1,76 @@
+(** FIR benchmark (CEP suite stand-in).
+
+    Hierarchy: fir (top) -> mac_engine -> { tap_delay, scaler, accum,
+    round_sat }. 5 non-top modules, 5 instances, I/O pins in [64, 384].
+
+    Pin profile against the paper's Table 2: under cfg1 (64 pins) only
+    [scaler] survives filtering (R=1); under cfg2 (96 pins) [accum] (67)
+    and [round_sat] (81) join (R=3), and no pair aggregates under 96
+    pins, so clustering yields exactly the three singletons. *)
+
+let source = {|
+module scaler (input [31:0] x, output [31:0] y);
+  wire [31:0] mixed;
+  wire [15:0] lowsum;
+  assign mixed = (x << 2) ^ (x >> 3);
+  assign lowsum = mixed[15:0] + x[15:0];
+  assign y = {mixed[31:16] ^ {8'h0, x[23:16]}, lowsum};
+endmodule
+
+module accum (input clk, input rst, input en, input [31:0] acc_in, output reg [31:0] acc_out);
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin acc_out <= 32'h0; end
+    else begin
+      if (en) begin acc_out <= acc_out + acc_in; end
+    end
+  end
+endmodule
+
+module round_sat (input [39:0] x, input mode, output [39:0] y);
+  wire [39:0] rounded;
+  assign rounded = x + 40'h80;
+  assign y = mode ? (x[39] ? 40'h8000000000 : rounded) : {8'h0, rounded[39:8]};
+endmodule
+
+module tap_delay (input clk, input rst, input [15:0] x, output [127:0] taps);
+  reg [15:0] t0, t1, t2, t3, t4, t5, t6, t7;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      t0 <= 16'h0; t1 <= 16'h0; t2 <= 16'h0; t3 <= 16'h0;
+      t4 <= 16'h0; t5 <= 16'h0; t6 <= 16'h0; t7 <= 16'h0;
+    end
+    else begin
+      t0 <= x;
+      t1 <= t0; t2 <= t1; t3 <= t2;
+      t4 <= t3; t5 <= t4; t6 <= t5; t7 <= t6;
+    end
+  end
+  assign taps = {t7, t6, t5, t4, t3, t2, t1, t0};
+endmodule
+
+module mac_engine (input clk, input rst, input en, input [31:0] x, input [255:0] block, input [15:0] cfg, input [3:0] m, output [63:0] y, output [7:0] st, output valid);
+  wire [31:0] scaled;
+  wire [127:0] taps;
+  wire [31:0] acc;
+  wire [39:0] rounded;
+  scaler u_scaler (.x(x), .y(scaled));
+  tap_delay u_taps (.clk(clk), .rst(rst), .x(scaled[15:0]), .taps(taps));
+  wire [31:0] product;
+  assign product = taps[15:0] * cfg;
+  accum u_accum (.clk(clk), .rst(rst), .en(en), .acc_in(product ^ block[31:0]), .acc_out(acc));
+  round_sat u_round (.x({acc, taps[23:16]}), .mode(m[0]), .y(rounded));
+  assign y = {24'h0, rounded};
+  assign st = {valid, en, m, taps[1:0]};
+  assign valid = acc != 32'h0;
+endmodule
+
+module fir (input clk, input rst, input en, input [31:0] sample, input [255:0] coefs, input [15:0] gain, input [3:0] mode, output [63:0] dout, output [7:0] status, output out_valid);
+  mac_engine u_mac (.clk(clk), .rst(rst), .en(en), .x(sample), .block(coefs), .cfg(gain), .m(mode), .y(dout), .st(status), .valid(out_valid));
+endmodule
+|}
+
+let name = "FIR"
+
+let top = "fir"
+
+let selected_outputs = [ "dout" ]

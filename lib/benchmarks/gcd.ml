@@ -1,0 +1,113 @@
+(** GCD benchmark (OpenROAD suite stand-in).
+
+    Hierarchy: gcd (top) -> { gcd_ctrl, gcd_datapath }, with the datapath
+    instantiating comparator, zero-detect, subtractor, mux, shifter and
+    three registers (the load register is instantiated twice). 10 non-top
+    modules, 11 instances, I/O pins in [6, 68] — Table 1's row.
+
+    The algorithm is Euclid's by repeated subtraction: while b != 0 and
+    a != b, replace the larger operand by the difference. The shifter
+    sits on the b-update path (pass-through outside load cycles) so every
+    module lies in the cone of [result]. *)
+
+let source = {|
+module gcd_ctrl (input clk, input rst, input start, input finished, output reg busy, output reg done);
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      busy <= 1'h0;
+      done <= 1'h0;
+    end
+    else begin
+      if (start && !busy) begin
+        busy <= 1'h1;
+        done <= 1'h0;
+      end
+      else begin
+        if (busy && finished) begin
+          busy <= 1'h0;
+          done <= 1'h1;
+        end
+      end
+    end
+  end
+endmodule
+
+module cmp_lt (input [15:0] a, input [15:0] b, output lt);
+  assign lt = a < b;
+endmodule
+
+module cmp_eq (input [15:0] a, input [15:0] b, output eq);
+  assign eq = a == b;
+endmodule
+
+module is_zero (input [15:0] a, output zero);
+  assign zero = a == 16'h0;
+endmodule
+
+module subtractor (input [15:0] a, input [15:0] b, output [15:0] diff);
+  assign diff = a - b;
+endmodule
+
+module mux2 (input sel, input [15:0] a0, input [15:0] a1, output [15:0] y);
+  assign y = sel ? a1 : a0;
+endmodule
+
+module shiftr (input [15:0] a, input en, output [15:0] q);
+  assign q = en ? {1'h0, a[15:1]} : a;
+endmodule
+
+module reg_ld (input clk, input rst, input ld, input [15:0] d, output reg [15:0] q);
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin q <= 16'h0; end
+    else begin
+      if (ld) begin q <= d; end
+    end
+  end
+endmodule
+
+module out_reg (input clk, input rst, input en, input [15:0] d, output reg [15:0] q);
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin q <= 16'h0; end
+    else begin
+      if (en) begin q <= d; end
+    end
+  end
+endmodule
+
+module gcd_datapath (input clk, input rst, input load, input en, input [15:0] a_in, input [15:0] b_in, output [15:0] result, output finished, output [14:0] dbg_view);
+  wire [15:0] qa, qb, diff, next_a, shifted, da, db;
+  wire lt, eq, bz;
+  cmp_lt u_lt (.a(qa), .b(qb), .lt(lt));
+  cmp_eq u_eq (.a(qa), .b(qb), .eq(eq));
+  is_zero u_bz (.a(qb), .zero(bz));
+  wire [15:0] big, small;
+  assign big = lt ? qb : qa;
+  assign small = lt ? qa : qb;
+  subtractor u_sub (.a(big), .b(small), .diff(diff));
+  assign finished = eq || bz;
+  mux2 u_mux_a (.sel(finished), .a0(diff), .a1(qa), .y(next_a));
+  shiftr u_shift (.a(small), .en(load), .q(shifted));
+  assign da = load ? a_in : next_a;
+  assign db = load ? b_in : (finished ? qb : shifted);
+  wire wen;
+  assign wen = load || en;
+  reg_ld u_reg_a (.clk(clk), .rst(rst), .ld(wen), .d(da), .q(qa));
+  reg_ld u_reg_b (.clk(clk), .rst(rst), .ld(wen), .d(db), .q(qb));
+  out_reg u_out (.clk(clk), .rst(rst), .en(finished), .d(qa), .q(result));
+  assign dbg_view = {qb[12:0], lt, eq};
+endmodule
+
+module gcd (input clk, input rst, input start, input [15:0] a_in, input [15:0] b_in, output [15:0] result, output done);
+  wire busy, finished;
+  wire load;
+  assign load = start && !busy;
+  gcd_ctrl u_ctrl (.clk(clk), .rst(rst), .start(start), .finished(finished), .busy(busy), .done(done));
+  gcd_datapath u_dp (.clk(clk), .rst(rst), .load(load), .en(busy), .a_in(a_in), .b_in(b_in), .result(result), .finished(finished), .dbg_view());
+endmodule
+|}
+
+let name = "GCD"
+
+let top = "gcd"
+
+let selected_outputs = [ "result" ]

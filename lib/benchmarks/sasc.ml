@@ -1,0 +1,159 @@
+(** SASC benchmark (IWLS'05 simple asynchronous serial controller
+    stand-in).
+
+    2 non-top modules (sasc_fifo, sasc_brg), 3 instances (the FIFO is
+    instantiated for both directions), I/O pins in [23, 28] — Table 1's
+    row.
+
+    The FIFO's push/pop strobes are external pins, so the protected
+    output [full_o] depends only on the TX FIFO instance: module
+    filtering returns R = 1 and clustering a single candidate cluster,
+    under both configurations — the paper's SASC rows are identical. *)
+
+let source = {|
+module sasc_fifo (input clk, input rst, input clr, input [7:0] din, input we, input re, output [7:0] dout, output full, output empty);
+  reg [7:0] r0, r1, r2, r3;
+  reg [1:0] wp, rp;
+  reg [2:0] level;
+  assign full = level[2];
+  assign empty = level == 3'd0;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      wp <= 2'h0;
+      rp <= 2'h0;
+      level <= 3'h0;
+      r0 <= 8'h0; r1 <= 8'h0; r2 <= 8'h0; r3 <= 8'h0;
+    end
+    else begin
+      if (clr) begin
+        wp <= 2'h0;
+        rp <= 2'h0;
+        level <= 3'h0;
+      end
+      else begin
+        if (we) begin
+          case (wp)
+            2'd0: begin r0 <= din; end
+            2'd1: begin r1 <= din; end
+            2'd2: begin r2 <= din; end
+            default: begin r3 <= din; end
+          endcase
+          wp <= wp + 2'h1;
+        end
+        if (re) begin
+          rp <= rp + 2'h1;
+        end
+        if (we && !re) begin level <= level + 3'h1; end
+        if (re && !we) begin level <= level - 3'h1; end
+      end
+    end
+  end
+  reg [7:0] rdata;
+  always @(*) begin
+    case (rp)
+      2'd0: begin rdata = r0; end
+      2'd1: begin rdata = r1; end
+      2'd2: begin rdata = r2; end
+      default: begin rdata = r3; end
+    endcase
+  end
+  assign dout = rdata;
+endmodule
+
+module sasc_brg (input clk, input rst, input [11:0] div0, input [11:0] div1, output reg sio_ce, output reg sio_ce_x4);
+  reg [11:0] cnt0, cnt1;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      cnt0 <= 12'h0;
+      cnt1 <= 12'h0;
+      sio_ce <= 1'h0;
+      sio_ce_x4 <= 1'h0;
+    end
+    else begin
+      if (cnt0 == div0) begin
+        cnt0 <= 12'h0;
+        sio_ce_x4 <= 1'h1;
+        if (cnt1 == div1) begin
+          cnt1 <= 12'h0;
+          sio_ce <= 1'h1;
+        end
+        else begin
+          cnt1 <= cnt1 + 12'h1;
+          sio_ce <= 1'h0;
+        end
+      end
+      else begin
+        cnt0 <= cnt0 + 12'h1;
+        sio_ce <= 1'h0;
+        sio_ce_x4 <= 1'h0;
+      end
+    end
+  end
+endmodule
+
+module sasc (input clk, input rst, input rxd_i, input cts_i, input [7:0] din, input we_i, input re_i, input [11:0] div0, input [11:0] div1, output txd_o, output rts_o, output [7:0] dout, output full_o, output empty_o);
+  wire ce, ce_x4;
+  sasc_brg u_brg (.clk(clk), .rst(rst), .div0(div0), .div1(div1), .sio_ce(ce), .sio_ce_x4(ce_x4));
+  wire [7:0] tx_data, rx_data;
+  wire tx_full, tx_empty;
+  sasc_fifo u_tx_fifo (.clk(clk), .rst(rst), .clr(1'h0), .din(din), .we(we_i), .re(re_i), .dout(tx_data), .full(tx_full), .empty(tx_empty));
+  // serializer: shifts the TX FIFO head out at the baud-rate clock
+  // enable; it observes but never back-pressures the FIFO, so the
+  // [full_o] cone contains only the FIFO.
+  reg [7:0] tx_shift;
+  reg [2:0] tx_bit;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      tx_shift <= 8'hff;
+      tx_bit <= 3'h0;
+    end
+    else begin
+      if (ce) begin
+        if (tx_bit == 3'd7) begin
+          tx_shift <= tx_empty ? 8'hff : tx_data;
+          tx_bit <= 3'h0;
+        end
+        else begin
+          tx_shift <= {1'h1, tx_shift[7:1]};
+          tx_bit <= tx_bit + 3'h1;
+        end
+      end
+    end
+  end
+  assign txd_o = tx_shift[0] || !cts_i;
+  // receive sampler: shifts rxd at 4x enable into the RX FIFO
+  reg [7:0] rx_shift;
+  reg [2:0] rx_bit;
+  reg rx_push;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      rx_shift <= 8'h0;
+      rx_bit <= 3'h0;
+      rx_push <= 1'h0;
+    end
+    else begin
+      rx_push <= 1'h0;
+      if (ce_x4) begin
+        rx_shift <= {rxd_i, rx_shift[7:1]};
+        if (rx_bit == 3'd7) begin
+          rx_bit <= 3'h0;
+          rx_push <= 1'h1;
+        end
+        else begin
+          rx_bit <= rx_bit + 3'h1;
+        end
+      end
+    end
+  end
+  wire rx_full;
+  sasc_fifo u_rx_fifo (.clk(clk), .rst(rst), .clr(1'h0), .din(rx_shift), .we(rx_push), .re(re_i), .dout(dout), .full(rx_full), .empty(empty_o));
+  assign rts_o = !rx_full;
+  assign full_o = tx_full;
+endmodule
+|}
+
+let name = "SASC"
+
+let top = "sasc"
+
+let selected_outputs = [ "full_o" ]

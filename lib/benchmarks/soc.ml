@@ -1,0 +1,134 @@
+(** A PicoSoC-flavoured system-on-chip wrapping the GCD core.
+
+    Section 7 of the paper notes that GCD's eFPGAs dominate its tiny die
+    but "the same modules will become less relevant when the component
+    is inserted into a larger system-on-chip (like PicoSoc)". This
+    benchmark makes that observation measurable: the GCD core sits on a
+    simple command bus next to a UART, a scratchpad register file, a
+    boot ROM and a status block, and the [soc] bench section compares
+    the fabric area share standalone vs in context.
+
+    Not part of the paper's Table 1/2 suite; used by `bench/main.exe
+    soc` and the tests. *)
+
+(* a 128x16 boot ROM as a case table, generated like the other tables *)
+let rom_module =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "module boot_rom (input [6:0] addr, output reg [15:0] data);\n\
+     \  always @(*) begin\n\
+     \    data = 16'h0;\n\
+     \    case (addr)\n";
+  for i = 0 to 127 do
+    let v = (i * 0x2f3d + 0x1111) land 0xffff in
+    Buffer.add_string buf (Printf.sprintf "      7'd%d: begin data = 16'h%04x; end\n" i v)
+  done;
+  Buffer.add_string buf
+    "      default: begin data = 16'h0; end\n    endcase\n  end\nendmodule\n\n";
+  Buffer.contents buf
+
+let peripherals =
+  {|
+module uart_lite (input clk, input rst, input [7:0] tx_data, input tx_we, output tx_busy, output txd);
+  reg [9:0] shift;
+  reg [3:0] cnt;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      shift <= 10'h3ff;
+      cnt <= 4'h0;
+    end
+    else begin
+      if (tx_we && cnt == 4'h0) begin
+        shift <= {1'h1, tx_data, 1'h0};
+        cnt <= 4'd10;
+      end
+      else begin
+        if (cnt != 4'h0) begin
+          shift <= {1'h1, shift[9:1]};
+          cnt <= cnt - 4'h1;
+        end
+      end
+    end
+  end
+  assign txd = shift[0];
+  assign tx_busy = cnt != 4'h0;
+endmodule
+
+module scratch_regs (input clk, input rst, input we, input [1:0] waddr, input [15:0] wdata, input [1:0] raddr, output reg [15:0] rdata);
+  reg [15:0] r0, r1, r2, r3;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin
+      r0 <= 16'h0; r1 <= 16'h0; r2 <= 16'h0; r3 <= 16'h0;
+    end
+    else begin
+      if (we) begin
+        case (waddr)
+          2'd0: begin r0 <= wdata; end
+          2'd1: begin r1 <= wdata; end
+          2'd2: begin r2 <= wdata; end
+          default: begin r3 <= wdata; end
+        endcase
+      end
+    end
+  end
+  always @(*) begin
+    case (raddr)
+      2'd0: begin rdata = r0; end
+      2'd1: begin rdata = r1; end
+      2'd2: begin rdata = r2; end
+      default: begin rdata = r3; end
+    endcase
+  end
+endmodule
+
+module status_block (input clk, input rst, input gcd_busy, input uart_busy, input [15:0] cycles_in, output reg [15:0] uptime, output [3:0] flags);
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin uptime <= 16'h0; end
+    else begin uptime <= uptime + 16'h1; end
+  end
+  assign flags = {gcd_busy, uart_busy, cycles_in[0], uptime[0]};
+endmodule
+
+module dsp_block (input clk, input rst, input [15:0] a, input [15:0] b, input [15:0] c, output reg [31:0] p);
+  wire [31:0] m1, m2;
+  assign m1 = a * b;
+  assign m2 = c * c;
+  always @(posedge clk or negedge rst) begin
+    if (!rst) begin p <= 32'h0; end
+    else begin p <= m1 + m2; end
+  end
+endmodule
+
+module soc (input clk, input rst, input start, input [15:0] op_a, input [15:0] op_b, input [1:0] sel, input [15:0] wdata, input we, output [15:0] resp, output done, output txd, output [3:0] status);
+  wire [15:0] gcd_result, reg_out, rom_out, uptime;
+  wire gcd_done, uart_busy;
+  gcd u_gcd (.clk(clk), .rst(rst), .start(start), .a_in(op_a), .b_in(op_b), .result(gcd_result), .done(gcd_done));
+  uart_lite u_uart (.clk(clk), .rst(rst), .tx_data(gcd_result[7:0]), .tx_we(gcd_done), .tx_busy(uart_busy), .txd(txd));
+  scratch_regs u_regs (.clk(clk), .rst(rst), .we(we), .waddr(sel), .wdata(wdata), .raddr(sel), .rdata(reg_out));
+  boot_rom u_rom (.addr(wdata[6:0]), .data(rom_out));
+  wire [31:0] dsp0_out, dsp1_out;
+  dsp_block u_dsp0 (.clk(clk), .rst(rst), .a(op_a), .b(op_b), .c(wdata), .p(dsp0_out));
+  dsp_block u_dsp1 (.clk(clk), .rst(rst), .a(gcd_result), .b(wdata), .c(op_a), .p(dsp1_out));
+  status_block u_status (.clk(clk), .rst(rst), .gcd_busy(!gcd_done), .uart_busy(uart_busy), .cycles_in(wdata), .uptime(uptime), .flags(status));
+  reg [15:0] resp_mux;
+  always @(*) begin
+    case (sel)
+      2'd0: begin resp_mux = gcd_result; end
+      2'd1: begin resp_mux = reg_out; end
+      2'd2: begin resp_mux = rom_out ^ dsp0_out[15:0]; end
+      default: begin resp_mux = uptime + dsp1_out[31:16]; end
+    endcase
+  end
+  assign resp = resp_mux;
+  assign done = gcd_done;
+endmodule
+|}
+
+let source = Gcd.source ^ rom_module ^ peripherals
+
+let name = "SOC"
+
+let top = "soc"
+
+(* protect the GCD result as it reaches the bus, like the standalone run *)
+let selected_outputs = [ "resp" ]

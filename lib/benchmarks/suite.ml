@@ -1,0 +1,87 @@
+(** Benchmark registry: the seven designs of the paper's Table 1 together
+    with the flow parameters used for the Table 2 runs.
+
+    [cfg1] is the paper's first configuration (64 I/O pins, up to two
+    eFPGAs) and [cfg2] the second (96 pins, one eFPGA); per-design fabric
+    windows model the designer-provided parameters the paper's flow takes
+    as input (permitted fabric size range, utilization expectations). *)
+
+module C = Alice_config
+module V = Alice_verilog
+
+type benchmark = {
+  name : string;
+  suite : string;
+  source : string;
+  top : string;
+  selected_outputs : string list;
+  (* designer-chosen fabric window, shared by both configurations *)
+  fabric_tuning : C.Flow_config.t -> C.Flow_config.t;
+}
+
+let fabric ?(min_size = 2) ?(max_size = 20) ?(target = 0.5) ?(floor = 0.0)
+    (cfg : C.Flow_config.t) : C.Flow_config.t =
+  { cfg with
+    C.Flow_config.min_fabric_size = min_size; max_fabric_size = max_size;
+    target_utilization = target; min_clb_utilization = floor }
+
+let des3 =
+  { name = Des3.name; suite = "CEP"; source = Des3.source; top = Des3.top;
+    selected_outputs = Des3.selected_outputs;
+    fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.5 }
+
+let fir =
+  { name = Fir.name; suite = "CEP"; source = Fir.source; top = Fir.top;
+    selected_outputs = Fir.selected_outputs;
+    fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.55 }
+
+let iir =
+  { name = Iir.name; suite = "CEP"; source = Iir.source; top = Iir.top;
+    selected_outputs = Iir.selected_outputs;
+    fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.65 }
+
+let sha256 =
+  { name = Sha256.name; suite = "CEP"; source = Sha256.source;
+    top = Sha256.top; selected_outputs = Sha256.selected_outputs;
+    fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.45 }
+
+let sasc =
+  { name = Sasc.name; suite = "IWLS05"; source = Sasc.source; top = Sasc.top;
+    selected_outputs = Sasc.selected_outputs;
+    fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.75 }
+
+let usb_phy =
+  { name = Usb_phy.name; suite = "IWLS05"; source = Usb_phy.source;
+    top = Usb_phy.top; selected_outputs = Usb_phy.selected_outputs;
+    fabric_tuning = fabric ~min_size:6 ~max_size:7 ~target:0.55 ~floor:0.40 }
+
+let gcd =
+  { name = Gcd.name; suite = "OpenROAD"; source = Gcd.source; top = Gcd.top;
+    selected_outputs = Gcd.selected_outputs;
+    fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.5 ~floor:0.3 }
+
+let all : benchmark list = [ des3; fir; iir; sha256; sasc; usb_phy; gcd ]
+
+let find name =
+  List.find_opt
+    (fun b -> String.lowercase_ascii b.name = String.lowercase_ascii name)
+    all
+
+(** The two flow configurations of the paper, specialized per design. *)
+let config1 (b : benchmark) : C.Flow_config.t =
+  b.fabric_tuning
+    { C.Flow_config.cfg1 with
+      C.Flow_config.selected_outputs = b.selected_outputs; top = Some b.top }
+
+let config2 (b : benchmark) : C.Flow_config.t =
+  b.fabric_tuning
+    { C.Flow_config.cfg2 with
+      C.Flow_config.selected_outputs = b.selected_outputs; top = Some b.top }
+
+(** Parse a benchmark's source. *)
+let parse (b : benchmark) : V.Ast.design =
+  V.Parser.parse ~file:(b.name ^ ".v") b.source
+
+(** Parse and elaborate. *)
+let elaborate (b : benchmark) : V.Elaborate.design =
+  V.Elaborate.elaborate ~top:b.top (parse b)

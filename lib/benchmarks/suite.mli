@@ -1,0 +1,38 @@
+(** Benchmark registry: the seven designs of the paper's Table 1 plus
+    the flow parameters used for the Table 2 runs. Per-design fabric
+    windows model the designer-provided inputs of the paper's flow. *)
+
+module C = Alice_config
+module V = Alice_verilog
+
+type benchmark = {
+  name : string;
+  suite : string;  (** CEP / IWLS05 / OpenROAD *)
+  source : string; (** Verilog text *)
+  top : string;
+  selected_outputs : string list;
+  fabric_tuning : C.Flow_config.t -> C.Flow_config.t;
+}
+
+val des3 : benchmark
+val fir : benchmark
+val iir : benchmark
+val sha256 : benchmark
+val sasc : benchmark
+val usb_phy : benchmark
+val gcd : benchmark
+
+val all : benchmark list
+
+(** Case-insensitive lookup by name. *)
+val find : string -> benchmark option
+
+(** The paper's cfg1 (64 pins, two eFPGAs), specialized to the design. *)
+val config1 : benchmark -> C.Flow_config.t
+
+(** The paper's cfg2 (96 pins, one eFPGA), specialized to the design. *)
+val config2 : benchmark -> C.Flow_config.t
+
+val parse : benchmark -> V.Ast.design
+
+val elaborate : benchmark -> V.Elaborate.design

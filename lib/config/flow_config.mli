@@ -1,0 +1,58 @@
+(** Typed ALICE flow parameters, loaded from the custom YAML
+    configuration file described in the paper (Section 3). *)
+
+(** Direction of the solution ranking (Algorithm 3 line 25 selects the
+    highest score; [Lowest] is provided for study). *)
+type rank_order = Highest | Lowest
+
+(** Which scoring formula feeds the ranking.
+
+    [Reward] scores a fabric by its achieved utilization,
+    [alpha * IOUtil/MaxIOUtil + beta * CLBUtil/MaxCLBUtil]; summed over a
+    solution's eFPGAs and ranked highest-first it reproduces most of the
+    paper's Table 2 selections. [Penalty] is Eq. 1 exactly as printed,
+    which rewards unused capacity; it reproduces the remaining rows (see
+    EXPERIMENTS.md on the polarity question). Default: [Reward]. *)
+type score_formula = Reward | Penalty
+
+type t = {
+  max_io_pins : int;  (** max aggregated I/O pins per eFPGA *)
+  max_efpgas : int;   (** max number of eFPGA instances *)
+  alpha : float;      (** Eq. 1 I/O-utilization weight *)
+  beta : float;       (** Eq. 1 CLB-utilization weight *)
+  lut_inputs : int;   (** k of the k-LUTs (paper: 4) *)
+  luts_per_clb : int; (** logic elements per CLB (paper: 4) *)
+  ffs_per_clb : int;
+  gpio_per_tile : int; (** GPIO pins per I/O tile (paper: 8) *)
+  min_fabric_size : int; (** smallest permitted W of a W x W fabric *)
+  max_fabric_size : int;
+  target_utilization : float;
+      (** max fraction of CLB capacity the mapper may fill; models the
+          routability slack a real fabric flow needs *)
+  min_clb_utilization : float;
+      (** IsValid floor: fabrics utilized below this are rejected *)
+  selected_outputs : string list;  (** outputs to protect; [] = all *)
+  top : string option;
+  min_score : int;  (** filtering keeps modules with score >= this *)
+  rank_order : rank_order;
+  score_formula : score_formula;
+  transitive_independence : bool;
+      (** true: any dataflow path between two instances makes them
+          dependent; false (default): only a direct wire connection *)
+}
+
+val default : t
+
+(** The paper's cfg1: at most 64 I/O pins per eFPGA, up to two eFPGAs. *)
+val cfg1 : t
+
+(** The paper's cfg2: at most 96 I/O pins, a single eFPGA. *)
+val cfg2 : t
+
+(** Read a configuration from a parsed YAML document; unknown keys fall
+    back to {!default}. Raises [Invalid_argument] on type mismatches. *)
+val of_yaml : Yaml_lite.t -> t
+
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** A minimal YAML-subset parser, sufficient for ALICE configuration
+    files: nested block maps, block lists, scalars, [#] comments, inline
+    flow lists. Anchors, aliases, multi-documents and block scalars are
+    not supported. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Map of (string * t) list
+
+exception Parse_error of int * string  (** line number, message *)
+
+(** Parse a document. Raises {!Parse_error}. *)
+val parse : string -> t
+
+(** Look up a key in a map node; [None] for other nodes or absent keys. *)
+val find : t -> string -> t option
+
+(** Typed accessors: return the value under [key], the [default] when the
+    key is absent or null, and raise [Invalid_argument] on a type
+    mismatch (or a missing key without default). *)
+
+val get_int : ?default:int -> t -> string -> int
+
+val get_float : ?default:float -> t -> string -> float
+
+val get_string : ?default:string -> t -> string -> string
+
+val get_bool : ?default:bool -> t -> string -> bool
+
+val get_string_list : ?default:string list -> t -> string -> string list
+
+val to_string : t -> string

@@ -1,0 +1,108 @@
+(** CreateEFPGA (Algorithm 3, lines 2-7): characterize each candidate
+    cluster by actually building its eFPGA — synthesize the cluster's
+    top, map it onto k-LUTs, and search the minimum feasible fabric.
+
+    Multi-module clusters get a synthetic top that instantiates every
+    member with all ports exposed, exactly the "top Verilog module that
+    instantiates all independent modules" of Section 6. Results are
+    cached by the multiset of member modules: two clusters of the same
+    module mix always get the same fabric. *)
+
+module V = Alice_verilog
+module N = Alice_netlist
+module F = Alice_fabric
+module C = Alice_config
+
+type characterization = {
+  cluster : Clustering.cluster;
+  outcome : (F.Size_search.implementation, F.Size_search.failure) result;
+  mapped : N.Circuit.t option;  (* the LUT-mapped cluster, for security work *)
+}
+
+(* Build a synthetic elaborated module instantiating the cluster members
+   with all ports promoted to top-level ports named m<i>_<port>. *)
+let wrapper_emodule (design : V.Elaborate.design) (cluster : Clustering.cluster)
+    ~(name : string) : V.Elaborate.emodule =
+  let ports = ref [] and nets = ref [] and instances = ref [] in
+  List.iteri
+    (fun i (member : V.Design.tree) ->
+      let em = V.Elaborate.find_emodule design member.module_name in
+      let bindings =
+        List.map
+          (fun (p : V.Elaborate.eport) ->
+            let top_name = Printf.sprintf "m%d_%s" i p.pname in
+            ports := { p with V.Elaborate.pname = top_name } :: !ports;
+            nets :=
+              { V.Elaborate.nname = top_name; nwidth = p.width;
+                nkind = V.Ast.Wire }
+              :: !nets;
+            (p.pname, Some (V.Ast.Ident top_name)))
+          em.V.Elaborate.em_ports
+      in
+      instances :=
+        { V.Elaborate.ei_name = Printf.sprintf "u%d_%s" i member.inst_name;
+          ei_module = member.module_name;
+          ei_orig_module = member.orig_module_name;
+          ei_bindings = bindings; ei_loc = V.Loc.none }
+        :: !instances)
+    cluster.Clustering.members;
+  { V.Elaborate.em_name = name; em_orig_name = name;
+    em_ports = List.rev !ports; em_nets = List.rev !nets; em_assigns = [];
+    em_always = []; em_instances = List.rev !instances; em_params = [] }
+
+(** Synthesize and LUT-map the circuit a cluster would put on a fabric. *)
+let cluster_circuit (design : V.Elaborate.design) (cfg : C.Flow_config.t)
+    (cluster : Clustering.cluster) : N.Circuit.t =
+  let name = "efpga_cluster" in
+  let wrapper = wrapper_emodule design cluster ~name in
+  let design' =
+    { V.Elaborate.d_top = name;
+      d_modules = V.Elaborate.Smap.add name wrapper design.V.Elaborate.d_modules }
+  in
+  let circuit = N.Synth.synthesize design' in
+  let mapped, _ = N.Lutmap.map ~k:cfg.C.Flow_config.lut_inputs circuit in
+  mapped
+
+type cache = (string, characterization) Hashtbl.t
+
+let create_cache () : cache = Hashtbl.create 64
+
+(* clusters with the same module multiset map to the same fabric *)
+let cache_key (cluster : Clustering.cluster) : string =
+  cluster.Clustering.members
+  |> List.map (fun (m : V.Design.tree) -> m.module_name)
+  |> List.sort compare |> String.concat "|"
+
+(** Characterize one cluster (cached). *)
+let run ?(cache : cache option) (design : V.Elaborate.design)
+    (cfg : C.Flow_config.t) (cluster : Clustering.cluster) : characterization =
+  let compute () =
+    match cluster_circuit design cfg cluster with
+    | exception N.Synth.Synthesis_error msg ->
+      { cluster; outcome = Error (F.Size_search.Synthesis_failed msg); mapped = None }
+    | mapped ->
+      let arch = F.Arch.of_config cfg in
+      let outcome =
+        F.Size_search.minimum arch
+          ~min_size:cfg.C.Flow_config.min_fabric_size
+          ~max_size:cfg.C.Flow_config.max_fabric_size
+          ~target_utilization:cfg.C.Flow_config.target_utilization mapped
+      in
+      { cluster; outcome; mapped = Some mapped }
+  in
+  match cache with
+  | None -> compute ()
+  | Some table -> (
+    let key = cache_key cluster in
+    match Hashtbl.find_opt table key with
+    | Some hit -> { hit with cluster }
+    | None ->
+      let c = compute () in
+      Hashtbl.add table key c;
+      c)
+
+(** Characterize every cluster; order preserved. *)
+let run_all (design : V.Elaborate.design) (cfg : C.Flow_config.t)
+    (clusters : Clustering.cluster list) : characterization list =
+  let cache = create_cache () in
+  List.map (run ~cache design cfg) clusters

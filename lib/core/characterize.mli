@@ -1,0 +1,38 @@
+(** CreateEFPGA (Algorithm 3, lines 2-7): characterize a candidate
+    cluster by actually building its eFPGA — a synthetic top
+    instantiating the members with all ports exposed, synthesized,
+    LUT-mapped, and passed to the minimum-fabric search. Results are
+    cached by member-module multiset. *)
+
+module V = Alice_verilog
+module N = Alice_netlist
+module F = Alice_fabric
+module C = Alice_config
+
+type characterization = {
+  cluster : Clustering.cluster;
+  outcome : (F.Size_search.implementation, F.Size_search.failure) result;
+  mapped : N.Circuit.t option;  (** the LUT-mapped cluster *)
+}
+
+(** Synthesize and LUT-map the circuit a cluster would put on a fabric. *)
+val cluster_circuit :
+  V.Elaborate.design -> C.Flow_config.t -> Clustering.cluster -> N.Circuit.t
+
+type cache
+
+val create_cache : unit -> cache
+
+val run :
+  ?cache:cache ->
+  V.Elaborate.design ->
+  C.Flow_config.t ->
+  Clustering.cluster ->
+  characterization
+
+(** Characterize every cluster (shared cache); order preserved. *)
+val run_all :
+  V.Elaborate.design ->
+  C.Flow_config.t ->
+  Clustering.cluster list ->
+  characterization list

@@ -1,0 +1,124 @@
+(** Cluster identification — Algorithm 2 of the paper.
+
+    Fixed-point recombination: start from singleton clusters (one per
+    candidate instance) and repeatedly union pairs of current clusters,
+    keeping a union when it is new and admissible. A cluster is
+    admissible when its aggregated I/O pin count respects the designer
+    limit and its members are pairwise dataflow-independent (modules
+    exchanging data cannot share one eFPGA, Section 5's "independent
+    modules"). *)
+
+module V = Alice_verilog
+module A = Alice_analysis
+module C = Alice_config
+
+type cluster = {
+  members : V.Design.tree list;  (* sorted by path *)
+  io_pins : int;                 (* aggregated *)
+  key : string;                  (* canonical identity *)
+}
+
+let cluster_key (members : V.Design.tree list) : string =
+  String.concat "|" (List.map (fun (n : V.Design.tree) -> n.path) members)
+
+let make_cluster (design : V.Elaborate.design) (members : V.Design.tree list) :
+    cluster =
+  let members =
+    List.sort_uniq (fun (a : V.Design.tree) b -> compare a.path b.path) members
+  in
+  { members; io_pins = A.Iocount.of_cluster design members;
+    key = cluster_key members }
+
+let member_count (c : cluster) = List.length c.members
+
+(** CheckParameters of Algorithm 2 on an aggregated cluster. *)
+let check_parameters (cfg : C.Flow_config.t) (c : cluster) : bool =
+  c.io_pins <= cfg.C.Flow_config.max_io_pins
+
+let independent (cfg : C.Flow_config.t) (df : A.Dataflow.t)
+    (a : V.Design.tree) (b : V.Design.tree) : bool =
+  if cfg.C.Flow_config.transitive_independence then
+    not (A.Dataflow.instances_dependent df a b)
+  else not (A.Dataflow.instances_directly_connected df a b)
+
+let cluster_independent (cfg : C.Flow_config.t) (df : A.Dataflow.t)
+    (c : cluster) : bool =
+  let rec pairwise = function
+    | [] -> true
+    | x :: rest -> List.for_all (independent cfg df x) rest && pairwise rest
+  in
+  pairwise c.members
+
+(** The fixed-point of Algorithm 2. Returns all candidate clusters C. *)
+let run (df : A.Dataflow.t) (cfg : C.Flow_config.t)
+    (candidates : Filtering.result) : cluster list =
+  let design = df.A.Dataflow.design in
+  (* line 2-4: singleton clusters *)
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let all = ref [] in
+  let add c =
+    if not (Hashtbl.mem seen c.key) then begin
+      Hashtbl.add seen c.key ();
+      all := c :: !all;
+      true
+    end
+    else false
+  in
+  List.iter
+    (fun inst -> ignore (add (make_cluster design [ inst ])))
+    (Filtering.candidate_instances candidates);
+  (* independence is pairwise, so cache it per instance-path pair *)
+  let indep_cache = Hashtbl.create 256 in
+  let indep a b =
+    let key =
+      let pa = (a : V.Design.tree).path and pb = (b : V.Design.tree).path in
+      if pa < pb then pa ^ "&" ^ pb else pb ^ "&" ^ pa
+    in
+    match Hashtbl.find_opt indep_cache key with
+    | Some v -> v
+    | None ->
+      let v = independent cfg df a b in
+      Hashtbl.add indep_cache key v;
+      v
+  in
+  let cluster_pair_ok c1 c2 =
+    List.for_all
+      (fun m1 -> List.for_all (fun m2 -> m1.V.Design.path = m2.V.Design.path || indep m1 m2) c2.members)
+      c1.members
+  in
+  (* lines 6-23: recombine until no new admissible cluster appears *)
+  let flag = ref true in
+  while !flag do
+    flag := false;
+    let current = !all in
+    let fresh = ref [] in
+    List.iter
+      (fun c1 ->
+        List.iter
+          (fun c2 ->
+            if c1.key <> c2.key then begin
+              let union = make_cluster design (c1.members @ c2.members) in
+              if (not (Hashtbl.mem seen union.key))
+                 && check_parameters cfg union
+                 && cluster_pair_ok c1 c2
+              then begin
+                Hashtbl.add seen union.key ();
+                fresh := union :: !fresh
+              end
+            end)
+          current)
+      current;
+    if !fresh <> [] then begin
+      all := !fresh @ !all;
+      flag := true
+    end
+  done;
+  List.rev !all
+
+(** Clusters sharing no instance (the disjointness predicate Algorithm 3
+    needs to combine eFPGAs). *)
+let disjoint (a : cluster) (b : cluster) : bool =
+  List.for_all
+    (fun (m : V.Design.tree) ->
+      List.for_all (fun (n : V.Design.tree) -> m.path <> n.path) b.members)
+    a.members

@@ -1,0 +1,240 @@
+(** Fine-grained redaction pre-processing — the extension the paper's
+    conclusions sketch: "decompose large modules into smaller instances
+    so that only part of them are effectively redacted".
+
+    A purely combinational module (continuous assignments only) is split
+    into per-output-group submodules: each group carries the assigns in
+    its outputs' cones and only the input ports those cones read, so a
+    module whose pin count exceeds the eFPGA budget can still contribute
+    redactable pieces. Logic shared between groups is duplicated — the
+    standard cost of cone-based partitioning.
+
+    Off by default; run it on a design before {!Flow.run} when filtering
+    rejects a module the designer wants protected. *)
+
+module V = Alice_verilog
+module Smap = Map.Make (String)
+
+exception Unsupported of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Unsupported m)) fmt
+
+type plan = {
+  part_names : string list;    (* new submodule names *)
+  group_outputs : string list list;
+}
+
+(* classify a module's declarations *)
+type shape = {
+  inputs : (string * V.Ast.range option) list;
+  outputs : (string * V.Ast.range option) list;
+  wires : (string * V.Ast.range option) list;
+  assigns : (V.Ast.expr * V.Ast.expr) list;
+}
+
+let shape_of (m : V.Ast.module_decl) : shape =
+  let inputs = ref [] and outputs = ref [] and wires = ref [] in
+  let assigns = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | V.Ast.Port_decl (V.Ast.Input, _, range, names) ->
+        List.iter (fun n -> inputs := (n, range) :: !inputs) names
+      | V.Ast.Port_decl (V.Ast.Output, V.Ast.Wire, range, names) ->
+        List.iter (fun n -> outputs := (n, range) :: !outputs) names
+      | V.Ast.Port_decl (V.Ast.Output, V.Ast.Reg, _, _) ->
+        fail "module %s: registered outputs are not decomposable"
+          m.V.Ast.mod_name
+      | V.Ast.Port_decl (V.Ast.Inout, _, _, _) ->
+        fail "module %s: inout ports are not decomposable" m.V.Ast.mod_name
+      | V.Ast.Net_decl (V.Ast.Wire, range, names) ->
+        List.iter (fun n -> wires := (n, range) :: !wires) names
+      | V.Ast.Net_decl (V.Ast.Reg, _, _) | V.Ast.Always _ ->
+        fail "module %s: sequential logic is not decomposable" m.V.Ast.mod_name
+      | V.Ast.Instance _ ->
+        fail "module %s: nested instances are not decomposable" m.V.Ast.mod_name
+      | V.Ast.Param_decl _ ->
+        fail "module %s: parameterized modules must be specialized first"
+          m.V.Ast.mod_name
+      | V.Ast.Assign (lhs, rhs) -> assigns := (lhs, rhs) :: !assigns)
+    m.V.Ast.mod_items;
+  { inputs = List.rev !inputs; outputs = List.rev !outputs;
+    wires = List.rev !wires; assigns = List.rev !assigns }
+
+let width_of_range = function
+  | None -> 1
+  | Some (V.Ast.Num { value = msb; _ }, V.Ast.Num { value = lsb; _ }) ->
+    msb - lsb + 1
+  | Some _ -> fail "non-constant port range (elaborate first)"
+
+(* variables read by the assign driving [name], transitively *)
+let cone_inputs (s : shape) (name : string) : string list =
+  let drivers = Hashtbl.create 16 in
+  List.iter
+    (fun (lhs, rhs) ->
+      List.iter
+        (fun target ->
+          let old = Option.value (Hashtbl.find_opt drivers target) ~default:[] in
+          Hashtbl.replace drivers target ((lhs, rhs) :: old))
+        (V.Ast.lvalue_targets [] lhs))
+    s.assigns;
+  let input_set = List.map fst s.inputs in
+  let seen = Hashtbl.create 16 in
+  let inputs = ref [] in
+  let rec visit v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      if List.mem v input_set then inputs := v :: !inputs
+      else
+        List.iter
+          (fun (_, rhs) -> List.iter visit (V.Ast.expr_idents [] rhs))
+          (Option.value (Hashtbl.find_opt drivers v) ~default:[])
+    end
+  in
+  visit name;
+  List.sort compare !inputs
+
+(* assigns needed to produce [outputs], in original order *)
+let cone_assigns (s : shape) (outputs : string list) :
+    (V.Ast.expr * V.Ast.expr) list =
+  let needed = Hashtbl.create 16 in
+  let drivers = Hashtbl.create 16 in
+  List.iter
+    (fun (lhs, rhs) ->
+      List.iter
+        (fun target ->
+          let old = Option.value (Hashtbl.find_opt drivers target) ~default:[] in
+          Hashtbl.replace drivers target ((lhs, rhs) :: old))
+        (V.Ast.lvalue_targets [] lhs))
+    s.assigns;
+  let rec visit v =
+    if not (Hashtbl.mem needed v) then begin
+      Hashtbl.add needed v ();
+      List.iter
+        (fun (_, rhs) -> List.iter visit (V.Ast.expr_idents [] rhs))
+        (Option.value (Hashtbl.find_opt drivers v) ~default:[])
+    end
+  in
+  List.iter visit outputs;
+  List.filter
+    (fun (lhs, _) ->
+      List.exists (fun t -> Hashtbl.mem needed t) (V.Ast.lvalue_targets [] lhs))
+    s.assigns
+
+(** Split [module_name] into parts whose I/O pin counts fit
+    [max_io_pins]. Returns the rewritten design and the plan. Raises
+    {!Unsupported} when the module is not purely combinational. *)
+let decompose_module (design : V.Ast.design) ~(module_name : string)
+    ~(max_io_pins : int) : V.Ast.design * plan =
+  let m =
+    match V.Ast.find_module design module_name with
+    | Some m -> m
+    | None -> fail "no module named %s" module_name
+  in
+  let s = shape_of m in
+  if s.outputs = [] then fail "module %s has no outputs" module_name;
+  let range_of name =
+    match
+      List.assoc_opt name (s.inputs @ s.outputs @ s.wires)
+    with
+    | Some r -> r
+    | None -> fail "unknown net %s" name
+  in
+  let width_of name = width_of_range (range_of name) in
+  (* greedy grouping of outputs under the pin budget *)
+  let groups = ref [] in
+  let current = ref [] in
+  let group_pins outs =
+    let ins =
+      List.sort_uniq compare (List.concat_map (cone_inputs s) outs)
+    in
+    List.fold_left (fun acc v -> acc + width_of v) 0 (ins @ outs)
+  in
+  List.iter
+    (fun (out, _) ->
+      let candidate = out :: !current in
+      if !current = [] || group_pins candidate <= max_io_pins then
+        current := candidate
+      else begin
+        groups := List.rev !current :: !groups;
+        current := [ out ]
+      end)
+    s.outputs;
+  if !current <> [] then groups := List.rev !current :: !groups;
+  let groups = List.rev !groups in
+  (match groups with
+  | [ single ] when List.length single = List.length s.outputs ->
+    fail "module %s already fits (or cannot be split further)" module_name
+  | _ -> ());
+  (* build one submodule per group *)
+  let part_modules =
+    List.mapi
+      (fun i outs ->
+        let name = Printf.sprintf "%s_part%d" module_name i in
+        let ins = List.sort_uniq compare (List.concat_map (cone_inputs s) outs) in
+        let items =
+          List.map
+            (fun v -> V.Ast.Port_decl (V.Ast.Input, V.Ast.Wire, range_of v, [ v ]))
+            ins
+          @ List.map
+              (fun v -> V.Ast.Port_decl (V.Ast.Output, V.Ast.Wire, range_of v, [ v ]))
+              outs
+          @ (let used =
+               List.sort_uniq compare
+                 (List.concat_map
+                    (fun (lhs, rhs) ->
+                      V.Ast.lvalue_targets (V.Ast.expr_idents [] rhs) lhs)
+                    (cone_assigns s outs))
+             in
+             List.filter_map
+               (fun v ->
+                 if List.mem_assoc v s.wires && not (List.mem v outs) then
+                   Some (V.Ast.Net_decl (V.Ast.Wire, range_of v, [ v ]))
+                 else None)
+               used)
+          @ List.map (fun (l, r) -> V.Ast.Assign (l, r)) (cone_assigns s outs)
+        in
+        { V.Ast.mod_name = name; mod_ports = ins @ outs; mod_items = items;
+          mod_loc = m.V.Ast.mod_loc })
+      groups
+  in
+  (* rewrite the original module: instantiate the parts *)
+  let part_instances =
+    List.map2
+      (fun (part : V.Ast.module_decl) outs ->
+        let ins =
+          List.filter (fun p -> not (List.mem p outs)) part.V.Ast.mod_ports
+        in
+        V.Ast.Instance
+          { V.Ast.inst_module = part.V.Ast.mod_name;
+            inst_name = "u_" ^ part.V.Ast.mod_name;
+            inst_params = [];
+            inst_ports =
+              List.map
+                (fun p ->
+                  { V.Ast.port_name = Some p; port_expr = Some (V.Ast.Ident p) })
+                (ins @ outs);
+            inst_loc = m.V.Ast.mod_loc })
+      part_modules groups
+  in
+  let rewritten =
+    { m with
+      V.Ast.mod_items =
+        List.filter
+          (function
+            | V.Ast.Assign _ | V.Ast.Net_decl _ -> false
+            | V.Ast.Port_decl _ | V.Ast.Param_decl _ | V.Ast.Always _
+            | V.Ast.Instance _ -> true)
+          m.V.Ast.mod_items
+        @ part_instances }
+  in
+  let modules =
+    List.map
+      (fun (md : V.Ast.module_decl) ->
+        if md.V.Ast.mod_name = module_name then rewritten else md)
+      design.V.Ast.modules
+    @ part_modules
+  in
+  ( { V.Ast.modules },
+    { part_names = List.map (fun p -> p.V.Ast.mod_name) part_modules;
+      group_outputs = groups } )

@@ -1,0 +1,20 @@
+(** Fine-grained redaction pre-processing (the extension the paper's
+    conclusions sketch): split a purely combinational module into
+    per-output-group submodules whose pin counts fit the eFPGA budget,
+    so part of a too-large module can still be redacted. Logic shared
+    between groups is duplicated. *)
+
+module V = Alice_verilog
+
+exception Unsupported of string
+
+type plan = {
+  part_names : string list;  (** new submodule names *)
+  group_outputs : string list list;
+}
+
+(** Split [module_name] under [max_io_pins]; returns the rewritten
+    design and the plan. Raises {!Unsupported} when the module is not
+    purely combinational (or cannot be split further). *)
+val decompose_module :
+  V.Ast.design -> module_name:string -> max_io_pins:int -> V.Ast.design * plan

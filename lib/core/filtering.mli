@@ -1,0 +1,31 @@
+(** Module filtering — Algorithm 1: functional scoring (modules by the
+    protected outputs they affect) followed by the structural I/O-pin
+    criterion. Survivors are the candidate redaction modules R. *)
+
+module V = Alice_verilog
+module A = Alice_analysis
+module C = Alice_config
+
+type candidate = {
+  module_name : string;  (** specialized module name *)
+  score : int;           (** selected outputs affected *)
+  io_pins : int;
+  instances : V.Design.tree list;
+      (** redactable instances of this module inside the protected cone *)
+}
+
+type result = {
+  candidates : candidate list;  (** the set R *)
+  scores : (string * int) list; (** all scored modules, before filtering *)
+  outputs_used : string list;
+}
+
+(** CheckParameters of Algorithm 1 on one module. *)
+val check_parameters : C.Flow_config.t -> io_pins:int -> bool
+
+val run : A.Dataflow.t -> C.Flow_config.t -> result
+
+val candidate_count : result -> int
+
+(** All redactable instances across R, the grist for Algorithm 2. *)
+val candidate_instances : result -> V.Design.tree list

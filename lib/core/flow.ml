@@ -1,0 +1,67 @@
+(** The end-to-end ALICE flow (Figure 3): parse → elaborate → module
+    filtering → cluster identification → eFPGA selection → redacted
+    design generation. Phase wall-clock times are recorded, matching the
+    columns of Table 2. *)
+
+module V = Alice_verilog
+module A = Alice_analysis
+module C = Alice_config
+
+type phase_times = {
+  filtering_s : float;   (* includes dataflow analysis, as in the paper *)
+  clustering_s : float;
+  selection_s : float;   (* includes all CreateEFPGA characterizations *)
+}
+
+type t = {
+  config : C.Flow_config.t;
+  ast : V.Ast.design;
+  design : V.Elaborate.design;
+  filtering : Filtering.result;
+  clusters : Clustering.cluster list;
+  characterized : Characterize.characterization list;
+  selection : Selection.result;
+  times : phase_times;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(** Run the flow on parsed source. Raises {!Alice_verilog.Loc.Error} on
+    malformed input; an empty candidate set (like IIR under cfg1) is not
+    an error — the result simply carries no solution. *)
+let run ?(config = C.Flow_config.default) (ast : V.Ast.design) : t =
+  let design = V.Elaborate.elaborate ?top:config.C.Flow_config.top ast in
+  let (filtering, df), filtering_s =
+    timed (fun () ->
+        let df = A.Dataflow.build design in
+        (Filtering.run df config, df))
+  in
+  let clusters, clustering_s =
+    timed (fun () -> Clustering.run df config filtering)
+  in
+  let (characterized, selection), selection_s =
+    timed (fun () ->
+        let characterized = Characterize.run_all design config clusters in
+        let total_instances =
+          List.length (Filtering.candidate_instances filtering)
+        in
+        (characterized, Selection.run config characterized ~total_instances))
+  in
+  { config; ast; design; filtering; clusters; characterized; selection;
+    times = { filtering_s; clustering_s; selection_s } }
+
+(** Run on Verilog source text. *)
+let run_source ?config ?file (src : string) : t =
+  run ?config (V.Parser.parse ?file src)
+
+(** Generate the redacted design for the flow's best solution. *)
+let redact ?(view = Redact.Programmed) (flow : t) : Redact.redacted option =
+  Option.map
+    (fun solution -> Redact.run ~view flow.design flow.ast solution)
+    flow.selection.Selection.best
+
+(** Count of valid eFPGA implementations (the "# valid eFPGAs" column). *)
+let valid_efpga_count (flow : t) = List.length flow.selection.Selection.valid

@@ -1,0 +1,35 @@
+(** The end-to-end ALICE flow (paper Figure 3): parse → elaborate →
+    module filtering → cluster identification → eFPGA selection →
+    redacted design generation, with per-phase wall-clock times matching
+    Table 2's columns. *)
+
+module V = Alice_verilog
+module C = Alice_config
+
+type phase_times = {
+  filtering_s : float;  (** includes dataflow analysis, as in the paper *)
+  clustering_s : float;
+  selection_s : float;  (** includes all CreateEFPGA characterizations *)
+}
+
+type t = {
+  config : C.Flow_config.t;
+  ast : V.Ast.design;
+  design : V.Elaborate.design;
+  filtering : Filtering.result;
+  clusters : Clustering.cluster list;
+  characterized : Characterize.characterization list;
+  selection : Selection.result;
+  times : phase_times;
+}
+
+(** Run the flow on parsed source. An empty candidate set (like IIR under
+    cfg1) is not an error — the result simply carries no solution. *)
+val run : ?config:C.Flow_config.t -> V.Ast.design -> t
+
+val run_source : ?config:C.Flow_config.t -> ?file:string -> string -> t
+
+(** Generate the redacted design for the flow's best solution. *)
+val redact : ?view:Redact.view -> t -> Redact.redacted option
+
+val valid_efpga_count : t -> int

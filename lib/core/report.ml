@@ -1,0 +1,96 @@
+(** Result-table formatting: renders flow results in the shape of the
+    paper's Table 1 and Table 2. *)
+
+module V = Alice_verilog
+module A = Alice_analysis
+module F = Alice_fabric
+
+type table2_row = {
+  design_name : string;
+  instances : int;
+  filtering_time : float;
+  r_count : int;
+  clustering_time : float option;   (* None when the flow stopped (R empty) *)
+  c_count : int option;
+  selection_time : float option;
+  valid_efpgas : int option;
+  s_count : int option;
+  efpga_sizes : string list;
+  redacted_modules : int option;
+}
+
+let row_of_flow ~(design_name : string) (flow : Flow.t) : table2_row =
+  let r = Filtering.candidate_count flow.Flow.filtering in
+  let stopped = r = 0 in
+  let best = flow.Flow.selection.Selection.best in
+  { design_name;
+    instances = V.Design.instance_count flow.Flow.design;
+    filtering_time = flow.Flow.times.Flow.filtering_s;
+    r_count = r;
+    clustering_time = (if stopped then None else Some flow.Flow.times.Flow.clustering_s);
+    c_count = (if stopped then None else Some (List.length flow.Flow.clusters));
+    selection_time = (if stopped then None else Some flow.Flow.times.Flow.selection_s);
+    valid_efpgas = (if stopped then None else Some (Flow.valid_efpga_count flow));
+    s_count =
+      (if stopped then None
+       else Some (Selection.solution_count flow.Flow.selection));
+    efpga_sizes =
+      (match best with
+      | None -> []
+      | Some s ->
+        List.map
+          (fun (e : Selection.efpga_impl) ->
+            F.Fabric.size_label e.impl.F.Size_search.fabric)
+          s.Selection.efpgas);
+    redacted_modules =
+      (match best with
+      | None -> None
+      | Some s -> Some s.Selection.redacted_instances) }
+
+let opt_str f = function None -> "-" | Some v -> f v
+
+let pp_time fmt t =
+  if t < 0.01 then Format.fprintf fmt "<0.01s" else Format.fprintf fmt "%.2fs" t
+
+let pp_table2_header fmt () =
+  Format.fprintf fmt "%-8s %5s | %9s %4s | %9s %5s | %9s %7s %7s %-12s %9s@."
+    "Design" "#Inst" "Filt.time" "|R|" "Clu.time" "|C|" "Sel.time" "#valid"
+    "|S|" "eFPGA size" "#redacted"
+
+let pp_table2_row fmt (r : table2_row) =
+  Format.fprintf fmt "%-8s %5d | %9s %4d | %9s %5s | %9s %7s %7s %-12s %9s@."
+    r.design_name r.instances
+    (Format.asprintf "%a" pp_time r.filtering_time)
+    r.r_count
+    (opt_str (Format.asprintf "%a" pp_time) r.clustering_time)
+    (opt_str string_of_int r.c_count)
+    (opt_str (Format.asprintf "%a" pp_time) r.selection_time)
+    (opt_str string_of_int r.valid_efpgas)
+    (opt_str string_of_int r.s_count)
+    (match r.efpga_sizes with [] -> "-" | ss -> String.concat ", " ss)
+    (opt_str string_of_int r.redacted_modules)
+
+type table1_row = {
+  t1_design : string;
+  t1_modules : int;
+  t1_instances : int;
+  t1_io_min : int;
+  t1_io_max : int;
+}
+
+let table1_row ~(design_name : string) (d : V.Elaborate.design) : table1_row =
+  let s = A.Iocount.summarize d in
+  { t1_design = design_name;
+    t1_modules = s.A.Iocount.module_total;
+    t1_instances = s.A.Iocount.instance_total;
+    t1_io_min = s.A.Iocount.io_min;
+    t1_io_max = s.A.Iocount.io_max }
+
+let pp_table1_header fmt () =
+  Format.fprintf fmt "%-8s %8s %10s %14s@." "Design" "Modules" "Instances"
+    "I/O [min,max]"
+
+let pp_table1_row fmt (r : table1_row) =
+  Format.fprintf fmt "%-8s %8d %10d %14s@." r.t1_design r.t1_modules
+    r.t1_instances
+    (Printf.sprintf "[%d, %d]" r.t1_io_min r.t1_io_max)

@@ -1,0 +1,37 @@
+(** Result-table formatting in the shape of the paper's Tables 1 and 2. *)
+
+module V = Alice_verilog
+
+type table2_row = {
+  design_name : string;
+  instances : int;
+  filtering_time : float;
+  r_count : int;
+  clustering_time : float option;  (** [None] when the flow stopped *)
+  c_count : int option;
+  selection_time : float option;
+  valid_efpgas : int option;
+  s_count : int option;
+  efpga_sizes : string list;
+  redacted_modules : int option;
+}
+
+val row_of_flow : design_name:string -> Flow.t -> table2_row
+
+val pp_table2_header : Format.formatter -> unit -> unit
+
+val pp_table2_row : Format.formatter -> table2_row -> unit
+
+type table1_row = {
+  t1_design : string;
+  t1_modules : int;
+  t1_instances : int;
+  t1_io_min : int;
+  t1_io_max : int;
+}
+
+val table1_row : design_name:string -> V.Elaborate.design -> table1_row
+
+val pp_table1_header : Format.formatter -> unit -> unit
+
+val pp_table1_row : Format.formatter -> table1_row -> unit

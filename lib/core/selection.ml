@@ -1,0 +1,145 @@
+(** eFPGA selection — Algorithm 3 of the paper.
+
+    Valid fabric implementations are scored by Eq. 1:
+
+      T_f = alpha * (MaxIOUtil - IOUtil_f) / MaxIOUtil
+          + beta  * (MaxCLBUtil - CLBUtil_f) / MaxCLBUtil
+
+    and a branch-and-bound enumeration builds every admissible solution:
+    a set of eFPGAs with pairwise-disjoint redacted instances, final when
+    it reaches the eFPGA budget or redacts every admissible instance.
+    |S| counts final solutions plus non-empty working solutions (line 24
+    of the algorithm). The ranking direction follows
+    {!Alice_config.Flow_config.rank_order} (see its doc for the Eq. 1
+    polarity discussion). *)
+
+module C = Alice_config
+module F = Alice_fabric
+module V = Alice_verilog
+
+type efpga_impl = {
+  cluster : Clustering.cluster;
+  impl : F.Size_search.implementation;
+  mapped : Alice_netlist.Circuit.t;
+  score : float;  (* Eq. 1 *)
+}
+
+type solution = {
+  efpgas : efpga_impl list;
+  total_score : float;
+  redacted_instances : int;
+  is_final : bool;
+}
+
+type result = {
+  valid : efpga_impl list;          (* F in Algorithm 3 *)
+  solutions : solution list;        (* S *)
+  best : solution option;           (* s_t *)
+  max_io_util : float;
+  max_clb_util : float;
+}
+
+(** Fabric score. [max_io]/[max_clb] are the maxima over all valid
+    fabrics. [Penalty] is Eq. 1 exactly as printed; [Reward] is the
+    utilization-rewarding form that Table 2's selections require (see
+    {!Alice_config.Flow_config.score_formula}). *)
+let score_eq1 (cfg : C.Flow_config.t) ~(max_io : float) ~(max_clb : float)
+    ~(io_util : float) ~(clb_util : float) : float =
+  let penalty maxv v = if maxv <= 0.0 then 0.0 else (maxv -. v) /. maxv in
+  let reward maxv v = if maxv <= 0.0 then 0.0 else v /. maxv in
+  let term =
+    match cfg.C.Flow_config.score_formula with
+    | C.Flow_config.Penalty -> penalty
+    | C.Flow_config.Reward -> reward
+  in
+  (cfg.C.Flow_config.alpha *. term max_io io_util)
+  +. (cfg.C.Flow_config.beta *. term max_clb clb_util)
+
+let solution_of (efpgas : efpga_impl list) ~(total_instances : int)
+    ~(max_efpgas : int) : solution =
+  let redacted =
+    List.fold_left
+      (fun acc e -> acc + Clustering.member_count e.cluster)
+      0 efpgas
+  in
+  { efpgas;
+    total_score = List.fold_left (fun acc e -> acc +. e.score) 0.0 efpgas;
+    redacted_instances = redacted;
+    is_final = List.length efpgas >= max_efpgas || redacted >= total_instances }
+
+(** Run Algorithm 3 over characterized clusters. [total_instances] is the
+    number of admissible instances (for the IsFinal test). *)
+let run (cfg : C.Flow_config.t)
+    (characterized : Characterize.characterization list)
+    ~(total_instances : int) : result =
+  (* IsValid (line 4): the fabric exists within the permitted range and
+     is not utilized below the designer's floor *)
+  let valid_raw =
+    List.filter_map
+      (fun (c : Characterize.characterization) ->
+        match (c.outcome, c.mapped) with
+        | Ok impl, Some mapped
+          when impl.F.Size_search.clb_util
+               >= cfg.C.Flow_config.min_clb_utilization ->
+          Some (c.Characterize.cluster, impl, mapped)
+        | (Ok _ | Error _), _ -> None)
+      characterized
+  in
+  let max_io_util =
+    List.fold_left
+      (fun acc (_, (i : F.Size_search.implementation), _) -> Float.max acc i.io_util)
+      0.0 valid_raw
+  and max_clb_util =
+    List.fold_left
+      (fun acc (_, (i : F.Size_search.implementation), _) -> Float.max acc i.clb_util)
+      0.0 valid_raw
+  in
+  let valid =
+    List.map
+      (fun (cluster, (impl : F.Size_search.implementation), mapped) ->
+        { cluster; impl; mapped;
+          score =
+            score_eq1 cfg ~max_io:max_io_util ~max_clb:max_clb_util
+              ~io_util:impl.io_util ~clb_util:impl.clb_util })
+      valid_raw
+  in
+  let max_efpgas = cfg.C.Flow_config.max_efpgas in
+  (* branch & bound: canonical (index-increasing) expansion so each set
+     of eFPGAs is generated once *)
+  let valid_arr = Array.of_list valid in
+  let n = Array.length valid_arr in
+  let solutions = ref [] in
+  let rec expand (chosen : efpga_impl list) (start : int) =
+    let s = solution_of (List.rev chosen) ~total_instances ~max_efpgas in
+    if chosen <> [] then solutions := s :: !solutions;
+    if not s.is_final then
+      for i = start to n - 1 do
+        let cand = valid_arr.(i) in
+        let disjoint_all =
+          List.for_all (fun e -> Clustering.disjoint e.cluster cand.cluster) chosen
+        in
+        if disjoint_all then expand (cand :: chosen) (i + 1)
+      done
+  in
+  expand [] 0;
+  let ranked =
+    List.sort
+      (fun a b ->
+        match cfg.C.Flow_config.rank_order with
+        | C.Flow_config.Highest -> compare b.total_score a.total_score
+        | C.Flow_config.Lowest -> compare a.total_score b.total_score)
+      !solutions
+  in
+  let best = match ranked with [] -> None | s :: _ -> Some s in
+  { valid; solutions = ranked; best; max_io_util; max_clb_util }
+
+let solution_count (r : result) = List.length r.solutions
+
+let pp_solution fmt (s : solution) =
+  Format.fprintf fmt "score %.3f, %d eFPGA(s) [%s], %d redacted instances"
+    s.total_score (List.length s.efpgas)
+    (String.concat ", "
+       (List.map
+          (fun e -> F.Fabric.size_label e.impl.F.Size_search.fabric)
+          s.efpgas))
+    s.redacted_instances

@@ -1,0 +1,50 @@
+(** eFPGA selection — Algorithm 3: score valid fabric implementations
+    (Eq. 1 in either polarity, see
+    {!Alice_config.Flow_config.score_formula}), enumerate every
+    admissible solution (non-overlapping eFPGA sets up to the budget)
+    with a branch-and-bound expansion, and rank. *)
+
+module C = Alice_config
+module F = Alice_fabric
+
+type efpga_impl = {
+  cluster : Clustering.cluster;
+  impl : F.Size_search.implementation;
+  mapped : Alice_netlist.Circuit.t;
+  score : float;
+}
+
+type solution = {
+  efpgas : efpga_impl list;
+  total_score : float;
+  redacted_instances : int;
+  is_final : bool;
+}
+
+type result = {
+  valid : efpga_impl list;    (** F in Algorithm 3 *)
+  solutions : solution list;  (** S, ranked best first *)
+  best : solution option;
+  max_io_util : float;
+  max_clb_util : float;
+}
+
+(** The per-fabric score under the configured formula and weights. *)
+val score_eq1 :
+  C.Flow_config.t ->
+  max_io:float ->
+  max_clb:float ->
+  io_util:float ->
+  clb_util:float ->
+  float
+
+(** [total_instances] is the admissible-instance count for IsFinal. *)
+val run :
+  C.Flow_config.t ->
+  Characterize.characterization list ->
+  total_instances:int ->
+  result
+
+val solution_count : result -> int
+
+val pp_solution : Format.formatter -> solution -> unit

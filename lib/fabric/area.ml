@@ -1,0 +1,39 @@
+(** Area model, NanGate 45nm flavored.
+
+    The constants below are calibrated against the GCD physical-design
+    data point of the paper's Figure 4 (two 4x4 fabrics -> 52,629 um^2
+    total). A tile-additive model cannot reproduce the figure's *pair* of
+    numbers exactly: Fig. 4 reports one 5x5 at 54,512 um^2, i.e.
+    area(5x5) > 2 * area(4x4) - asic-delta, and for any additive model
+    with non-negative tile costs 2*F(4) >= F(5) whenever per-fabric
+    overhead is non-negative and tiles grow no faster than the channel
+    scaling below. We therefore match cfg1 exactly and accept that cfg2
+    lands ~20% lower than the paper; the qualitative claim ("the two GCD
+    solutions are comparable in area") survives. See EXPERIMENTS.md. *)
+
+(* calibrated constants, all in square micrometers *)
+let clb_core_area = 302.0          (* LUTs + FFs + local crossbar of one CLB *)
+let track_area_per_clb = 33.3      (* channel area charged per track per CLB *)
+let io_tile_area = 169.0
+let fabric_overhead = 1814.0       (* configuration engine, clock spine *)
+
+(* NanGate 45nm NAND2_X1 footprint; 1.25 accounts for routing overhead
+   of placed standard-cell logic *)
+let gate_area = 0.798 *. 1.25
+
+let fabric_area (f : Fabric.t) : float =
+  let w = float_of_int f.Fabric.width in
+  let tracks = float_of_int (Fabric.channel_tracks f) in
+  let ring_tiles = float_of_int ((4 * f.Fabric.width) + 4) in
+  (w *. w *. (clb_core_area +. (track_area_per_clb *. tracks)))
+  +. (ring_tiles *. io_tile_area)
+  +. fabric_overhead
+
+(** Area of the non-redacted logic, from its gate count. *)
+let asic_area ~(gates : int) : float = float_of_int gates *. gate_area
+
+(** Total area of a redacted chip: remaining ASIC logic plus every
+    selected fabric. *)
+let solution_area ~(asic_gates : int) (fabrics : Fabric.t list) : float =
+  asic_area ~gates:asic_gates
+  +. List.fold_left (fun acc f -> acc +. fabric_area f) 0.0 fabrics

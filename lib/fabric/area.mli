@@ -1,0 +1,12 @@
+(** Area model, NanGate-45nm flavored, calibrated against the GCD data
+    point of the paper's Figure 4 (see EXPERIMENTS.md for the residual
+    discussion). All results in square micrometers. *)
+
+val fabric_area : Fabric.t -> float
+
+(** Area of standard-cell logic from its gate-equivalent count. *)
+val asic_area : gates:int -> float
+
+(** Total area of a redacted chip: remaining ASIC logic plus every
+    selected fabric. *)
+val solution_area : asic_gates:int -> Fabric.t list -> float

@@ -1,0 +1,89 @@
+(** Configuration bitstream model.
+
+    The bitstream is the "key" of eFPGA redaction: its length is the
+    number of bits an attacker must recover. The layout follows the
+    usual island-style organization: per-CLB LUT truth tables and
+    intra-CLB routing bits, per-switchbox track-connection bits, and
+    per-I/O-tile direction/enable bits. Bit counts are deterministic in
+    the fabric geometry, so two equally-sized fabrics always have
+    equally long bitstreams regardless of content. *)
+
+module Circuit = Alice_netlist.Circuit
+type layout = {
+  lut_bits : int;        (* truth-table bits over the whole fabric *)
+  clb_routing_bits : int;
+  switchbox_bits : int;
+  io_bits : int;
+  total_bits : int;
+}
+
+let layout (f : Fabric.t) : layout =
+  let arch = f.Fabric.arch in
+  let clbs = Fabric.clb_count f in
+  let lut_bits = clbs * arch.Arch.luts_per_clb * (1 lsl arch.Arch.lut_inputs) in
+  (* each LUT input selects among the CLB's local lines: model
+     ceil(log2(tracks + luts_per_clb)) bits per input mux *)
+  let tracks = Fabric.channel_tracks f in
+  let local_lines = tracks + arch.Arch.luts_per_clb in
+  let bits_per_mux =
+    let rec bits n acc = if n <= 1 then acc else bits ((n + 1) / 2) (acc + 1) in
+    bits local_lines 0
+  in
+  let clb_routing_bits =
+    clbs * arch.Arch.luts_per_clb * arch.Arch.lut_inputs * bits_per_mux
+  in
+  (* one switchbox per grid corner: (W+1)^2 boxes, 6 programmable points
+     per track (Wilton pattern) *)
+  let sw = (f.Fabric.width + 1) * (f.Fabric.width + 1) in
+  let switchbox_bits = sw * tracks * 6 in
+  let io_bits = Fabric.io_tile_count f * arch.Arch.gpio_per_tile * 2 in
+  { lut_bits; clb_routing_bits; switchbox_bits; io_bits;
+    total_bits = lut_bits + clb_routing_bits + switchbox_bits + io_bits }
+
+let length (f : Fabric.t) : int = (layout f).total_bits
+
+(** Generate a concrete bitstream for a placement: LUT truth tables of
+    packed elements fill the LUT region in placement order; all routing
+    and I/O bits default to 0. The exact routing encoding is not modeled
+    bit-for-bit — the attack surface ALICE reasons about is the LUT
+    content plus bitstream length, which are. *)
+let generate (p : Place.placement) (c : Circuit.t) : bool array =
+  let f = p.Place.fabric in
+  let l = layout f in
+  let bits = Array.make l.total_bits false in
+  let lut_tables = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Circuit.gate) ->
+      match g.kind with
+      | Circuit.Lut table -> Hashtbl.replace lut_tables g.output table
+      | Circuit.Const _ | Circuit.Buf | Circuit.Not | Circuit.And
+      | Circuit.Or | Circuit.Xor | Circuit.Xnor | Circuit.Nand | Circuit.Nor
+      | Circuit.Mux -> ())
+    (Circuit.gates_in_order c);
+  let arch = f.Fabric.arch in
+  let table_size = 1 lsl arch.Arch.lut_inputs in
+  let pos = ref 0 in
+  List.iter
+    (fun (clb, _) ->
+      List.iter
+        (fun (le : Place.logic_element) ->
+          (match le.Place.le_lut with
+          | Some out -> (
+            match Hashtbl.find_opt lut_tables out with
+            | Some table ->
+              Array.iteri
+                (fun i b -> if i < table_size then bits.(!pos + i) <- b)
+                table
+            | None -> ())
+          | None -> ());
+          pos := !pos + table_size)
+        clb.Place.les)
+    p.Place.clbs;
+  bits
+
+(** Hamming distance between two bitstreams of equal length. *)
+let distance (a : bool array) (b : bool array) : int =
+  if Array.length a <> Array.length b then invalid_arg "bitstream length mismatch";
+  let d = ref 0 in
+  Array.iteri (fun i bit -> if bit <> b.(i) then incr d) a;
+  !d

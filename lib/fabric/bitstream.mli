@@ -1,0 +1,24 @@
+(** Configuration bitstream model: the "key" of eFPGA redaction. Bit
+    counts are deterministic in the fabric geometry (LUT truth tables,
+    intra-CLB routing muxes, switchboxes, I/O tiles). *)
+
+module Circuit = Alice_netlist.Circuit
+
+type layout = {
+  lut_bits : int;
+  clb_routing_bits : int;
+  switchbox_bits : int;
+  io_bits : int;
+  total_bits : int;
+}
+
+val layout : Fabric.t -> layout
+
+val length : Fabric.t -> int
+
+(** Concrete bitstream for a placement: packed LUT truth tables fill the
+    LUT region in placement order; routing/I/O regions default to 0. *)
+val generate : Place.placement -> Circuit.t -> bool array
+
+(** Hamming distance; [Invalid_argument] on length mismatch. *)
+val distance : bool array -> bool array -> int

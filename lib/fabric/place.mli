@@ -1,0 +1,42 @@
+(** Packing and placement of a LUT-mapped circuit onto a fabric grid:
+    DFFs pair with the LUT driving their D input, logic elements cluster
+    into CLBs greedily by connectivity, and placement refines a
+    space-filling initial order with pairwise-swap hill climbing on
+    half-perimeter wirelength. *)
+
+module Circuit = Alice_netlist.Circuit
+
+type logic_element = {
+  le_lut : Circuit.net option;   (** output net of the LUT, if any *)
+  le_ff : Circuit.net option;    (** Q net of the paired DFF, if any *)
+  le_inputs : Circuit.net list;
+}
+
+type clb = { les : logic_element list }
+
+type placement = {
+  fabric : Fabric.t;
+  clbs : (clb * (int * int)) list;  (** cluster, grid position *)
+  io_sites : (Circuit.net * (int * int)) list;  (** port bit -> pad *)
+  wirelength : float;  (** total HPWL in tile units *)
+}
+
+exception Does_not_fit of string
+
+(** All nets touching a logic element (outputs then inputs). *)
+val element_nets : logic_element -> Circuit.net list
+
+(** Greedy connectivity-driven packing into CLBs. *)
+val pack : Arch.t -> Circuit.t -> clb list
+
+(** Placement effort: [`Greedy] (default) pairwise-swap hill climbing;
+    [`Anneal] adds a simulated-annealing refinement. *)
+type effort = [ `Anneal | `Greedy ]
+
+(** Place a circuit onto the fabric; raises {!Does_not_fit} when CLBs or
+    I/O bits exceed capacity. *)
+val place : ?effort:effort -> Fabric.t -> Circuit.t -> placement
+
+val clbs_used : placement -> int
+
+val io_bits_used : placement -> int

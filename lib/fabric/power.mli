@@ -1,0 +1,21 @@
+(** Activity-based dynamic power estimate: toggle rates from random
+    simulation, weighted by fanout and (optionally) routed wirelength.
+    Only the fabric-vs-ASIC overhead ratio is meaningful. *)
+
+module Circuit = Alice_netlist.Circuit
+
+type report = {
+  toggles_per_cycle : float;
+  weighted_activity : float;
+  vectors : int;
+}
+
+val estimate :
+  ?vectors:int ->
+  ?seed:int ->
+  ?wirelength_of:(Circuit.net -> float) ->
+  Circuit.t ->
+  report
+
+(** Wirelength accessor derived from a placement. *)
+val placed_wirelength : Place.placement -> Circuit.net -> float

@@ -1,0 +1,13 @@
+(** Global-routing feasibility: the classical probabilistic congestion
+    estimate — each net's half-perimeter wirelength spread uniformly
+    over its bounding box — checked against the fabric's per-channel
+    track budget. *)
+
+type report = {
+  max_demand : int;  (** expected tracks at the hottest cell *)
+  tracks_available : int;
+  total_wirelength : float;
+  routable : bool;
+}
+
+val route : Place.placement -> report

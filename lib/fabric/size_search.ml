@@ -1,0 +1,90 @@
+(** CreateEFPGA: find the minimum fabric that implements a mapped
+    circuit, mirroring the paper's use of OpenFPGA ("each OpenFPGA run
+    aims at identifying the most suitable fabric, i.e. the one with
+    minimum size, to implement the given modules").
+
+    A width is feasible when the packed CLBs fit under the target
+    utilization (the routability slack a real flow needs), the I/O bits
+    fit the pad ring, and the congestion estimate stays within the track
+    budget. *)
+
+module Circuit = Alice_netlist.Circuit
+module Lutmap = Alice_netlist.Lutmap
+type implementation = {
+  fabric : Fabric.t;
+  placement : Place.placement;
+  routing : Route.report;
+  luts_used : int;
+  ffs_used : int;
+  io_used : int;
+  clbs_used : int;
+  io_util : float;
+  clb_util : float;
+  bitstream_bits : int;
+  lut_depth : int;
+}
+
+type failure =
+  | Too_large of int  (* smallest width that would fit, beyond max *)
+  | Unroutable
+  | Empty_circuit
+  | Synthesis_failed of string
+
+let failure_to_string = function
+  | Too_large w -> Printf.sprintf "needs a %dx%d fabric, beyond the permitted range" w w
+  | Unroutable -> "congestion exceeds the track budget at every permitted size"
+  | Empty_circuit -> "cluster synthesizes to an empty circuit"
+  | Synthesis_failed msg -> "synthesis failed: " ^ msg
+
+(** Attempt one width. *)
+let try_width (arch : Arch.t) ~(target_utilization : float) (mapped : Circuit.t)
+    (w : int) : (implementation, [ `No_fit | `No_route ]) result =
+  let fabric = Fabric.make arch w in
+  match Place.place fabric mapped with
+  | exception Place.Does_not_fit _ -> Error `No_fit
+  | placement ->
+    let clbs_used = Place.clbs_used placement in
+    let clb_cap = Fabric.clb_count fabric in
+    if float_of_int clbs_used > target_utilization *. float_of_int clb_cap
+    then Error `No_fit
+    else begin
+      let routing = Route.route placement in
+      if not routing.Route.routable then Error `No_route
+      else begin
+        let luts_used = Circuit.lut_count mapped in
+        let ffs_used = Circuit.dff_count mapped in
+        let io_used = Circuit.io_bit_count mapped in
+        Ok
+          { fabric; placement; routing; luts_used; ffs_used; io_used;
+            clbs_used;
+            io_util = float_of_int io_used /. float_of_int (Fabric.io_capacity fabric);
+            clb_util = float_of_int clbs_used /. float_of_int clb_cap;
+            bitstream_bits = Bitstream.length fabric;
+            lut_depth = Lutmap.depth mapped }
+      end
+    end
+
+(** Minimum-size search over permitted widths. [mapped] must already be
+    LUT-mapped. *)
+let minimum (arch : Arch.t) ~(min_size : int) ~(max_size : int)
+    ~(target_utilization : float) (mapped : Circuit.t) :
+    (implementation, failure) result =
+  if Circuit.io_bit_count mapped = 0 then Error Empty_circuit
+  else begin
+    let rec search w saw_route_failure =
+      if w > max_size then
+        if saw_route_failure then Error Unroutable else Error (Too_large w)
+      else
+        match try_width arch ~target_utilization mapped w with
+        | Ok impl -> Ok impl
+        | Error `No_fit -> search (w + 1) saw_route_failure
+        | Error `No_route -> search (w + 1) true
+    in
+    search (max 1 min_size) false
+  end
+
+let pp_implementation fmt (impl : implementation) =
+  Format.fprintf fmt
+    "%s: %d LUTs, %d FFs, %d I/O; CLB util %.0f%%, I/O util %.0f%%, %d cfg bits"
+    (Fabric.size_label impl.fabric) impl.luts_used impl.ffs_used impl.io_used
+    (100. *. impl.clb_util) (100. *. impl.io_util) impl.bitstream_bits

@@ -1,0 +1,41 @@
+(** CreateEFPGA: find the minimum fabric implementing a mapped circuit,
+    mirroring the paper's use of OpenFPGA. A width is feasible when the
+    packed CLBs fit under the target utilization, the I/O bits fit the
+    pad ring, and the congestion estimate stays within the track
+    budget. *)
+
+module Circuit = Alice_netlist.Circuit
+
+type implementation = {
+  fabric : Fabric.t;
+  placement : Place.placement;
+  routing : Route.report;
+  luts_used : int;
+  ffs_used : int;
+  io_used : int;
+  clbs_used : int;
+  io_util : float;
+  clb_util : float;
+  bitstream_bits : int;
+  lut_depth : int;
+}
+
+type failure =
+  | Too_large of int  (** smallest width that would fit, beyond max *)
+  | Unroutable
+  | Empty_circuit
+  | Synthesis_failed of string
+
+val failure_to_string : failure -> string
+
+(** Minimum-size search over permitted widths; the input must already be
+    LUT-mapped. *)
+val minimum :
+  Arch.t ->
+  min_size:int ->
+  max_size:int ->
+  target_utilization:float ->
+  Circuit.t ->
+  (implementation, failure) result
+
+val pp_implementation : Format.formatter -> implementation -> unit

@@ -1,0 +1,87 @@
+(** BLIF (Berkeley Logic Interchange Format) export of mapped circuits.
+
+    The standard interchange format of LUT-level netlists: each LUT
+    becomes a [.names] block with its on-set cubes, each DFF a [.latch]
+    with reset value 0. Unmapped gate kinds are exported through their
+    truth tables as well, so any {!Circuit.t} serializes. *)
+
+let net_name n = Printf.sprintf "n%d" n
+
+let gate_table (kind : Circuit.gate_kind) (arity : int) : bool array =
+  match kind with
+  | Circuit.Lut table -> table
+  | _ ->
+    Array.init (1 lsl arity) (fun idx ->
+        Circuit.eval_gate kind
+          (Array.init arity (fun i -> (idx lsr i) land 1 = 1)))
+
+let emit_names buf (inputs : string list) (output : string) (table : bool array) =
+  Buffer.add_string buf
+    (Printf.sprintf ".names %s%s\n"
+       (match inputs with [] -> "" | _ -> String.concat " " inputs ^ " ")
+       output);
+  let arity = List.length inputs in
+  if arity = 0 then begin
+    if table.(0) then Buffer.add_string buf "1\n"
+    (* an always-false .names block has no cubes *)
+  end
+  else
+    Array.iteri
+      (fun idx on ->
+        if on then begin
+          let cube =
+            String.init arity (fun i -> if (idx lsr i) land 1 = 1 then '1' else '0')
+          in
+          Buffer.add_string buf (cube ^ " 1\n")
+        end)
+      table
+
+(** Serialize a circuit to BLIF text. *)
+let of_circuit (c : Circuit.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" c.Circuit.name);
+  let io names =
+    List.concat_map
+      (fun (_, nets) -> Array.to_list (Array.map net_name nets))
+      names
+  in
+  Buffer.add_string buf
+    (Printf.sprintf ".inputs %s\n" (String.concat " " (io c.Circuit.inputs)));
+  Buffer.add_string buf
+    (Printf.sprintf ".outputs %s\n" (String.concat " " (io c.Circuit.outputs)));
+  List.iter
+    (fun (d : Circuit.dff) ->
+      Buffer.add_string buf
+        (Printf.sprintf ".latch %s %s re clk 0\n" (net_name d.d) (net_name d.q)))
+    (Circuit.dff_list c);
+  List.iter
+    (fun (g : Circuit.gate) ->
+      let inputs = Array.to_list (Array.map net_name g.Circuit.inputs) in
+      emit_names buf inputs (net_name g.Circuit.output)
+        (gate_table g.Circuit.kind (Array.length g.Circuit.inputs)))
+    (Circuit.gates_in_order c);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+(** Named port comments make hand inspection easier: a symbol table
+    appended as BLIF comments. *)
+let of_circuit_with_symbols (c : Circuit.t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (of_circuit c);
+  List.iter
+    (fun (name, nets) ->
+      Array.iteri
+        (fun i n ->
+          Buffer.add_string buf
+            (Printf.sprintf "# input %s[%d] = %s\n" name i (net_name n)))
+        nets)
+    c.Circuit.inputs;
+  List.iter
+    (fun (name, nets) ->
+      Array.iteri
+        (fun i n ->
+          Buffer.add_string buf
+            (Printf.sprintf "# output %s[%d] = %s\n" name i (net_name n)))
+        nets)
+    c.Circuit.outputs;
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** BLIF export of circuits: LUTs (and other gates, via their truth
+    tables) as [.names] blocks, DFFs as [.latch] lines with reset 0. *)
+
+val of_circuit : Circuit.t -> string
+
+(** Same, with a port-to-net symbol table appended as comments. *)
+val of_circuit_with_symbols : Circuit.t -> string

@@ -1,0 +1,41 @@
+(** Levelized two-valued simulation of a {!Circuit.t}: the circuit is
+    topologically sorted once, evaluation is one linear pass, and
+    {!step} clocks every DFF simultaneously. *)
+
+exception Combinational_cycle of string
+
+type t = {
+  circuit : Circuit.t;
+  order : Circuit.gate array;
+  values : bool array;  (** indexed by net; mutable state *)
+  dffs : Circuit.dff array;
+}
+
+(** Build a simulator; raises {!Combinational_cycle}. *)
+val create : Circuit.t -> t
+
+(** Topological gate order of a circuit (shared with {!Lutmap}). *)
+val levelize : Circuit.t -> Circuit.gate array
+
+val bools_of_int : int -> int -> bool array
+
+val int_of_bools : bool array -> int
+
+val set_input_bits : t -> string -> bool array -> unit
+
+val set_input : t -> string -> int -> unit
+
+(** Propagate values through the combinational logic. *)
+val eval : t -> unit
+
+(** One clock cycle: evaluate, then update every DFF from its D input. *)
+val step : t -> unit
+
+(** Clear all state (registers and nets) to 0. *)
+val reset : t -> unit
+
+val read_output_bits : t -> string -> bool array
+
+val read_output : t -> string -> int
+
+val read_net : t -> Circuit.net -> bool

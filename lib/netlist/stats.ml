@@ -1,0 +1,52 @@
+(** Summary statistics of a circuit, before or after LUT mapping. *)
+
+type t = {
+  gates : int;
+  luts : int;
+  dffs : int;
+  inputs : int;
+  outputs : int;
+  depth : int;  (* combinational levels *)
+}
+
+let logic_depth (c : Circuit.t) : int =
+  let order = Simulate.levelize c in
+  let level = Hashtbl.create 256 in
+  let net_level n = Option.value (Hashtbl.find_opt level n) ~default:0 in
+  Array.fold_left
+    (fun acc (g : Circuit.gate) ->
+      let cost =
+        match g.Circuit.kind with
+        | Circuit.Buf | Circuit.Const _ -> 0
+        | Circuit.Not | Circuit.And | Circuit.Or | Circuit.Xor | Circuit.Xnor
+        | Circuit.Nand | Circuit.Nor | Circuit.Mux | Circuit.Lut _ -> 1
+      in
+      let l =
+        cost + Array.fold_left (fun m input -> max m (net_level input)) 0 g.inputs
+      in
+      Hashtbl.replace level g.Circuit.output l;
+      max acc l)
+    0 order
+
+let of_circuit (c : Circuit.t) : t =
+  { gates = Circuit.gate_count c;
+    luts = Circuit.lut_count c;
+    dffs = Circuit.dff_count c;
+    inputs = Circuit.input_bit_count c;
+    outputs = Circuit.output_bit_count c;
+    depth = logic_depth c }
+
+let pp fmt (s : t) =
+  Format.fprintf fmt "gates=%d luts=%d dffs=%d in=%d out=%d depth=%d" s.gates
+    s.luts s.dffs s.inputs s.outputs s.depth
+
+(** Logic gates excluding buffers and constants: the gate-equivalent
+    count used by the area model for the non-redacted ASIC portion. *)
+let logic_gate_count (c : Circuit.t) : int =
+  List.fold_left
+    (fun acc (g : Circuit.gate) ->
+      match g.Circuit.kind with
+      | Circuit.Buf | Circuit.Const _ -> acc
+      | Circuit.Not | Circuit.And | Circuit.Or | Circuit.Xor | Circuit.Xnor
+      | Circuit.Nand | Circuit.Nor | Circuit.Mux | Circuit.Lut _ -> acc + 1)
+    0 (Circuit.gates_in_order c)

@@ -1,0 +1,21 @@
+(** Summary statistics of a circuit, before or after LUT mapping. *)
+
+type t = {
+  gates : int;
+  luts : int;
+  dffs : int;
+  inputs : int;
+  outputs : int;
+  depth : int;  (** combinational levels *)
+}
+
+(** Combinational depth (buffers and constants are free). *)
+val logic_depth : Circuit.t -> int
+
+val of_circuit : Circuit.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Logic gates excluding buffers and constants: the gate-equivalent
+    count the area model charges for the non-redacted ASIC portion. *)
+val logic_gate_count : Circuit.t -> int

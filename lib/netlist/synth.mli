@@ -1,0 +1,18 @@
+(** RTL-to-gate synthesis: flattens an elaborated design into a
+    {!Circuit.t} by bit-blasting expressions and symbolically executing
+    always blocks, with constant folding, structural hashing, and
+    balanced decision trees for constant-labelled case statements.
+
+    Restrictions: one implicit clock domain (asynchronous resets fold
+    into the D logic); unsigned arithmetic; combinational always blocks
+    must assign every written variable on all paths; no x/z. *)
+
+exception Synthesis_error of string
+
+(** Flatten an elaborated design; the circuit's primary I/O are the top
+    module's ports. Undriven nets are tied to constant 0. *)
+val synthesize : ?name:string -> Alice_verilog.Elaborate.design -> Circuit.t
+
+(** Synthesize one module of the design as if it were the top (used to
+    characterize a redaction cluster member). *)
+val synthesize_module : Alice_verilog.Elaborate.design -> string -> Circuit.t

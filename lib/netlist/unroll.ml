@@ -1,0 +1,81 @@
+(** Time-frame expansion: unroll a sequential circuit over a bounded
+    number of cycles into a purely combinational circuit.
+
+    Cycle [t]'s copy reads register values from cycle [t-1]'s D
+    functions (cycle 0 reads the all-zero reset state). Primary inputs
+    and outputs are replicated per cycle as [name@t]. The result is the
+    standard substrate for bounded equivalence checking and for SAT
+    attacks on sequential circuits without scan access. *)
+
+let frame_name name t = Printf.sprintf "%s@%d" name t
+
+(** [unroll_with_map ~cycles c] expands [c] over [cycles >= 1] time
+    frames and also returns the net correspondence: [map.(t)] takes an
+    original net to its copy in frame [t] (e.g. to share lock-key
+    variables across the copies of a LUT). *)
+let unroll_with_map ~(cycles : int) (c : Circuit.t) :
+    Circuit.t * (Circuit.net -> Circuit.net option) array =
+  if cycles < 1 then invalid_arg "unroll: cycles must be >= 1";
+  let u = Circuit.create (Printf.sprintf "%s_x%d" c.Circuit.name cycles) in
+  let gates = Circuit.gates_in_order c in
+  let dffs = Circuit.dff_list c in
+  (* state feeding frame t: net -> unrolled net for each original DFF Q *)
+  let zero = lazy (Circuit.const u false) in
+  let state : (Circuit.net, Circuit.net) Hashtbl.t = Hashtbl.create 16 in
+  let frame_maps =
+    Array.init cycles (fun _ -> (Hashtbl.create 256 : (Circuit.net, Circuit.net) Hashtbl.t))
+  in
+  for t = 0 to cycles - 1 do
+    (* fresh nets for this frame *)
+    let frame_net = frame_maps.(t) in
+    let map_net n =
+      match Hashtbl.find_opt frame_net n with
+      | Some m -> m
+      | None ->
+        let m = Circuit.fresh_net u in
+        Hashtbl.replace frame_net n m;
+        m
+    in
+    (* register outputs read the previous frame's D (or reset zeros) *)
+    List.iter
+      (fun (d : Circuit.dff) ->
+        let source =
+          match Hashtbl.find_opt state d.q with
+          | Some prev -> prev
+          | None -> Lazy.force zero
+        in
+        Circuit.add_gate_with_output u ~path:d.ff_path Circuit.Buf [| source |]
+          ~output:(map_net d.q))
+      dffs;
+    (* primary inputs of this frame *)
+    List.iter
+      (fun (name, nets) ->
+        let unrolled = Circuit.add_input u (frame_name name t) (Array.length nets) in
+        Array.iteri
+          (fun i n ->
+            Circuit.add_gate_with_output u Circuit.Buf [| unrolled.(i) |]
+              ~output:(map_net n))
+          nets)
+      c.Circuit.inputs;
+    (* combinational gates *)
+    List.iter
+      (fun (g : Circuit.gate) ->
+        Circuit.add_gate_with_output u ~path:g.Circuit.path g.Circuit.kind
+          (Array.map map_net g.Circuit.inputs)
+          ~output:(map_net g.Circuit.output))
+      gates;
+    (* primary outputs of this frame *)
+    List.iter
+      (fun (name, nets) ->
+        Circuit.set_output u (frame_name name t) (Array.map map_net nets))
+      c.Circuit.outputs;
+    (* remember D values for the next frame *)
+    List.iter
+      (fun (d : Circuit.dff) -> Hashtbl.replace state d.q (map_net d.d))
+      dffs
+  done;
+  (u, Array.map (fun tbl n -> Hashtbl.find_opt tbl n) frame_maps)
+
+(** [unroll ~cycles c] expands [c] over [cycles >= 1] time frames. *)
+let unroll ~(cycles : int) (c : Circuit.t) : Circuit.t =
+  fst (unroll_with_map ~cycles c)

@@ -1,0 +1,16 @@
+(** Time-frame expansion: unroll a sequential circuit over a bounded
+    number of cycles into a combinational one, with per-cycle inputs and
+    outputs named [name@t] and registers starting from the all-zero
+    state. The substrate for bounded equivalence checking and scan-free
+    sequential SAT attacks. *)
+
+val frame_name : string -> int -> string
+
+(** Raises [Invalid_argument] when [cycles < 1]. *)
+val unroll : cycles:int -> Circuit.t -> Circuit.t
+
+(** Same, also returning per-frame net correspondences: entry [t] maps an
+    original net to its copy in frame [t] (used to share lock-key
+    variables across the frames' copies of a LUT). *)
+val unroll_with_map :
+  cycles:int -> Circuit.t -> Circuit.t * (Circuit.net -> Circuit.net option) array

@@ -1,0 +1,19 @@
+(** Value-change-dump (VCD) recording for {!Simulate}: tracks the
+    circuit's ports (plus any extra named nets) and writes a standard
+    VCD stream. Call {!sample} once per step after driving inputs and
+    evaluating. *)
+
+type t
+
+val create :
+  ?extra:(string * Circuit.net array) list ->
+  ?module_name:string ->
+  Simulate.t ->
+  t
+
+(** Record the current state at the next timestamp. *)
+val sample : t -> unit
+
+val contents : t -> string
+
+val write_file : t -> string -> unit

@@ -1,0 +1,80 @@
+(** CNF formula representation.
+
+    Variables are positive integers; a literal is [+v] (variable true) or
+    [-v] (variable false), DIMACS style. *)
+
+type lit = int
+
+type clause = lit array
+
+type t = {
+  mutable var_count : int;
+  mutable clauses : clause list;  (* reverse order of addition *)
+  mutable clause_count : int;
+}
+
+let create () = { var_count = 0; clauses = []; clause_count = 0 }
+
+let fresh_var (f : t) : int =
+  f.var_count <- f.var_count + 1;
+  f.var_count
+
+let fresh_vars (f : t) n : int array = Array.init n (fun _ -> fresh_var f)
+
+let add_clause (f : t) (c : lit list) : unit =
+  assert (List.for_all (fun l -> l <> 0 && abs l <= f.var_count) c);
+  f.clauses <- Array.of_list c :: f.clauses;
+  f.clause_count <- f.clause_count + 1
+
+let clause_list (f : t) : clause list = List.rev f.clauses
+
+let var_count f = f.var_count
+
+let clause_count f = f.clause_count
+
+(* convenience encodings *)
+
+let add_unit f l = add_clause f [ l ]
+
+(** [out <-> a AND b] *)
+let encode_and f ~out ~a ~b =
+  add_clause f [ -out; a ];
+  add_clause f [ -out; b ];
+  add_clause f [ out; -a; -b ]
+
+let encode_or f ~out ~a ~b =
+  add_clause f [ out; -a ];
+  add_clause f [ out; -b ];
+  add_clause f [ -out; a; b ]
+
+let encode_xor f ~out ~a ~b =
+  add_clause f [ -out; a; b ];
+  add_clause f [ -out; -a; -b ];
+  add_clause f [ out; -a; b ];
+  add_clause f [ out; a; -b ]
+
+let encode_not f ~out ~a =
+  add_clause f [ -out; -a ];
+  add_clause f [ out; a ]
+
+let encode_eq f ~a ~b =
+  add_clause f [ -a; b ];
+  add_clause f [ a; -b ]
+
+(** [out <-> (sel ? b : a)] *)
+let encode_mux f ~out ~sel ~a ~b =
+  add_clause f [ -out; sel; a ];
+  add_clause f [ out; sel; -a ];
+  add_clause f [ -out; -sel; b ];
+  add_clause f [ out; -sel; -b ]
+
+let to_dimacs (f : t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" f.var_count f.clause_count);
+  List.iter
+    (fun c ->
+      Array.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) c;
+      Buffer.add_string buf "0\n")
+    (clause_list f);
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** SAT-based combinational equivalence over the scan-exposed cores:
+    exact for sequential circuits whose registers correspond one to one
+    (the case for LUT mapping and redaction rewrites in this repo). *)
+
+module Circuit = Alice_netlist.Circuit
+
+type counterexample = {
+  inputs : (string * int) list;  (** per port, little-endian packed *)
+  outputs_a : (string * int) list;
+  outputs_b : (string * int) list;
+}
+
+type result = Equivalent | Different of counterexample
+
+exception Interface_mismatch of string
+
+(** Raises {!Interface_mismatch} when port names/widths or register
+    counts differ. *)
+val check : Circuit.t -> Circuit.t -> result
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -1,0 +1,332 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
+    analysis with clause learning, VSIDS-style branching activity with
+    phase saving, and geometric restarts. Sized for the circuit problems
+    the SAT attack generates (thousands of variables). *)
+
+type result = Sat of bool array (* indexed by variable, entry 0 unused *) | Unsat
+
+(* literal encoding internal to the solver: lit = 2*var for positive,
+   2*var+1 for negative; var in 1..n *)
+let lit_of_dimacs l = if l > 0 then 2 * l else (2 * -l) + 1
+let neg l = l lxor 1
+let var_of_lit l = l lsr 1
+
+type clause_rec = {
+  lits : int array;      (* internal encoding *)
+  mutable w1 : int;      (* indices into lits of the two watches *)
+  mutable w2 : int;
+  learnt : bool;
+}
+
+type t = {
+  nvars : int;
+  mutable clauses : clause_rec list;
+  watches : clause_rec list array;     (* indexed by literal *)
+  assign : int array;                  (* per var: 0 unknown, 1 true, -1 false *)
+  level : int array;                   (* per var *)
+  reason : clause_rec option array;    (* per var *)
+  trail : int array;                   (* literals in assignment order *)
+  mutable trail_size : int;
+  trail_lim : int array;               (* decision level boundaries *)
+  mutable decision_level : int;
+  mutable qhead : int;
+  activity : float array;
+  mutable var_inc : float;
+  phase : bool array;                  (* saved phases *)
+  seen : bool array;                   (* scratch for analyze *)
+  mutable conflicts : int;
+  mutable propagations : int;
+  mutable decisions : int;
+}
+
+exception Unsat_exception
+
+let create nvars =
+  { nvars; clauses = [];
+    watches = Array.make (2 * (nvars + 1) + 2) [];
+    assign = Array.make (nvars + 1) 0;
+    level = Array.make (nvars + 1) 0;
+    reason = Array.make (nvars + 1) None;
+    trail = Array.make (nvars + 1) 0;
+    trail_size = 0;
+    trail_lim = Array.make (nvars + 2) 0;
+    decision_level = 0;
+    qhead = 0;
+    activity = Array.make (nvars + 1) 0.0;
+    var_inc = 1.0;
+    phase = Array.make (nvars + 1) false;
+    seen = Array.make (nvars + 1) false;
+    conflicts = 0; propagations = 0; decisions = 0 }
+
+let lit_value (s : t) (l : int) : int =
+  (* 1 true, -1 false, 0 unassigned *)
+  let v = s.assign.(var_of_lit l) in
+  if v = 0 then 0 else if l land 1 = 0 then v else -v
+
+let enqueue (s : t) (l : int) (why : clause_rec option) : unit =
+  let v = var_of_lit l in
+  s.assign.(v) <- (if l land 1 = 0 then 1 else -1);
+  s.level.(v) <- s.decision_level;
+  s.reason.(v) <- why;
+  s.phase.(v) <- l land 1 = 0;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let watch (s : t) (l : int) (c : clause_rec) : unit =
+  s.watches.(l) <- c :: s.watches.(l)
+
+(** Add a clause (internal lits). Returns false if the database became
+    trivially unsat. Handles unit and empty clauses. *)
+let add_clause_internal (s : t) (lits : int array) ~learnt : bool =
+  match Array.length lits with
+  | 0 -> false
+  | 1 ->
+    (match lit_value s lits.(0) with
+    | -1 -> false
+    | 1 -> true
+    | _ ->
+      enqueue s lits.(0) None;
+      true)
+  | _ ->
+    let c = { lits; w1 = 0; w2 = 1; learnt } in
+    s.clauses <- c :: s.clauses;
+    watch s (neg lits.(0)) c;
+    watch s (neg lits.(1)) c;
+    true
+
+(* propagate; returns the conflicting clause, if any *)
+let propagate (s : t) : clause_rec option =
+  let conflict = ref None in
+  while !conflict = None && s.qhead < s.trail_size do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    (* literals watching [l] may become falsified: clauses watch the
+       negation of their watched literal, so visiting watches.(l) visits
+       clauses where watched literal = neg l just became false *)
+    let watching = s.watches.(l) in
+    s.watches.(l) <- [];
+    let rec process = function
+      | [] -> ()
+      | c :: rest -> (
+        if !conflict <> None then begin
+          (* put back untouched *)
+          s.watches.(l) <- c :: s.watches.(l);
+          process rest
+        end
+        else begin
+          (* identify which watch is falsified *)
+          let falsified_idx =
+            if neg c.lits.(c.w1) = l then c.w1
+            else c.w2
+          in
+          let other_idx = if falsified_idx = c.w1 then c.w2 else c.w1 in
+          let other = c.lits.(other_idx) in
+          if lit_value s other = 1 then begin
+            (* clause satisfied; keep watching *)
+            s.watches.(l) <- c :: s.watches.(l);
+            process rest
+          end
+          else begin
+            (* search a replacement watch *)
+            let n = Array.length c.lits in
+            let found = ref (-1) in
+            let i = ref 0 in
+            while !found < 0 && !i < n do
+              let cand = c.lits.(!i) in
+              if !i <> falsified_idx && !i <> other_idx && lit_value s cand >= 0
+              then found := !i;
+              incr i
+            done;
+            if !found >= 0 then begin
+              (* move the watch *)
+              if falsified_idx = c.w1 then c.w1 <- !found else c.w2 <- !found;
+              watch s (neg c.lits.(!found)) c;
+              process rest
+            end
+            else begin
+              (* unit or conflict *)
+              s.watches.(l) <- c :: s.watches.(l);
+              (match lit_value s other with
+              | -1 -> conflict := Some c
+              | _ -> enqueue s other (Some c));
+              process rest
+            end
+          end
+        end)
+    in
+    process watching
+  done;
+  !conflict
+
+let bump (s : t) v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.nvars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+let decay (s : t) = s.var_inc <- s.var_inc /. 0.95
+
+(* first-UIP conflict analysis; returns (learnt clause lits, backjump level) *)
+let analyze (s : t) (confl : clause_rec) : int array * int =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let index = ref (s.trail_size - 1) in
+  let reason_lits (c : clause_rec) skip_p =
+    Array.to_list c.lits
+    |> List.filter (fun l -> (not skip_p) || l <> !p)
+  in
+  let current = ref (reason_lits confl false) in
+  let btlevel = ref 0 in
+  let continue = ref true in
+  while !continue do
+    List.iter
+      (fun q ->
+        let v = var_of_lit q in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump s v;
+          if s.level.(v) = s.decision_level then incr counter
+          else begin
+            learnt := q :: !learnt;
+            if s.level.(v) > !btlevel then btlevel := s.level.(v)
+          end
+        end)
+      !current;
+    (* pick next literal from trail *)
+    let rec next_seen i =
+      let v = var_of_lit s.trail.(i) in
+      if s.seen.(v) then i else next_seen (i - 1)
+    in
+    index := next_seen !index;
+    p := s.trail.(!index);
+    let v = var_of_lit !p in
+    s.seen.(v) <- false;
+    decr counter;
+    decr index;
+    if !counter = 0 then continue := false
+    else
+      current :=
+        (match s.reason.(v) with
+        | Some c -> reason_lits c true
+        | None -> []) ;
+  done;
+  let lits = Array.of_list (neg !p :: !learnt) in
+  (* clear seen *)
+  Array.iter (fun l -> s.seen.(var_of_lit l) <- false) lits;
+  (lits, !btlevel)
+
+let backjump (s : t) (target_level : int) : unit =
+  if s.decision_level > target_level then begin
+    let boundary = s.trail_lim.(target_level) in
+    for i = s.trail_size - 1 downto boundary do
+      let v = var_of_lit s.trail.(i) in
+      s.assign.(v) <- 0;
+      s.reason.(v) <- None
+    done;
+    s.trail_size <- boundary;
+    s.qhead <- boundary;
+    s.decision_level <- target_level
+  end
+
+let pick_branch (s : t) : int option =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to s.nvars do
+    if s.assign.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  if !best = 0 then None
+  else Some (if s.phase.(!best) then 2 * !best else (2 * !best) + 1)
+
+(** Solve the formula. [assumptions] are literals (DIMACS convention)
+    fixed before search; the solver is single-shot. *)
+let solve ?(assumptions : int list = []) (f : Cnf.t) : result =
+  let s = create (Cnf.var_count f) in
+  (* load clauses; inline simplification of satisfied/false literals is
+     skipped — clauses come straight from Tseitin encodings *)
+  let ok = ref true in
+  List.iter
+    (fun clause ->
+      if !ok then begin
+        let lits = Array.map lit_of_dimacs clause in
+        if not (add_clause_internal s lits ~learnt:false) then ok := false
+      end)
+    (Cnf.clause_list f);
+  List.iter
+    (fun l ->
+      if !ok then
+        match lit_value s (lit_of_dimacs l) with
+        | 1 -> ()
+        | -1 -> ok := false
+        | _ -> enqueue s (lit_of_dimacs l) None)
+    assumptions;
+  if not !ok then Unsat
+  else begin
+    try
+      (match propagate s with Some _ -> raise Unsat_exception | None -> ());
+      let max_conflicts = ref 256 in
+      let result = ref None in
+      while !result = None do
+        let budget = ref !max_conflicts in
+        (try
+           while !result = None do
+             match propagate s with
+             | Some confl ->
+               s.conflicts <- s.conflicts + 1;
+               decr budget;
+               if s.decision_level = 0 then raise Unsat_exception;
+               let lits, btlevel = analyze s confl in
+               backjump s btlevel;
+               (match Array.length lits with
+               | 1 -> enqueue s lits.(0) None
+               | _ ->
+                 (* ensure the asserting literal is watched: it is lits.(0) *)
+                 let c = { lits; w1 = 0; w2 = 1; learnt = true } in
+                 (* the second watch should be a literal from btlevel *)
+                 let si = ref 1 in
+                 Array.iteri
+                   (fun i l ->
+                     if i > 0 && s.level.(var_of_lit l) = btlevel then si := i)
+                   lits;
+                 let tmp = lits.(1) in
+                 lits.(1) <- lits.(!si);
+                 lits.(!si) <- tmp;
+                 s.clauses <- c :: s.clauses;
+                 watch s (neg lits.(0)) c;
+                 watch s (neg lits.(1)) c;
+                 enqueue s lits.(0) (Some c));
+               decay s;
+               if !budget <= 0 then begin
+                 (* restart *)
+                 backjump s 0;
+                 raise Exit
+               end
+             | None -> (
+               match pick_branch s with
+               | None ->
+                 (* full assignment found *)
+                 let model = Array.make (s.nvars + 1) false in
+                 for v = 1 to s.nvars do
+                   model.(v) <- s.assign.(v) = 1
+                 done;
+                 result := Some (Sat model)
+               | Some l ->
+                 s.decisions <- s.decisions + 1;
+                 s.trail_lim.(s.decision_level) <- s.trail_size;
+                 s.decision_level <- s.decision_level + 1;
+                 enqueue s l None)
+           done
+         with Exit -> max_conflicts := !max_conflicts * 2)
+      done;
+      (match !result with Some r -> r | None -> assert false)
+    with Unsat_exception -> Unsat
+  end
+
+(** Value of a DIMACS variable in a model. *)
+let model_value (model : bool array) (v : int) : bool = model.(v)

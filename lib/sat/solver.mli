@@ -1,0 +1,15 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP
+    conflict analysis with clause learning, VSIDS-style branching
+    activity with phase saving, and geometric restarts. Sized for the
+    circuit problems the SAT attack generates. *)
+
+type result =
+  | Sat of bool array  (** indexed by variable; entry 0 unused *)
+  | Unsat
+
+(** Single-shot solve. [assumptions] are DIMACS literals fixed before
+    search. *)
+val solve : ?assumptions:int list -> Cnf.t -> result
+
+(** Value of a variable in a model. *)
+val model_value : bool array -> int -> bool

@@ -1,0 +1,64 @@
+(** Tseitin encoding of a {!Circuit.t} into CNF.
+
+    Every net gets one CNF variable. DFFs are cut: the Q net becomes a
+    free variable (an input of the combinational core) and the D net an
+    output — the scan-chain view of the paper's threat model, where the
+    attacker can load and observe every register. *)
+
+module Circuit = Alice_netlist.Circuit
+
+type encoding = {
+  cnf : Cnf.t;
+  net_var : int array;  (* net id -> CNF variable *)
+}
+
+let encode_gate (f : Cnf.t) (v : int array) (g : Circuit.gate) : unit =
+  let out = v.(g.Circuit.output) in
+  let input i = v.(g.Circuit.inputs.(i)) in
+  match g.Circuit.kind with
+  | Circuit.Const b -> Cnf.add_unit f (if b then out else -out)
+  | Circuit.Buf -> Cnf.encode_eq f ~a:out ~b:(input 0)
+  | Circuit.Not -> Cnf.encode_not f ~out ~a:(input 0)
+  | Circuit.And -> Cnf.encode_and f ~out ~a:(input 0) ~b:(input 1)
+  | Circuit.Or -> Cnf.encode_or f ~out ~a:(input 0) ~b:(input 1)
+  | Circuit.Xor -> Cnf.encode_xor f ~out ~a:(input 0) ~b:(input 1)
+  | Circuit.Xnor ->
+    Cnf.encode_xor f ~out:(-out) ~a:(input 0) ~b:(input 1)
+  | Circuit.Nand ->
+    Cnf.encode_and f ~out:(-out) ~a:(input 0) ~b:(input 1)
+  | Circuit.Nor ->
+    Cnf.encode_or f ~out:(-out) ~a:(input 0) ~b:(input 1)
+  | Circuit.Mux -> Cnf.encode_mux f ~out ~sel:(input 0) ~a:(input 1) ~b:(input 2)
+  | Circuit.Lut table ->
+    (* one clause per truth-table row: inputs = row -> out = table.(row) *)
+    let k = Array.length g.Circuit.inputs in
+    for row = 0 to (1 lsl k) - 1 do
+      let guard =
+        List.init k (fun i ->
+            (* literal that is false exactly when input i matches the row *)
+            if (row lsr i) land 1 = 1 then -input i else input i)
+      in
+      Cnf.add_clause f ((if table.(row) then out else -out) :: guard)
+    done
+
+(** Encode the combinational core of a circuit into a fresh CNF. *)
+let encode (c : Circuit.t) : encoding =
+  let cnf = Cnf.create () in
+  let net_var = Array.init c.Circuit.next_net (fun _ -> Cnf.fresh_var cnf) in
+  List.iter (fun g -> encode_gate cnf net_var g) (Circuit.gates_in_order c);
+  { cnf; net_var }
+
+(** Encode a second (or nth) copy of the circuit into an existing CNF,
+    sharing the variables returned by [share] (e.g. primary inputs) and
+    creating fresh variables for every other net. [share net] returns
+    [Some var] to reuse an existing variable. *)
+let encode_copy (f : Cnf.t) (c : Circuit.t) ~(share : Circuit.net -> int option) :
+    int array =
+  let net_var =
+    Array.init c.Circuit.next_net (fun n ->
+        match share n with
+        | Some v -> v
+        | None -> Cnf.fresh_var f)
+  in
+  List.iter (fun g -> encode_gate f net_var g) (Circuit.gates_in_order c);
+  net_var

@@ -1,0 +1,21 @@
+(** Tseitin encoding of a {!Circuit.t} into CNF. Every net gets one
+    variable; DFFs are cut scan-style (Q free, D an output). *)
+
+module Circuit = Alice_netlist.Circuit
+
+type encoding = {
+  cnf : Cnf.t;
+  net_var : int array;  (** net id -> CNF variable *)
+}
+
+(** Encode one gate given a net-to-variable map. *)
+val encode_gate : Cnf.t -> int array -> Circuit.gate -> unit
+
+(** Encode the combinational core of a circuit into a fresh CNF. *)
+val encode : Circuit.t -> encoding
+
+(** Encode another copy into an existing CNF, sharing the variables
+    [share] returns (e.g. primary inputs) and creating fresh variables
+    for every other net. Returns this copy's net-to-variable map. *)
+val encode_copy :
+  Cnf.t -> Circuit.t -> share:(Circuit.net -> int option) -> int array

@@ -1,0 +1,102 @@
+(** Approximate (AppSAT-flavoured) attack baseline: random-restart
+    bit-flip hill climbing on the key, scored by oracle agreement over a
+    random query set.
+
+    Unlike the exact SAT attack, this never proves a key correct — it
+    reports the best agreement reached, which is the right baseline for
+    judging how much of the fabric's apparent key space is "easy": a
+    locked function whose random neighbours already agree on most
+    queries offers little protection even when the exact attack times
+    out. *)
+
+module Circuit = Alice_netlist.Circuit
+module Simulate = Alice_netlist.Simulate
+
+type outcome = {
+  best_agreement : float;  (* fraction of queries matched, in [0,1] *)
+  exact_on_queries : bool; (* the best key matched every sampled query *)
+  flips_tried : int;
+  restarts : int;
+  seconds : float;
+}
+
+type budget = {
+  queries : int;     (* oracle queries sampled for the score *)
+  max_flips : int;   (* total bit flips across restarts *)
+  restarts : int;
+}
+
+let default_budget = { queries = 128; max_flips = 4096; restarts = 4 }
+
+(** Run the baseline attack. *)
+let attack ?(budget = default_budget) ?(seed = 0xbada55) (l : Locked.t)
+    ~(oracle : bool array -> bool array) : outcome =
+  let start = Unix.gettimeofday () in
+  let st = Random.State.make [| seed; l.Locked.key_bits |] in
+  let ins = Locked.input_nets l in
+  let nin = Array.length ins in
+  (* fixed query set with golden responses *)
+  let queries =
+    Array.init budget.queries (fun _ ->
+        let stimulus = Array.init nin (fun _ -> Random.State.bool st) in
+        (stimulus, oracle stimulus))
+  in
+  (* one simulator over a keyed copy whose LUT tables are mutated in
+     place per candidate key: scoring is the inner loop *)
+  let keyed = Locked.apply_key l (Array.make l.Locked.key_bits false) in
+  let sim = Simulate.create keyed in
+  let outs = Locked.output_nets l in
+  let table_slices =
+    List.filter_map
+      (fun (g : Circuit.gate) ->
+        match g.Circuit.kind with
+        | Circuit.Lut table -> (
+          match List.assoc_opt g.Circuit.output l.Locked.offsets with
+          | Some off -> Some (table, off)
+          | None -> None)
+        | _ -> None)
+      (Circuit.gates_in_order keyed)
+  in
+  let load_key key =
+    List.iter
+      (fun (table, off) ->
+        Array.iteri (fun i _ -> table.(i) <- key.(off + i)) table)
+      table_slices
+  in
+  let score key =
+    load_key key;
+    let agree = ref 0 in
+    Array.iter
+      (fun (stimulus, golden) ->
+        Array.iteri (fun i n -> sim.Simulate.values.(n) <- stimulus.(i)) ins;
+        Simulate.eval sim;
+        if Array.for_all2 (fun n g -> sim.Simulate.values.(n) = g) outs golden
+        then incr agree)
+      queries;
+    float_of_int !agree /. float_of_int (max 1 budget.queries)
+  in
+  let best = ref 0.0 and flips = ref 0 in
+  let flips_per_restart = budget.max_flips / max 1 budget.restarts in
+  for _restart = 1 to budget.restarts do
+    let key = Array.init l.Locked.key_bits (fun _ -> Random.State.bool st) in
+    let current = ref (score key) in
+    if !current > !best then best := !current;
+    let budget_left = ref flips_per_restart in
+    while !budget_left > 0 && !current < 1.0 do
+      decr budget_left;
+      incr flips;
+      let bit = Random.State.int st l.Locked.key_bits in
+      key.(bit) <- not key.(bit);
+      let s = score key in
+      if s >= !current then begin
+        current := s;
+        if s > !best then best := s
+      end
+      else key.(bit) <- not key.(bit)
+    done
+  done;
+  { best_agreement = !best;
+    exact_on_queries = !best >= 1.0 -. 1e-9;
+    flips_tried = !flips;
+    restarts = budget.restarts;
+    seconds = Unix.gettimeofday () -. start }

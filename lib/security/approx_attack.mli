@@ -1,0 +1,23 @@
+(** Approximate (AppSAT-flavoured) attack baseline: random-restart
+    bit-flip hill climbing on the key, scored by oracle agreement on a
+    random query set. Reports the best agreement reached — the right
+    baseline for judging how much of a fabric's key space is "easy". *)
+
+type outcome = {
+  best_agreement : float;   (** fraction of queries matched, in [0,1] *)
+  exact_on_queries : bool;
+  flips_tried : int;
+  restarts : int;
+  seconds : float;
+}
+
+type budget = { queries : int; max_flips : int; restarts : int }
+
+val default_budget : budget
+
+val attack :
+  ?budget:budget ->
+  ?seed:int ->
+  Locked.t ->
+  oracle:(bool array -> bool array) ->
+  outcome

@@ -1,0 +1,144 @@
+(** A circuit locked by eFPGA redaction: the LUT-mapped netlist whose
+    truth tables are secret. The configuration bitstream restricted to
+    LUT content is the key an attacker must recover; routing bits are
+    fixed by the netlist structure in this model (attacking them too only
+    enlarges the key space, so this is the attacker-favourable case).
+
+    Registers are exposed as scan I/O per the threat model ("fully
+    scanned"): the combinational core's inputs are the primary inputs
+    plus every DFF Q, and its outputs the primary outputs plus every
+    DFF D. *)
+
+module Circuit = Alice_netlist.Circuit
+module Simulate = Alice_netlist.Simulate
+module Cnf = Alice_sat.Cnf
+module Tseitin = Alice_sat.Tseitin
+
+type t = {
+  circuit : Circuit.t;          (* LUT-mapped netlist *)
+  key_bits : int;
+  correct_key : bool array;
+  offsets : (Circuit.net * int) list;  (* LUT output net -> key offset *)
+}
+
+let luts_of (c : Circuit.t) : (Circuit.net * int array * bool array) list =
+  List.filter_map
+    (fun (g : Circuit.gate) ->
+      match g.Circuit.kind with
+      | Circuit.Lut table -> Some (g.Circuit.output, g.Circuit.inputs, table)
+      | Circuit.Const _ | Circuit.Buf | Circuit.Not | Circuit.And
+      | Circuit.Or | Circuit.Xor | Circuit.Xnor | Circuit.Nand | Circuit.Nor
+      | Circuit.Mux -> None)
+    (Circuit.gates_in_order c)
+
+(** Lock a LUT-mapped circuit. *)
+let of_mapped (c : Circuit.t) : t =
+  let luts = luts_of c in
+  let key_bits =
+    List.fold_left (fun acc (_, _, table) -> acc + Array.length table) 0 luts
+  in
+  let correct_key = Array.make key_bits false in
+  let offsets = ref [] and pos = ref 0 in
+  List.iter
+    (fun (out, _inputs, table) ->
+      offsets := (out, !pos) :: !offsets;
+      Array.iteri (fun i b -> correct_key.(!pos + i) <- b) table;
+      pos := !pos + Array.length table)
+    luts;
+  { circuit = c; key_bits; correct_key; offsets = List.rev !offsets }
+
+(** Inputs of the scan-exposed combinational core. *)
+let input_nets (l : t) : Circuit.net array =
+  let pis =
+    List.concat_map (fun (_, nets) -> Array.to_list nets) l.circuit.Circuit.inputs
+  in
+  let qs = List.map (fun (d : Circuit.dff) -> d.q) (Circuit.dff_list l.circuit) in
+  Array.of_list (pis @ qs)
+
+let output_nets (l : t) : Circuit.net array =
+  let pos =
+    List.concat_map (fun (_, nets) -> Array.to_list nets) l.circuit.Circuit.outputs
+  in
+  let ds = List.map (fun (d : Circuit.dff) -> d.d) (Circuit.dff_list l.circuit) in
+  Array.of_list (pos @ ds)
+
+(** Encode one copy of the locked circuit into [f]. Non-LUT gates encode
+    as usual; LUT gates read their truth table from [key_vars] at their
+    key offset. [share] maps nets to already-existing CNF variables
+    (used to share primary inputs between the two attack copies).
+    Returns the net-to-variable map of this copy. *)
+let encode_locked (f : Cnf.t) (l : t) ~(key_vars : int array)
+    ~(share : Circuit.net -> int option) : int array =
+  let net_var =
+    Array.init l.circuit.Circuit.next_net (fun n ->
+        match share n with
+        | Some v -> v
+        | None -> Cnf.fresh_var f)
+  in
+  let offset_of = Hashtbl.create 64 in
+  List.iter (fun (net, off) -> Hashtbl.replace offset_of net off) l.offsets;
+  List.iter
+    (fun (g : Circuit.gate) ->
+      match g.Circuit.kind with
+      | Circuit.Lut table ->
+        let out = net_var.(g.Circuit.output) in
+        let off = Hashtbl.find offset_of g.Circuit.output in
+        let k = Array.length g.Circuit.inputs in
+        assert (Array.length table = 1 lsl k);
+        for row = 0 to (1 lsl k) - 1 do
+          let guard =
+            List.init k (fun i ->
+                let v = net_var.(g.Circuit.inputs.(i)) in
+                if (row lsr i) land 1 = 1 then -v else v)
+          in
+          let key = key_vars.(off + row) in
+          (* guard -> (out <-> key) *)
+          Cnf.add_clause f (out :: -key :: guard);
+          Cnf.add_clause f (-out :: key :: guard)
+        done
+      | Circuit.Const _ | Circuit.Buf | Circuit.Not | Circuit.And
+      | Circuit.Or | Circuit.Xor | Circuit.Xnor | Circuit.Nand | Circuit.Nor
+      | Circuit.Mux -> Tseitin.encode_gate f net_var g)
+    (Circuit.gates_in_order l.circuit);
+  net_var
+
+(** Instantiate the circuit with an arbitrary key: LUT tables replaced by
+    the corresponding key slice. *)
+let apply_key (l : t) (key : bool array) : Circuit.t =
+  if Array.length key <> l.key_bits then invalid_arg "apply_key: wrong key length";
+  let c = l.circuit in
+  let offset_of = Hashtbl.create 64 in
+  List.iter (fun (net, off) -> Hashtbl.replace offset_of net off) l.offsets;
+  let keyed = Circuit.create (c.Circuit.name ^ "_keyed") in
+  keyed.Circuit.next_net <- c.Circuit.next_net;
+  keyed.Circuit.inputs <- c.Circuit.inputs;
+  keyed.Circuit.outputs <- c.Circuit.outputs;
+  keyed.Circuit.dffs <- c.Circuit.dffs;
+  List.iter
+    (fun (g : Circuit.gate) ->
+      match g.Circuit.kind with
+      | Circuit.Lut table ->
+        let off = Hashtbl.find offset_of g.Circuit.output in
+        let table' = Array.init (Array.length table) (fun i -> key.(off + i)) in
+        Circuit.add_gate_with_output keyed (Circuit.Lut table') g.Circuit.inputs
+          ~output:g.Circuit.output
+      | Circuit.Const _ | Circuit.Buf | Circuit.Not | Circuit.And
+      | Circuit.Or | Circuit.Xor | Circuit.Xnor | Circuit.Nand | Circuit.Nor
+      | Circuit.Mux ->
+        Circuit.add_gate_with_output keyed g.Circuit.kind g.Circuit.inputs
+          ~output:g.Circuit.output)
+    (Circuit.gates_in_order c);
+  keyed
+
+(** The oracle of the threat model: evaluate the *unlocked* combinational
+    core on a scan-input vector. *)
+let make_oracle (l : t) : bool array -> bool array =
+  let sim = Simulate.create l.circuit in
+  let ins = input_nets l in
+  let outs = output_nets l in
+  fun (stimulus : bool array) ->
+    if Array.length stimulus <> Array.length ins then
+      invalid_arg "oracle: wrong stimulus width";
+    Array.iteri (fun i n -> sim.Simulate.values.(n) <- stimulus.(i)) ins;
+    Simulate.eval sim;
+    Array.map (fun n -> sim.Simulate.values.(n)) outs

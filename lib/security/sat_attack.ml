@@ -1,0 +1,137 @@
+(** The oracle-guided SAT attack of Subramanyan, Ray and Malik (HOST'15),
+    applied to eFPGA-locked netlists.
+
+    Two copies of the locked circuit with shared inputs and independent
+    keys feed a miter that is satisfiable exactly when some input still
+    distinguishes two candidate keys. Each satisfying assignment yields a
+    distinguishing input pattern (DIP); querying the oracle and
+    constraining both key copies with the observed response shrinks the
+    key space until the miter goes UNSAT, at which point any key
+    consistent with the recorded queries is functionally correct. *)
+
+module Circuit = Alice_netlist.Circuit
+module Cnf = Alice_sat.Cnf
+module Solver = Alice_sat.Solver
+
+type outcome = {
+  success : bool;          (* miter converged within the budget *)
+  iterations : int;        (* DIPs used *)
+  key : bool array option; (* recovered key, when successful *)
+  key_bits : int;
+  seconds : float;
+}
+
+type budget = {
+  max_iterations : int;
+  max_seconds : float;
+}
+
+let default_budget = { max_iterations = 256; max_seconds = 30.0 }
+
+(* Rebuild the whole attack CNF from scratch: the CDCL solver is
+   single-shot, and for fabric-sized problems re-encoding is cheap
+   compared to solving. *)
+let build_miter (l : Locked.t) (dips : (bool array * bool array) list) :
+    Cnf.t * int array (* input vars *) * int array (* key1 vars *) =
+  let f = Cnf.create () in
+  let ins = Locked.input_nets l in
+  let outs = Locked.output_nets l in
+  let key1 = Cnf.fresh_vars f l.Locked.key_bits in
+  let key2 = Cnf.fresh_vars f l.Locked.key_bits in
+  let input_vars = Array.map (fun _ -> Cnf.fresh_var f) ins in
+  let share_inputs =
+    let m = Hashtbl.create 64 in
+    Array.iteri (fun i n -> Hashtbl.replace m n input_vars.(i)) ins;
+    fun n -> Hashtbl.find_opt m n
+  in
+  let map1 = Locked.encode_locked f l ~key_vars:key1 ~share:share_inputs in
+  let map2 = Locked.encode_locked f l ~key_vars:key2 ~share:share_inputs in
+  (* miter: at least one output pair differs *)
+  let diffs =
+    Array.to_list outs
+    |> List.map (fun n ->
+           let d = Cnf.fresh_var f in
+           Cnf.encode_xor f ~out:d ~a:map1.(n) ~b:map2.(n);
+           d)
+  in
+  Cnf.add_clause f diffs;
+  (* replay recorded DIPs: both keys must reproduce the oracle response *)
+  List.iter
+    (fun (x, y) ->
+      let constant = Hashtbl.create 64 in
+      Array.iteri (fun i n -> Hashtbl.replace constant n x.(i)) ins;
+      let pin map =
+        Array.iteri
+          (fun i n ->
+            ignore i;
+            match Hashtbl.find_opt constant n with
+            | Some b -> Cnf.add_unit f (if b then map.(n) else -map.(n))
+            | None -> ())
+          ins;
+        Array.iteri
+          (fun i n -> Cnf.add_unit f (if y.(i) then map.(n) else -map.(n)))
+          outs
+      in
+      (* each replay needs fresh internal nets per key copy *)
+      let replay key =
+        let map =
+          Locked.encode_locked f l ~key_vars:key ~share:(fun _ -> None)
+        in
+        pin map
+      in
+      replay key1;
+      replay key2)
+    dips;
+  (f, input_vars, key1)
+
+(* key-feasibility formula: one locked copy per DIP, all on key1 *)
+let build_feasibility (l : Locked.t) (dips : (bool array * bool array) list) :
+    Cnf.t * int array =
+  let f = Cnf.create () in
+  let key = Cnf.fresh_vars f l.Locked.key_bits in
+  let ins = Locked.input_nets l in
+  let outs = Locked.output_nets l in
+  List.iter
+    (fun (x, y) ->
+      let map = Locked.encode_locked f l ~key_vars:key ~share:(fun _ -> None) in
+      Array.iteri (fun i n -> Cnf.add_unit f (if x.(i) then map.(n) else -map.(n))) ins;
+      Array.iteri (fun i n -> Cnf.add_unit f (if y.(i) then map.(n) else -map.(n))) outs)
+    dips;
+  (f, key)
+
+(** Run the attack. [oracle] maps a scan-input stimulus to the correct
+    response (use {!Locked.make_oracle} for the standard threat model). *)
+let attack ?(budget = default_budget) (l : Locked.t)
+    ~(oracle : bool array -> bool array) : outcome =
+  let start = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. start in
+  let ins = Locked.input_nets l in
+  let rec loop dips iterations =
+    if iterations >= budget.max_iterations || elapsed () > budget.max_seconds
+    then
+      { success = false; iterations; key = None; key_bits = l.Locked.key_bits;
+        seconds = elapsed () }
+    else begin
+      let f, input_vars, _key1 = build_miter l dips in
+      match Solver.solve f with
+      | Solver.Unsat ->
+        (* converged: any key satisfying the recorded queries is correct *)
+        let fk, key_vars = build_feasibility l dips in
+        let key =
+          match Solver.solve fk with
+          | Solver.Sat model ->
+            Some (Array.map (fun v -> Solver.model_value model v) key_vars)
+          | Solver.Unsat -> None
+        in
+        { success = true; iterations; key; key_bits = l.Locked.key_bits;
+          seconds = elapsed () }
+      | Solver.Sat model ->
+        let dip =
+          Array.init (Array.length ins) (fun i ->
+              Solver.model_value model input_vars.(i))
+        in
+        let response = oracle dip in
+        loop ((dip, response) :: dips) (iterations + 1)
+    end
+  in
+  loop [] 0

@@ -1,0 +1,21 @@
+(** The oracle-guided SAT attack (Subramanyan–Ray–Malik, HOST'15)
+    applied to eFPGA-locked netlists: a two-copy miter finds
+    distinguishing inputs until no two candidate keys disagree, after
+    which any key consistent with the recorded queries is functionally
+    correct. *)
+
+type outcome = {
+  success : bool;           (** miter converged within the budget *)
+  iterations : int;         (** distinguishing inputs used *)
+  key : bool array option;  (** recovered key, when successful *)
+  key_bits : int;
+  seconds : float;
+}
+
+type budget = { max_iterations : int; max_seconds : float }
+
+val default_budget : budget
+
+(** Run the attack; [oracle] maps a scan-input stimulus to the correct
+    response (use {!Locked.make_oracle}). *)
+val attack : ?budget:budget -> Locked.t -> oracle:(bool array -> bool array) -> outcome

@@ -1,0 +1,14 @@
+(** Sequential SAT attack without scan access: the locked circuit is
+    unrolled over a bounded window with key variables shared across
+    frames, turning distinguishing inputs into distinguishing sequences
+    from reset. Convergence is a bounded guarantee (no two keys
+    distinguishable within [cycles] observations). *)
+
+(** Unroll a locked circuit, sharing key offsets across every frame's
+    copy of each LUT. *)
+val lock_unrolled : Locked.t -> cycles:int -> Locked.t
+
+val attack : ?budget:Sat_attack.budget -> Locked.t -> cycles:int -> Sat_attack.outcome
+
+(** Functional check of a recovered key over the bounded window. *)
+val key_correct_bounded : Locked.t -> cycles:int -> bool array -> bool

@@ -1,0 +1,234 @@
+(** Hand-written lexer for the supported Verilog-2001 subset.
+
+    Produces the full token list up front; designs in this repo are small
+    enough that a streaming interface would buy nothing. *)
+
+type located = { tok : Tok.t; loc : Loc.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let make_state ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let current_loc st =
+  Loc.make ~file:st.file ~line:st.line ~col:(st.pos - st.bol + 1)
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.bol <- st.pos + 1
+  | Some _ | None -> ());
+  st.pos <- st.pos + 1
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let is_base_digit base c =
+  match base with
+  | 'b' -> c = '0' || c = '1' || c = 'x' || c = 'z' || c = '?' || c = '_'
+  | 'o' -> (c >= '0' && c <= '7') || c = 'x' || c = 'z' || c = '?' || c = '_'
+  | 'd' -> is_digit c || c = '_'
+  | 'h' ->
+    is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    || c = 'x' || c = 'z' || c = '?' || c = '_'
+  | _ -> false
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    let start = current_loc st in
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | Some _, _ ->
+        advance st;
+        to_close ()
+      | None, _ -> Loc.error start "unterminated block comment"
+    in
+    to_close ();
+    skip_trivia st
+  | Some '`' ->
+    (* compiler directives (`timescale, `define without use, ...) are
+       skipped to end of line; the benchmarks do not rely on macros *)
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_id_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_digits st pred =
+  let start = st.pos in
+  while (match peek st with Some c -> pred c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let strip_underscores s =
+  String.concat "" (String.split_on_char '_' s)
+
+(* A number token: either a plain decimal or a sized/based literal.
+   [width_prefix] holds already-lexed decimal digits when we discover a
+   tick after them. *)
+let lex_based st loc width =
+  advance st; (* consume ' *)
+  (* optional signedness marker 's' is accepted and ignored *)
+  (match peek st with
+  | Some ('s' | 'S') -> advance st
+  | Some _ | None -> ());
+  let base =
+    match peek st with
+    | Some ('b' | 'B') -> 'b'
+    | Some ('o' | 'O') -> 'o'
+    | Some ('d' | 'D') -> 'd'
+    | Some ('h' | 'H') -> 'h'
+    | Some c -> Loc.error loc "invalid number base '%c'" c
+    | None -> Loc.error loc "unexpected end of input in number"
+  in
+  advance st;
+  skip_trivia st;
+  let digits = lex_digits st (is_base_digit base) in
+  if digits = "" then Loc.error loc "missing digits in based literal";
+  Tok.Sized (width, base, strip_underscores digits)
+
+let next_token st : located =
+  skip_trivia st;
+  let loc = current_loc st in
+  let simple t = advance st; { tok = t; loc } in
+  let two t = advance st; advance st; { tok = t; loc } in
+  let three t = advance st; advance st; advance st; { tok = t; loc } in
+  match peek st with
+  | None -> { tok = Tok.Eof; loc }
+  | Some c when is_id_start c ->
+    let name = lex_ident st in
+    let tok =
+      match List.assoc_opt name Tok.keyword_table with
+      | Some kw -> kw
+      | None -> Tok.Id name
+    in
+    { tok; loc }
+  | Some c when is_digit c ->
+    let digits = strip_underscores (lex_digits st (fun c -> is_digit c || c = '_')) in
+    skip_trivia st;
+    (match peek st with
+    | Some '\'' -> { tok = lex_based st loc (int_of_string digits); loc }
+    | Some _ | None -> { tok = Tok.Int (int_of_string digits); loc })
+  | Some '\'' ->
+    (* unsized based literal: treated as 32-bit per Verilog convention *)
+    { tok = lex_based st loc 32; loc }
+  | Some '"' ->
+    advance st;
+    let start = st.pos in
+    let rec to_close () =
+      match peek st with
+      | Some '"' -> ()
+      | Some _ ->
+        advance st;
+        to_close ()
+      | None -> Loc.error loc "unterminated string"
+    in
+    to_close ();
+    let s = String.sub st.src start (st.pos - start) in
+    advance st;
+    { tok = Tok.String s; loc }
+  | Some '(' -> simple Tok.Lparen
+  | Some ')' -> simple Tok.Rparen
+  | Some '[' -> simple Tok.Lbrack
+  | Some ']' -> simple Tok.Rbrack
+  | Some '{' -> simple Tok.Lbrace
+  | Some '}' -> simple Tok.Rbrace
+  | Some ',' -> simple Tok.Comma
+  | Some ';' -> simple Tok.Semi
+  | Some ':' -> simple Tok.Colon
+  | Some '.' -> simple Tok.Dot
+  | Some '#' -> simple Tok.Hash
+  | Some '@' -> simple Tok.At
+  | Some '?' -> simple Tok.Question
+  | Some '+' -> simple Tok.Plus
+  | Some '-' -> simple Tok.Minus
+  | Some '*' -> if peek2 st = Some '*' then two Tok.Star2 else simple Tok.Star
+  | Some '/' -> simple Tok.Slash
+  | Some '%' -> simple Tok.Percent
+  | Some '^' -> simple Tok.Caret
+  | Some '~' ->
+    (match peek2 st with
+    | Some '^' -> two Tok.TildeCaret
+    | Some '&' -> two Tok.TildeAmp
+    | Some '|' -> two Tok.TildePipe
+    | Some _ | None -> simple Tok.Tilde)
+  | Some '&' -> if peek2 st = Some '&' then two Tok.AmpAmp else simple Tok.Amp
+  | Some '|' -> if peek2 st = Some '|' then two Tok.PipePipe else simple Tok.Pipe
+  | Some '!' ->
+    (match (peek2 st, if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2] else None) with
+    | Some '=', Some '=' -> three Tok.BangEqEq
+    | Some '=', _ -> two Tok.BangEq
+    | _ -> simple Tok.Bang)
+  | Some '=' ->
+    (match (peek2 st, if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2] else None) with
+    | Some '=', Some '=' -> three Tok.EqEqEq
+    | Some '=', _ -> two Tok.EqEq
+    | _ -> simple Tok.Assign_op)
+  | Some '<' ->
+    (match (peek2 st, if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2] else None) with
+    | Some '<', Some '<' -> three Tok.LtLtLt
+    | Some '<', _ -> two Tok.LtLt
+    | Some '=', _ -> two Tok.Nonblock_op
+    | _ -> simple Tok.Lt)
+  | Some '>' ->
+    (match (peek2 st, if st.pos + 2 < String.length st.src then Some st.src.[st.pos + 2] else None) with
+    | Some '>', Some '>' -> three Tok.GtGtGt
+    | Some '>', _ -> two Tok.GtGt
+    | Some '=', _ -> two Tok.GtEq
+    | _ -> simple Tok.Gt)
+  | Some c -> Loc.error loc "unexpected character '%c'" c
+
+(** Tokenize a whole source buffer. *)
+let tokenize ?(file = "<buffer>") src : located list =
+  let st = make_state ~file src in
+  let rec loop acc =
+    let t = next_token st in
+    match t.tok with
+    | Tok.Eof -> List.rev (t :: acc)
+    | _ -> loop (t :: acc)
+  in
+  loop []

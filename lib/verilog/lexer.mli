@@ -1,0 +1,8 @@
+(** Hand-written lexer for the supported Verilog-2001 subset. *)
+
+type located = { tok : Tok.t; loc : Loc.t }
+
+(** Tokenize a whole source buffer, ending with {!Tok.Eof}. Comments and
+    compiler directives are skipped. Raises {!Loc.Error} on malformed
+    input (unterminated comments or strings, unknown characters). *)
+val tokenize : ?file:string -> string -> located list

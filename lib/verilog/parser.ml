@@ -1,0 +1,633 @@
+(** Recursive-descent parser for the supported Verilog subset.
+
+    Grammar notes:
+    - both ANSI ([module m (input a, ...);]) and non-ANSI
+      ([module m (a, ...); input a; ...]) port styles are accepted;
+    - [casez]/[casex] parse like [case] (wildcard bits are rejected later,
+      at synthesis, if actually used);
+    - [<=] is a non-blocking assignment in statement position and
+      less-or-equal inside expressions. *)
+
+type state = { mutable toks : Lexer.located list }
+
+let peek st =
+  match st.toks with
+  | [] -> { Lexer.tok = Tok.Eof; loc = Loc.none }
+  | t :: _ -> t
+
+let peek_tok st = (peek st).Lexer.tok
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let t = peek st in
+  if t.Lexer.tok = tok then advance st
+  else
+    Loc.error t.Lexer.loc "expected '%s' but found '%s'" (Tok.to_string tok)
+      (Tok.to_string t.Lexer.tok)
+
+let expect_ident st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Tok.Id s ->
+    advance st;
+    s
+  | other ->
+    Loc.error t.Lexer.loc "expected identifier but found '%s'"
+      (Tok.to_string other)
+
+let parse_error st fmt =
+  let t = peek st in
+  Loc.error t.Lexer.loc fmt
+
+(* ---------- numbers ---------- *)
+
+let digit_value loc base c =
+  let invalid () = Loc.error loc "unsupported digit '%c' (x/z not supported)" c in
+  match base with
+  | 'b' -> (match c with '0' -> 0 | '1' -> 1 | _ -> invalid ())
+  | 'o' -> if c >= '0' && c <= '7' then Char.code c - Char.code '0' else invalid ()
+  | 'd' -> if c >= '0' && c <= '9' then Char.code c - Char.code '0' else invalid ()
+  | 'h' ->
+    if c >= '0' && c <= '9' then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+    else if c >= 'A' && c <= 'F' then Char.code c - Char.code 'A' + 10
+    else invalid ()
+  | _ -> invalid ()
+
+let decode_sized loc width base digits =
+  if width > 62 then
+    Loc.error loc "literal width %d exceeds the 62-bit limit (use concatenation)" width;
+  let radix = match base with 'b' -> 2 | 'o' -> 8 | 'd' -> 10 | _ -> 16 in
+  let value =
+    String.fold_left (fun acc c -> (acc * radix) + digit_value loc base c) 0 digits
+  in
+  let mask = if width = 62 then max_int else (1 lsl width) - 1 in
+  { Ast.width = Some width; value = value land mask }
+
+(* ---------- expressions ---------- *)
+
+let unop_of_token = function
+  | Tok.Tilde -> Some Ast.Unot
+  | Tok.Bang -> Some Ast.Ulognot
+  | Tok.Minus -> Some Ast.Uneg
+  | Tok.Plus -> Some Ast.Uplus
+  | Tok.Amp -> Some Ast.Ured_and
+  | Tok.Pipe -> Some Ast.Ured_or
+  | Tok.Caret -> Some Ast.Ured_xor
+  | Tok.TildeAmp -> Some Ast.Ured_nand
+  | Tok.TildePipe -> Some Ast.Ured_nor
+  | Tok.TildeCaret -> Some Ast.Ured_xnor
+  | _ -> None
+
+(* binding power of binary operators; higher binds tighter *)
+let binop_of_token = function
+  | Tok.Star2 -> Some (Ast.Bpow, 11)
+  | Tok.Star -> Some (Ast.Bmul, 10)
+  | Tok.Slash -> Some (Ast.Bdiv, 10)
+  | Tok.Percent -> Some (Ast.Bmod, 10)
+  | Tok.Plus -> Some (Ast.Badd, 9)
+  | Tok.Minus -> Some (Ast.Bsub, 9)
+  | Tok.LtLt -> Some (Ast.Bshl, 8)
+  | Tok.GtGt -> Some (Ast.Bshr, 8)
+  | Tok.GtGtGt -> Some (Ast.Bashr, 8)
+  | Tok.LtLtLt -> Some (Ast.Bshl, 8)
+  | Tok.Lt -> Some (Ast.Blt, 7)
+  | Tok.Nonblock_op -> Some (Ast.Ble, 7)
+  | Tok.Gt -> Some (Ast.Bgt, 7)
+  | Tok.GtEq -> Some (Ast.Bge, 7)
+  | Tok.EqEq -> Some (Ast.Beq, 6)
+  | Tok.BangEq -> Some (Ast.Bneq, 6)
+  | Tok.EqEqEq -> Some (Ast.Bceq, 6)
+  | Tok.BangEqEq -> Some (Ast.Bcneq, 6)
+  | Tok.Amp -> Some (Ast.Band, 5)
+  | Tok.Caret -> Some (Ast.Bxor, 4)
+  | Tok.TildeCaret -> Some (Ast.Bxnor, 4)
+  | Tok.Pipe -> Some (Ast.Bor, 3)
+  | Tok.AmpAmp -> Some (Ast.Blogand, 2)
+  | Tok.PipePipe -> Some (Ast.Blogor, 1)
+  | _ -> None
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  match peek_tok st with
+  | Tok.Question ->
+    advance st;
+    let then_e = parse_expr st in
+    expect st Tok.Colon;
+    let else_e = parse_expr st in
+    Ast.Ternary (cond, then_e, else_e)
+  | _ -> cond
+
+and parse_binary st min_bp =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match binop_of_token (peek_tok st) with
+    | Some (op, bp) when bp >= min_bp ->
+      advance st;
+      let rhs = parse_binary st (bp + 1) in
+      loop (Ast.Binary (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match unop_of_token (peek_tok st) with
+  | Some op ->
+    advance st;
+    let operand = parse_unary st in
+    Ast.Unary (op, operand)
+  | None -> parse_primary st
+
+and parse_primary st =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Tok.Int n ->
+    advance st;
+    Ast.Num { width = None; value = n }
+  | Tok.Sized (w, b, d) ->
+    advance st;
+    Ast.Num (decode_sized t.Lexer.loc w b d)
+  | Tok.Id name ->
+    advance st;
+    (match peek_tok st with
+    | Tok.Lbrack ->
+      advance st;
+      let first = parse_expr st in
+      (match peek_tok st with
+      | Tok.Colon ->
+        advance st;
+        let lsb = parse_expr st in
+        expect st Tok.Rbrack;
+        Ast.Part_select (name, first, lsb)
+      | _ ->
+        expect st Tok.Rbrack;
+        Ast.Bit_select (name, first))
+    | _ -> Ast.Ident name)
+  | Tok.Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Tok.Rparen;
+    e
+  | Tok.Lbrace ->
+    advance st;
+    let first = parse_expr st in
+    (match peek_tok st with
+    | Tok.Lbrace ->
+      (* replication {n{a, b}} *)
+      advance st;
+      let items = parse_expr_list st in
+      expect st Tok.Rbrace;
+      expect st Tok.Rbrace;
+      Ast.Repeat (first, items)
+    | Tok.Comma ->
+      advance st;
+      let rest = parse_expr_list st in
+      expect st Tok.Rbrace;
+      Ast.Concat (first :: rest)
+    | Tok.Rbrace ->
+      advance st;
+      Ast.Concat [ first ]
+    | other ->
+      Loc.error t.Lexer.loc "unexpected '%s' in concatenation" (Tok.to_string other))
+  | other ->
+    Loc.error t.Lexer.loc "unexpected '%s' in expression" (Tok.to_string other)
+
+and parse_expr_list st =
+  let first = parse_expr st in
+  match peek_tok st with
+  | Tok.Comma ->
+    advance st;
+    first :: parse_expr_list st
+  | _ -> [ first ]
+
+(* ---------- statements ---------- *)
+
+let rec parse_stmt st : Ast.stmt list =
+  match peek_tok st with
+  | Tok.Kbegin ->
+    advance st;
+    (* optional block label: begin : name *)
+    (match peek_tok st with
+    | Tok.Colon ->
+      advance st;
+      ignore (expect_ident st)
+    | _ -> ());
+    let rec loop acc =
+      match peek_tok st with
+      | Tok.Kend ->
+        advance st;
+        List.rev acc
+      | _ ->
+        let stmts = parse_stmt st in
+        loop (List.rev_append stmts acc)
+    in
+    loop []
+  | Tok.Kif ->
+    advance st;
+    expect st Tok.Lparen;
+    let cond = parse_expr st in
+    expect st Tok.Rparen;
+    let then_b = parse_stmt st in
+    let else_b =
+      match peek_tok st with
+      | Tok.Kelse ->
+        advance st;
+        parse_stmt st
+      | _ -> []
+    in
+    [ Ast.If (cond, then_b, else_b) ]
+  | Tok.Kcase | Tok.Kcasez | Tok.Kcasex ->
+    advance st;
+    expect st Tok.Lparen;
+    let subject = parse_expr st in
+    expect st Tok.Rparen;
+    let rec arms acc dflt =
+      match peek_tok st with
+      | Tok.Kendcase ->
+        advance st;
+        [ Ast.Case (subject, List.rev acc, dflt) ]
+      | Tok.Kdefault ->
+        advance st;
+        (match peek_tok st with
+        | Tok.Colon -> advance st
+        | _ -> ());
+        let body = parse_stmt st in
+        arms acc (Some body)
+      | _ ->
+        let labels = parse_expr_list st in
+        expect st Tok.Colon;
+        let body = parse_stmt st in
+        arms ((labels, body) :: acc) dflt
+    in
+    arms [] None
+  | Tok.Semi ->
+    advance st;
+    []
+  | _ ->
+    (* lvalues are primaries (identifier, bit/part select, concat); parsing
+       a full expression here would swallow '<=' as less-or-equal *)
+    let lhs = parse_primary st in
+    (match peek_tok st with
+    | Tok.Assign_op ->
+      advance st;
+      let rhs = parse_expr st in
+      expect st Tok.Semi;
+      [ Ast.Blocking (lhs, rhs) ]
+    | Tok.Nonblock_op ->
+      advance st;
+      let rhs = parse_expr st in
+      expect st Tok.Semi;
+      [ Ast.Nonblocking (lhs, rhs) ]
+    | other -> parse_error st "expected assignment, found '%s'" (Tok.to_string other))
+
+(* ---------- sensitivity lists ---------- *)
+
+let parse_event st : Ast.event =
+  match peek_tok st with
+  | Tok.Kposedge ->
+    advance st;
+    { Ast.edge = Ast.Posedge; signal = expect_ident st }
+  | Tok.Knegedge ->
+    advance st;
+    { Ast.edge = Ast.Negedge; signal = expect_ident st }
+  | _ -> { Ast.edge = Ast.Level; signal = expect_ident st }
+
+let parse_sensitivity st : Ast.sensitivity =
+  expect st Tok.At;
+  match peek_tok st with
+  | Tok.Star ->
+    advance st;
+    Ast.Sens_star
+  | Tok.Lparen ->
+    advance st;
+    (match peek_tok st with
+    | Tok.Star ->
+      advance st;
+      expect st Tok.Rparen;
+      Ast.Sens_star
+    | _ ->
+      let rec loop acc =
+        let ev = parse_event st in
+        match peek_tok st with
+        | Tok.Kor | Tok.Comma ->
+          advance st;
+          loop (ev :: acc)
+        | _ ->
+          expect st Tok.Rparen;
+          List.rev (ev :: acc)
+      in
+      Ast.Sens_events (loop []))
+  | other -> parse_error st "expected sensitivity list, found '%s'" (Tok.to_string other)
+
+(* ---------- declarations & module items ---------- *)
+
+let parse_range_opt st : Ast.range option =
+  match peek_tok st with
+  | Tok.Lbrack ->
+    advance st;
+    let msb = parse_expr st in
+    expect st Tok.Colon;
+    let lsb = parse_expr st in
+    expect st Tok.Rbrack;
+    Some (msb, lsb)
+  | _ -> None
+
+let parse_name_list st =
+  let rec loop acc =
+    let n = expect_ident st in
+    match peek_tok st with
+    | Tok.Comma ->
+      advance st;
+      loop (n :: acc)
+    | _ -> List.rev (n :: acc)
+  in
+  loop []
+
+(* one parameter assignment: name = expr *)
+let parse_param_assign st =
+  let name = expect_ident st in
+  expect st Tok.Assign_op;
+  let value = parse_expr st in
+  (name, value)
+
+let skip_signed st =
+  match peek_tok st with
+  | Tok.Ksigned -> advance st
+  | _ -> ()
+
+(* A port declaration inside an ANSI header: input [wire|reg] [range] name *)
+let parse_ansi_port st : Ast.item * string =
+  let dir =
+    match peek_tok st with
+    | Tok.Kinput ->
+      advance st;
+      Ast.Input
+    | Tok.Koutput ->
+      advance st;
+      Ast.Output
+    | Tok.Kinout ->
+      advance st;
+      Ast.Inout
+    | other -> parse_error st "expected port direction, found '%s'" (Tok.to_string other)
+  in
+  let kind =
+    match peek_tok st with
+    | Tok.Kreg ->
+      advance st;
+      Ast.Reg
+    | Tok.Kwire ->
+      advance st;
+      Ast.Wire
+    | _ -> Ast.Wire
+  in
+  skip_signed st;
+  let range = parse_range_opt st in
+  let name = expect_ident st in
+  (Ast.Port_decl (dir, kind, range, [ name ]), name)
+
+let parse_module_header_params st : (string * Ast.expr) list =
+  (* #( parameter NAME = v, ... ) *)
+  expect st Tok.Hash;
+  expect st Tok.Lparen;
+  let rec loop acc =
+    (match peek_tok st with
+    | Tok.Kparameter -> advance st
+    | _ -> ());
+    skip_signed st;
+    ignore (parse_range_opt st);
+    let pa = parse_param_assign st in
+    match peek_tok st with
+    | Tok.Comma ->
+      advance st;
+      loop (pa :: acc)
+    | _ ->
+      expect st Tok.Rparen;
+      List.rev (pa :: acc)
+  in
+  loop []
+
+(* ports in a module header. Returns (names, ansi items) *)
+let parse_module_ports st : string list * Ast.item list =
+  match peek_tok st with
+  | Tok.Lparen ->
+    advance st;
+    (match peek_tok st with
+    | Tok.Rparen ->
+      advance st;
+      ([], [])
+    | Tok.Kinput | Tok.Koutput | Tok.Kinout ->
+      let rec loop names items =
+        let item, name = parse_ansi_port st in
+        match peek_tok st with
+        | Tok.Comma ->
+          advance st;
+          loop (name :: names) (item :: items)
+        | _ ->
+          expect st Tok.Rparen;
+          (List.rev (name :: names), List.rev (item :: items))
+      in
+      loop [] []
+    | _ ->
+      let names = parse_name_list st in
+      expect st Tok.Rparen;
+      (names, []))
+  | _ -> ([], [])
+
+let parse_port_bindings st : Ast.port_binding list =
+  expect st Tok.Lparen;
+  match peek_tok st with
+  | Tok.Rparen ->
+    advance st;
+    []
+  | _ ->
+    let parse_one () =
+      match peek_tok st with
+      | Tok.Dot ->
+        advance st;
+        let name = expect_ident st in
+        expect st Tok.Lparen;
+        (match peek_tok st with
+        | Tok.Rparen ->
+          advance st;
+          { Ast.port_name = Some name; port_expr = None }
+        | _ ->
+          let e = parse_expr st in
+          expect st Tok.Rparen;
+          { Ast.port_name = Some name; port_expr = Some e })
+      | _ ->
+        let e = parse_expr st in
+        { Ast.port_name = None; port_expr = Some e }
+    in
+    let rec loop acc =
+      let b = parse_one () in
+      match peek_tok st with
+      | Tok.Comma ->
+        advance st;
+        loop (b :: acc)
+      | _ ->
+        expect st Tok.Rparen;
+        List.rev (b :: acc)
+    in
+    loop []
+
+let parse_instance st mod_name loc : Ast.item =
+  let params =
+    match peek_tok st with
+    | Tok.Hash ->
+      advance st;
+      expect st Tok.Lparen;
+      let rec loop acc =
+        let binding =
+          match peek_tok st with
+          | Tok.Dot ->
+            advance st;
+            let name = expect_ident st in
+            expect st Tok.Lparen;
+            let e = parse_expr st in
+            expect st Tok.Rparen;
+            (Some name, e)
+          | _ -> (None, parse_expr st)
+        in
+        match peek_tok st with
+        | Tok.Comma ->
+          advance st;
+          loop (binding :: acc)
+        | _ ->
+          expect st Tok.Rparen;
+          List.rev (binding :: acc)
+      in
+      loop []
+    | _ -> []
+  in
+  let inst_name = expect_ident st in
+  let ports = parse_port_bindings st in
+  expect st Tok.Semi;
+  Ast.Instance
+    { Ast.inst_module = mod_name; inst_name; inst_params = params;
+      inst_ports = ports; inst_loc = loc }
+
+let rec parse_items st acc : Ast.item list =
+  let t = peek st in
+  match t.Lexer.tok with
+  | Tok.Kendmodule ->
+    advance st;
+    List.rev acc
+  | Tok.Kinput | Tok.Koutput | Tok.Kinout ->
+    let dir =
+      match t.Lexer.tok with
+      | Tok.Kinput -> Ast.Input
+      | Tok.Koutput -> Ast.Output
+      | _ -> Ast.Inout
+    in
+    advance st;
+    let kind =
+      match peek_tok st with
+      | Tok.Kreg ->
+        advance st;
+        Ast.Reg
+      | Tok.Kwire ->
+        advance st;
+        Ast.Wire
+      | _ -> Ast.Wire
+    in
+    skip_signed st;
+    let range = parse_range_opt st in
+    let names = parse_name_list st in
+    expect st Tok.Semi;
+    parse_items st (Ast.Port_decl (dir, kind, range, names) :: acc)
+  | Tok.Kwire | Tok.Kreg ->
+    let kind = if t.Lexer.tok = Tok.Kwire then Ast.Wire else Ast.Reg in
+    advance st;
+    skip_signed st;
+    let range = parse_range_opt st in
+    let names = parse_name_list st in
+    expect st Tok.Semi;
+    parse_items st (Ast.Net_decl (kind, range, names) :: acc)
+  | Tok.Kparameter | Tok.Klocalparam ->
+    let local = t.Lexer.tok = Tok.Klocalparam in
+    advance st;
+    skip_signed st;
+    ignore (parse_range_opt st);
+    let rec loop acc_p =
+      let pa = parse_param_assign st in
+      match peek_tok st with
+      | Tok.Comma ->
+        advance st;
+        loop (pa :: acc_p)
+      | _ ->
+        expect st Tok.Semi;
+        List.rev (pa :: acc_p)
+    in
+    let assigns = loop [] in
+    parse_items st (Ast.Param_decl (local, assigns) :: acc)
+  | Tok.Kassign ->
+    advance st;
+    let rec loop acc_a =
+      let lhs = parse_expr st in
+      expect st Tok.Assign_op;
+      let rhs = parse_expr st in
+      match peek_tok st with
+      | Tok.Comma ->
+        advance st;
+        loop (Ast.Assign (lhs, rhs) :: acc_a)
+      | _ ->
+        expect st Tok.Semi;
+        List.rev (Ast.Assign (lhs, rhs) :: acc_a)
+    in
+    parse_items st (List.rev_append (loop []) acc)
+  | Tok.Kalways ->
+    advance st;
+    let sens = parse_sensitivity st in
+    let body = parse_stmt st in
+    parse_items st (Ast.Always (sens, body) :: acc)
+  | Tok.Id name ->
+    advance st;
+    parse_items st (parse_instance st name t.Lexer.loc :: acc)
+  | other ->
+    Loc.error t.Lexer.loc "unsupported module item starting with '%s'"
+      (Tok.to_string other)
+
+let parse_module st : Ast.module_decl =
+  let t = peek st in
+  expect st Tok.Kmodule;
+  let name = expect_ident st in
+  let header_params =
+    match peek_tok st with
+    | Tok.Hash -> parse_module_header_params st
+    | _ -> []
+  in
+  let ports, ansi_items = parse_module_ports st in
+  expect st Tok.Semi;
+  let items = parse_items st [] in
+  let param_items =
+    match header_params with
+    | [] -> []
+    | ps -> [ Ast.Param_decl (false, ps) ]
+  in
+  { Ast.mod_name = name; mod_ports = ports;
+    mod_items = param_items @ ansi_items @ items; mod_loc = t.Lexer.loc }
+
+let parse_design_tokens st : Ast.design =
+  let rec loop acc =
+    match peek_tok st with
+    | Tok.Eof -> { Ast.modules = List.rev acc }
+    | _ -> loop (parse_module st :: acc)
+  in
+  loop []
+
+(** Parse a Verilog source buffer into an AST. Raises {!Loc.Error}. *)
+let parse ?(file = "<buffer>") src : Ast.design =
+  let toks = Lexer.tokenize ~file src in
+  parse_design_tokens { toks }
+
+(** Parse a single module from source; fails if none or several. *)
+let parse_module_exn ?file src : Ast.module_decl =
+  match (parse ?file src).Ast.modules with
+  | [ m ] -> m
+  | ms -> invalid_arg (Printf.sprintf "expected 1 module, got %d" (List.length ms))

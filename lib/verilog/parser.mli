@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the supported Verilog subset.
+
+    Both ANSI and non-ANSI port styles are accepted; [casez]/[casex]
+    parse like [case]; [<=] is a non-blocking assignment in statement
+    position and less-or-equal inside expressions. All entry points
+    raise {!Loc.Error} on malformed input. *)
+
+(** Mutable token-stream state, exposed for tests that drive the parser
+    over a pre-lexed buffer. *)
+type state = { mutable toks : Lexer.located list }
+
+(** Parse a complete design (a sequence of modules). *)
+val parse : ?file:string -> string -> Ast.design
+
+(** Parse a single module; [Invalid_argument] if the source holds none
+    or several. *)
+val parse_module_exn : ?file:string -> string -> Ast.module_decl
+
+(** Parse from an existing token stream (the stream is consumed). *)
+val parse_design_tokens : state -> Ast.design

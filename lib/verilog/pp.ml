@@ -1,0 +1,177 @@
+(** Regeneration of Verilog source from the AST.
+
+    The output parses back through {!Parser} to an equivalent tree (modulo
+    redundant parentheses); this round-trip is property-tested. *)
+
+let unop_str = function
+  | Ast.Unot -> "~"
+  | Ast.Ulognot -> "!"
+  | Ast.Uneg -> "-"
+  | Ast.Uplus -> "+"
+  | Ast.Ured_and -> "&"
+  | Ast.Ured_or -> "|"
+  | Ast.Ured_xor -> "^"
+  | Ast.Ured_nand -> "~&"
+  | Ast.Ured_nor -> "~|"
+  | Ast.Ured_xnor -> "~^"
+
+let binop_str = function
+  | Ast.Badd -> "+"
+  | Ast.Bsub -> "-"
+  | Ast.Bmul -> "*"
+  | Ast.Bdiv -> "/"
+  | Ast.Bmod -> "%"
+  | Ast.Bpow -> "**"
+  | Ast.Band -> "&"
+  | Ast.Bor -> "|"
+  | Ast.Bxor -> "^"
+  | Ast.Bxnor -> "~^"
+  | Ast.Blogand -> "&&"
+  | Ast.Blogor -> "||"
+  | Ast.Beq -> "=="
+  | Ast.Bneq -> "!="
+  | Ast.Bceq -> "==="
+  | Ast.Bcneq -> "!=="
+  | Ast.Blt -> "<"
+  | Ast.Ble -> "<="
+  | Ast.Bgt -> ">"
+  | Ast.Bge -> ">="
+  | Ast.Bshl -> "<<"
+  | Ast.Bshr -> ">>"
+  | Ast.Bashr -> ">>>"
+
+let rec pp_expr fmt = function
+  | Ast.Ident s -> Format.pp_print_string fmt s
+  | Ast.Num { width = None; value } -> Format.fprintf fmt "%d" value
+  | Ast.Num { width = Some w; value } -> Format.fprintf fmt "%d'h%x" w value
+  | Ast.Unary (op, e) -> Format.fprintf fmt "%s(%a)" (unop_str op) pp_expr e
+  | Ast.Binary (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Ast.Ternary (c, a, b) ->
+    Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Ast.Bit_select (s, i) -> Format.fprintf fmt "%s[%a]" s pp_expr i
+  | Ast.Part_select (s, m, l) ->
+    Format.fprintf fmt "%s[%a:%a]" s pp_expr m pp_expr l
+  | Ast.Concat es ->
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_expr)
+      es
+  | Ast.Repeat (n, es) ->
+    Format.fprintf fmt "{%a{%a}}" pp_expr n
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_expr)
+      es
+
+let pp_range fmt = function
+  | None -> ()
+  | Some (msb, lsb) -> Format.fprintf fmt " [%a:%a]" pp_expr msb pp_expr lsb
+
+let dir_str = function
+  | Ast.Input -> "input"
+  | Ast.Output -> "output"
+  | Ast.Inout -> "inout"
+
+let kind_str = function Ast.Wire -> "" | Ast.Reg -> " reg"
+
+let rec pp_stmt indent fmt stmt =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Ast.Blocking (lhs, rhs) ->
+    Format.fprintf fmt "%s%a = %a;@." pad pp_expr lhs pp_expr rhs
+  | Ast.Nonblocking (lhs, rhs) ->
+    Format.fprintf fmt "%s%a <= %a;@." pad pp_expr lhs pp_expr rhs
+  | Ast.If (c, t, e) ->
+    Format.fprintf fmt "%sif (%a) begin@.%a%send@." pad pp_expr c
+      (pp_stmts (indent + 2)) t pad;
+    (match e with
+    | [] -> ()
+    | _ ->
+      Format.fprintf fmt "%selse begin@.%a%send@." pad (pp_stmts (indent + 2)) e pad)
+  | Ast.Case (subject, arms, dflt) ->
+    Format.fprintf fmt "%scase (%a)@." pad pp_expr subject;
+    List.iter
+      (fun (labels, body) ->
+        Format.fprintf fmt "%s  %a: begin@.%a%s  end@." pad
+          (Format.pp_print_list
+             ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+             pp_expr)
+          labels
+          (pp_stmts (indent + 4))
+          body pad)
+      arms;
+    (match dflt with
+    | None -> ()
+    | Some body ->
+      Format.fprintf fmt "%s  default: begin@.%a%s  end@." pad
+        (pp_stmts (indent + 4)) body pad);
+    Format.fprintf fmt "%sendcase@." pad
+
+and pp_stmts indent fmt stmts = List.iter (pp_stmt indent fmt) stmts
+
+let pp_sensitivity fmt = function
+  | Ast.Sens_star -> Format.pp_print_string fmt "@(*)"
+  | Ast.Sens_events evs ->
+    let pp_event fmt { Ast.edge; signal } =
+      match edge with
+      | Ast.Posedge -> Format.fprintf fmt "posedge %s" signal
+      | Ast.Negedge -> Format.fprintf fmt "negedge %s" signal
+      | Ast.Level -> Format.pp_print_string fmt signal
+    in
+    Format.fprintf fmt "@(%a)"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " or ") pp_event)
+      evs
+
+let pp_item fmt = function
+  | Ast.Port_decl (dir, kind, range, names) ->
+    Format.fprintf fmt "  %s%s%a %s;@." (dir_str dir) (kind_str kind) pp_range
+      range
+      (String.concat ", " names)
+  | Ast.Net_decl (kind, range, names) ->
+    let kw = match kind with Ast.Wire -> "wire" | Ast.Reg -> "reg" in
+    Format.fprintf fmt "  %s%a %s;@." kw pp_range range (String.concat ", " names)
+  | Ast.Param_decl (local, assigns) ->
+    let kw = if local then "localparam" else "parameter" in
+    List.iter
+      (fun (name, value) ->
+        Format.fprintf fmt "  %s %s = %a;@." kw name pp_expr value)
+      assigns
+  | Ast.Assign (lhs, rhs) ->
+    Format.fprintf fmt "  assign %a = %a;@." pp_expr lhs pp_expr rhs
+  | Ast.Always (sens, body) ->
+    Format.fprintf fmt "  always %a begin@.%a  end@." pp_sensitivity sens
+      (pp_stmts 4) body
+  | Ast.Instance { inst_module; inst_name; inst_params; inst_ports; inst_loc = _ } ->
+    let pp_param fmt = function
+      | Some n, e -> Format.fprintf fmt ".%s(%a)" n pp_expr e
+      | None, e -> pp_expr fmt e
+    in
+    let pp_binding fmt { Ast.port_name; port_expr } =
+      match (port_name, port_expr) with
+      | Some n, Some e -> Format.fprintf fmt ".%s(%a)" n pp_expr e
+      | Some n, None -> Format.fprintf fmt ".%s()" n
+      | None, Some e -> pp_expr fmt e
+      | None, None -> ()
+    in
+    Format.fprintf fmt "  %s" inst_module;
+    (match inst_params with
+    | [] -> ()
+    | ps ->
+      Format.fprintf fmt " #(%a)"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_param)
+        ps);
+    Format.fprintf fmt " %s (%a);@." inst_name
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f ", ") pp_binding)
+      inst_ports
+
+let pp_module fmt (m : Ast.module_decl) =
+  Format.fprintf fmt "module %s (%s);@." m.Ast.mod_name
+    (String.concat ", " m.Ast.mod_ports);
+  List.iter (pp_item fmt) m.Ast.mod_items;
+  Format.fprintf fmt "endmodule@.@."
+
+let pp_design fmt (d : Ast.design) = List.iter (pp_module fmt) d.Ast.modules
+
+let module_to_string m = Format.asprintf "%a" pp_module m
+
+let design_to_string d = Format.asprintf "%a" pp_design d
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,16 @@
+(** Regeneration of Verilog source from the AST.
+
+    The output parses back through {!Parser} to an equivalent tree
+    (modulo redundant parentheses); this round-trip is property-tested. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val pp_module : Format.formatter -> Ast.module_decl -> unit
+
+val pp_design : Format.formatter -> Ast.design -> unit
+
+val expr_to_string : Ast.expr -> string
+
+val module_to_string : Ast.module_decl -> string
+
+val design_to_string : Ast.design -> string

@@ -1,0 +1,72 @@
+(** Tokens produced by {!Lexer} and consumed by {!Parser}. *)
+
+type t =
+  | Id of string
+  | Int of int                         (* unsized decimal literal *)
+  | Sized of int * char * string       (* width, base char (b/o/d/h), digits *)
+  | String of string
+  (* keywords *)
+  | Kmodule | Kendmodule | Kinput | Koutput | Kinout | Kwire | Kreg
+  | Kassign | Kalways | Kinitial | Kbegin | Kend | Kif | Kelse
+  | Kcase | Kcasez | Kcasex | Kendcase | Kdefault
+  | Kparameter | Klocalparam | Kposedge | Knegedge | Kor
+  | Kfunction | Kendfunction | Kinteger | Kgenvar | Kgenerate | Kendgenerate
+  | Kfor | Ksigned
+  (* punctuation *)
+  | Lparen | Rparen | Lbrack | Rbrack | Lbrace | Rbrace
+  | Comma | Semi | Colon | Dot | Hash | At | Question
+  (* operators *)
+  | Assign_op        (* = *)
+  | Nonblock_op      (* <= ; also less-equal, disambiguated by parser ctx *)
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | TildeCaret | TildeAmp | TildePipe
+  | AmpAmp | PipePipe | Bang | Tilde
+  | EqEq | BangEq | EqEqEq | BangEqEq
+  | Lt | Gt | GtEq
+  | LtLt | GtGt | GtGtGt | LtLtLt
+  | Star2            (* ** *)
+  | Eof
+
+let keyword_table : (string * t) list =
+  [ ("module", Kmodule); ("endmodule", Kendmodule); ("input", Kinput);
+    ("output", Koutput); ("inout", Kinout); ("wire", Kwire); ("reg", Kreg);
+    ("assign", Kassign); ("always", Kalways); ("initial", Kinitial);
+    ("begin", Kbegin); ("end", Kend); ("if", Kif); ("else", Kelse);
+    ("case", Kcase); ("casez", Kcasez); ("casex", Kcasex);
+    ("endcase", Kendcase); ("default", Kdefault);
+    ("parameter", Kparameter); ("localparam", Klocalparam);
+    ("posedge", Kposedge); ("negedge", Knegedge); ("or", Kor);
+    ("function", Kfunction); ("endfunction", Kendfunction);
+    ("integer", Kinteger); ("genvar", Kgenvar); ("generate", Kgenerate);
+    ("endgenerate", Kendgenerate); ("for", Kfor); ("signed", Ksigned) ]
+
+let to_string = function
+  | Id s -> s
+  | Int n -> string_of_int n
+  | Sized (w, b, d) -> Printf.sprintf "%d'%c%s" w b d
+  | String s -> Printf.sprintf "%S" s
+  | Kmodule -> "module" | Kendmodule -> "endmodule" | Kinput -> "input"
+  | Koutput -> "output" | Kinout -> "inout" | Kwire -> "wire" | Kreg -> "reg"
+  | Kassign -> "assign" | Kalways -> "always" | Kinitial -> "initial"
+  | Kbegin -> "begin" | Kend -> "end" | Kif -> "if" | Kelse -> "else"
+  | Kcase -> "case" | Kcasez -> "casez" | Kcasex -> "casex"
+  | Kendcase -> "endcase" | Kdefault -> "default"
+  | Kparameter -> "parameter" | Klocalparam -> "localparam"
+  | Kposedge -> "posedge" | Knegedge -> "negedge" | Kor -> "or"
+  | Kfunction -> "function" | Kendfunction -> "endfunction"
+  | Kinteger -> "integer" | Kgenvar -> "genvar" | Kgenerate -> "generate"
+  | Kendgenerate -> "endgenerate" | Kfor -> "for" | Ksigned -> "signed"
+  | Lparen -> "(" | Rparen -> ")" | Lbrack -> "[" | Rbrack -> "]"
+  | Lbrace -> "{" | Rbrace -> "}"
+  | Comma -> "," | Semi -> ";" | Colon -> ":" | Dot -> "." | Hash -> "#"
+  | At -> "@" | Question -> "?"
+  | Assign_op -> "=" | Nonblock_op -> "<="
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Percent -> "%"
+  | Amp -> "&" | Pipe -> "|" | Caret -> "^" | TildeCaret -> "~^"
+  | TildeAmp -> "~&" | TildePipe -> "~|"
+  | AmpAmp -> "&&" | PipePipe -> "||" | Bang -> "!" | Tilde -> "~"
+  | EqEq -> "==" | BangEq -> "!=" | EqEqEq -> "===" | BangEqEq -> "!=="
+  | Lt -> "<" | Gt -> ">" | GtEq -> ">="
+  | LtLt -> "<<" | GtGt -> ">>" | GtGtGt -> ">>>" | LtLtLt -> "<<<"
+  | Star2 -> "**"
+  | Eof -> "<eof>"

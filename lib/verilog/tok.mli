@@ -1,0 +1,29 @@
+(** Tokens produced by {!Lexer} and consumed by {!Parser}. *)
+
+type t =
+  | Id of string
+  | Int of int                    (** unsized decimal literal *)
+  | Sized of int * char * string  (** width, base char (b/o/d/h), digits *)
+  | String of string
+  | Kmodule | Kendmodule | Kinput | Koutput | Kinout | Kwire | Kreg
+  | Kassign | Kalways | Kinitial | Kbegin | Kend | Kif | Kelse
+  | Kcase | Kcasez | Kcasex | Kendcase | Kdefault
+  | Kparameter | Klocalparam | Kposedge | Knegedge | Kor
+  | Kfunction | Kendfunction | Kinteger | Kgenvar | Kgenerate | Kendgenerate
+  | Kfor | Ksigned
+  | Lparen | Rparen | Lbrack | Rbrack | Lbrace | Rbrace
+  | Comma | Semi | Colon | Dot | Hash | At | Question
+  | Assign_op
+  | Nonblock_op  (** [<=]: non-blocking assign or less-equal, by context *)
+  | Plus | Minus | Star | Slash | Percent
+  | Amp | Pipe | Caret | TildeCaret | TildeAmp | TildePipe
+  | AmpAmp | PipePipe | Bang | Tilde
+  | EqEq | BangEq | EqEqEq | BangEqEq
+  | Lt | Gt | GtEq
+  | LtLt | GtGt | GtGtGt | LtLtLt
+  | Star2
+  | Eof
+
+val keyword_table : (string * t) list
+
+val to_string : t -> string

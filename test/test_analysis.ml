@@ -1,0 +1,167 @@
+(* Graph algorithms, dataflow analysis, dominators, I/O counting. *)
+
+module V = Alice_verilog
+module A = Alice_analysis
+
+(* ---------- graph ---------- *)
+
+let line_graph edges =
+  let g = A.Graph.create () in
+  List.iter (fun (a, b) -> A.Graph.add_edge_labels g a b) edges;
+  g
+
+let test_reachability () =
+  let g = line_graph [ ("a", "b"); ("b", "c"); ("d", "c") ] in
+  let a = Option.get (A.Graph.find_node g "a") in
+  let c = Option.get (A.Graph.find_node g "c") in
+  let d = Option.get (A.Graph.find_node g "d") in
+  Alcotest.(check bool) "a reaches c" true (A.Graph.reaches g a c);
+  Alcotest.(check bool) "c unreachable from itself fwd" false (A.Graph.reaches g c a);
+  let cone = A.Graph.coreachable g [ c ] in
+  Alcotest.(check int) "backward cone size" 4 (Hashtbl.length cone);
+  Alcotest.(check bool) "d in cone" true (Hashtbl.mem cone d)
+
+let test_topological () =
+  let g = line_graph [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  let order = A.Graph.topological_order g in
+  let pos v =
+    let rec idx i = function [] -> -1 | x :: r -> if x = v then i else idx (i + 1) r in
+    idx 0 order
+  in
+  let a = Option.get (A.Graph.find_node g "a") in
+  let b = Option.get (A.Graph.find_node g "b") in
+  let c = Option.get (A.Graph.find_node g "c") in
+  Alcotest.(check bool) "a before b" true (pos a < pos b);
+  Alcotest.(check bool) "b before c" true (pos b < pos c);
+  let cyclic = line_graph [ ("a", "b"); ("b", "a") ] in
+  (match A.Graph.topological_order cyclic with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection")
+
+let test_dominators () =
+  (* diamond with a tail: r -> a, r -> b, a -> m, b -> m, m -> t *)
+  let g = line_graph [ ("r", "a"); ("r", "b"); ("a", "m"); ("b", "m"); ("m", "t") ] in
+  let node s = Option.get (A.Graph.find_node g s) in
+  let idom = A.Domtree.idoms g (node "r") in
+  Alcotest.(check int) "idom m is r" (node "r") idom.(node "m");
+  Alcotest.(check int) "idom t is m" (node "m") idom.(node "t");
+  Alcotest.(check bool) "r dominates t" true
+    (A.Domtree.dominates idom ~root:(node "r") (node "r") (node "t"));
+  Alcotest.(check bool) "a does not dominate t" false
+    (A.Domtree.dominates idom ~root:(node "r") (node "a") (node "t"));
+  Alcotest.(check int) "common dominator of a,b" (node "r")
+    (A.Domtree.common_dominator idom ~root:(node "r") [ node "a"; node "b" ])
+
+(* ---------- dataflow on a small design ---------- *)
+
+let design_src =
+  {|module producer (input [3:0] a, output [3:0] y);
+    assign y = a + 4'h1;
+  endmodule
+  module consumer (input [3:0] a, output [3:0] y);
+    assign y = ~a;
+  endmodule
+  module sink (input [3:0] a, output [3:0] y);
+    assign y = a;
+  endmodule
+  module top (input [3:0] x, output [3:0] main_out, output [3:0] side_out);
+    wire [3:0] t;
+    producer u_prod (.a(x), .y(t));
+    consumer u_cons (.a(t), .y(main_out));
+    sink u_side (.a(x), .y(side_out));
+  endmodule|}
+
+let dataflow () =
+  let d = V.Elaborate.elaborate (V.Parser.parse design_src) in
+  (d, A.Dataflow.build d)
+
+let test_affecting_instances () =
+  let _, df = dataflow () in
+  let names output =
+    List.map (fun (n : V.Design.tree) -> n.inst_name)
+      (A.Dataflow.instances_affecting df ~output)
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "main_out cone" [ "u_cons"; "u_prod" ]
+    (names "main_out");
+  Alcotest.(check (list string)) "side_out cone" [ "u_side" ] (names "side_out")
+
+let test_module_scores () =
+  let _, df = dataflow () in
+  let scores = A.Dataflow.module_scores df ~outputs:[ "main_out"; "side_out" ] in
+  Alcotest.(check int) "producer score" 1 (List.assoc "producer" scores);
+  Alcotest.(check int) "sink score" 1 (List.assoc "sink" scores);
+  let scores_one = A.Dataflow.module_scores df ~outputs:[ "side_out" ] in
+  Alcotest.(check int) "producer unscored" 0 (List.assoc "producer" scores_one)
+
+let test_dependence () =
+  let d, df = dataflow () in
+  let inst name =
+    List.find (fun (n : V.Design.tree) -> n.inst_name = name) (V.Design.all_instances d)
+  in
+  Alcotest.(check bool) "prod feeds cons directly" true
+    (A.Dataflow.instances_directly_connected df (inst "u_prod") (inst "u_cons"));
+  Alcotest.(check bool) "cons and side independent" false
+    (A.Dataflow.instances_directly_connected df (inst "u_cons") (inst "u_side"));
+  Alcotest.(check bool) "prod and side independent (direct)" false
+    (A.Dataflow.instances_directly_connected df (inst "u_prod") (inst "u_side"));
+  Alcotest.(check bool) "prod-cons dependent (transitive)" true
+    (A.Dataflow.instances_dependent df (inst "u_prod") (inst "u_cons"))
+
+let test_insertion_point () =
+  let d, _ = dataflow () in
+  Alcotest.(check string) "lca of two leaves" "top"
+    (A.Domtree.hierarchy_insertion_point d [ "top.u_prod"; "top.u_cons" ]);
+  Alcotest.(check string) "single instance" "top"
+    (A.Domtree.hierarchy_insertion_point d [ "top.u_side" ])
+
+let test_iocount () =
+  let d, _ = dataflow () in
+  let prod = V.Elaborate.find_emodule d "producer" in
+  Alcotest.(check int) "module pins" 8 (A.Iocount.of_module prod);
+  let instances = V.Design.all_instances d in
+  Alcotest.(check int) "cluster pins aggregate" 24 (A.Iocount.of_cluster d instances);
+  let ins, outs = A.Iocount.directional_of_cluster d instances in
+  Alcotest.(check int) "cluster inputs" 12 ins;
+  Alcotest.(check int) "cluster outputs" 12 outs;
+  let s = A.Iocount.summarize d in
+  Alcotest.(check int) "summary modules" 3 s.A.Iocount.module_total;
+  Alcotest.(check int) "summary instances" 3 s.A.Iocount.instance_total
+
+(* property: the dominator tree of a random DAG satisfies the dominance
+   definition on sampled paths *)
+let dominator_prop =
+  QCheck.Test.make ~count:50 ~name:"idom dominates its node"
+    QCheck.(make Gen.(int_range 5 15))
+    (fun n ->
+      let g = A.Graph.create () in
+      let node i = A.Graph.node g (string_of_int i) in
+      let root = node 0 in
+      (* random DAG: edges only forward *)
+      let st = Random.State.make [| n; 42 |] in
+      for i = 1 to n - 1 do
+        let parent = Random.State.int st i in
+        A.Graph.add_edge g (node parent) (node i);
+        if Random.State.bool st && i > 1 then begin
+          let extra = Random.State.int st i in
+          A.Graph.add_edge g (node extra) (node i)
+        end
+      done;
+      let idom = A.Domtree.idoms g root in
+      (* every node's idom dominates it and is an ancestor *)
+      List.for_all
+        (fun i ->
+          let v = node i in
+          idom.(v) >= 0 && A.Domtree.dominates idom ~root idom.(v) v)
+        (List.init (n - 1) (fun i -> i + 1)))
+
+let tests =
+  [ Alcotest.test_case "reachability" `Quick test_reachability;
+    Alcotest.test_case "topological order" `Quick test_topological;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "affecting instances" `Quick test_affecting_instances;
+    Alcotest.test_case "module scores" `Quick test_module_scores;
+    Alcotest.test_case "dependence notions" `Quick test_dependence;
+    Alcotest.test_case "insertion point" `Quick test_insertion_point;
+    Alcotest.test_case "io counting" `Quick test_iocount;
+    QCheck_alcotest.to_alcotest dominator_prop ]

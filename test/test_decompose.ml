@@ -1,0 +1,92 @@
+(* Fine-grained decomposition (the paper's future-work pre-processing). *)
+
+module V = Alice_verilog
+module N = Alice_netlist
+module A = Alice
+
+let wide_src =
+  {|module widecomb (input [31:0] a, input [31:0] b, output [31:0] s, output [31:0] x, output lt);
+    wire [31:0] t;
+    assign t = a + b;
+    assign s = t;
+    assign x = a ^ b;
+    assign lt = a < b;
+  endmodule
+  module top (input [31:0] p, input [31:0] q, output [31:0] sum, output [31:0] xr, output less);
+    widecomb u (.a(p), .b(q), .s(sum), .x(xr), .lt(less));
+  endmodule|}
+
+let test_split_and_equivalence () =
+  let design = V.Parser.parse wide_src in
+  (* widecomb has 129 pins; split under a 100-pin budget *)
+  let design', plan =
+    A.Decompose.decompose_module design ~module_name:"widecomb" ~max_io_pins:100
+  in
+  Alcotest.(check bool) "several parts" true (List.length plan.A.Decompose.part_names >= 2);
+  (* every part respects the budget *)
+  let d' = V.Elaborate.elaborate ~top:"top" design' in
+  List.iter
+    (fun part ->
+      let em = V.Elaborate.find_emodule d' part in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fits (%d pins)" part (V.Elaborate.io_pin_count em))
+        true
+        (V.Elaborate.io_pin_count em <= 100))
+    plan.A.Decompose.part_names;
+  (* functional equivalence of the rewritten design *)
+  let original = N.Synth.synthesize (V.Elaborate.elaborate ~top:"top" design) in
+  let split = N.Synth.synthesize d' in
+  let sa = N.Simulate.create original and sb = N.Simulate.create split in
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 200 do
+    let p = Random.State.int st 0x3FFFFFFF and q = Random.State.int st 0x3FFFFFFF in
+    N.Simulate.set_input sa "p" p;
+    N.Simulate.set_input sa "q" q;
+    N.Simulate.set_input sb "p" p;
+    N.Simulate.set_input sb "q" q;
+    N.Simulate.eval sa;
+    N.Simulate.eval sb;
+    Alcotest.(check int) "sum" (N.Simulate.read_output sa "sum") (N.Simulate.read_output sb "sum");
+    Alcotest.(check int) "xr" (N.Simulate.read_output sa "xr") (N.Simulate.read_output sb "xr");
+    Alcotest.(check int) "less" (N.Simulate.read_output sa "less") (N.Simulate.read_output sb "less")
+  done
+
+let test_enables_redaction () =
+  (* after splitting, the parts become redaction candidates the original
+     module could never be *)
+  let design = V.Parser.parse wide_src in
+  let cfg =
+    { Alice_config.Flow_config.default with
+      Alice_config.Flow_config.max_io_pins = 100; max_efpgas = 2;
+      min_fabric_size = 2; max_fabric_size = 16; top = Some "top" }
+  in
+  let before = A.Flow.run ~config:cfg design in
+  Alcotest.(check int) "no candidates before" 0
+    (A.Filtering.candidate_count before.A.Flow.filtering);
+  let design', _ =
+    A.Decompose.decompose_module design ~module_name:"widecomb" ~max_io_pins:100
+  in
+  let after = A.Flow.run ~config:cfg design' in
+  Alcotest.(check bool) "candidates after split" true
+    (A.Filtering.candidate_count after.A.Flow.filtering > 0);
+  Alcotest.(check bool) "a solution exists" true
+    (after.A.Flow.selection.A.Selection.best <> None)
+
+let test_rejects_sequential () =
+  let seq_src =
+    {|module seq (input clk, input [7:0] d, output reg [7:0] q);
+      always @(posedge clk) q <= d;
+    endmodule
+    module top (input clk, input [7:0] x, output [7:0] y);
+      seq u (.clk(clk), .d(x), .q(y));
+    endmodule|}
+  in
+  let design = V.Parser.parse seq_src in
+  match A.Decompose.decompose_module design ~module_name:"seq" ~max_io_pins:8 with
+  | exception A.Decompose.Unsupported _ -> ()
+  | _ -> Alcotest.fail "sequential module must be rejected"
+
+let tests =
+  [ Alcotest.test_case "split and equivalence" `Quick test_split_and_equivalence;
+    Alcotest.test_case "enables redaction" `Quick test_enables_redaction;
+    Alcotest.test_case "rejects sequential" `Quick test_rejects_sequential ]

@@ -1,0 +1,197 @@
+(* The ALICE core phases on a small synthetic design, plus selection
+   semantics. *)
+
+module V = Alice_verilog
+module A = Alice
+module C = Alice_config
+
+(* four candidate leaf modules under one parent; two of them directly
+   connected, the others independent *)
+let demo_src =
+  {|module f1 (input [7:0] a, output [7:0] y); assign y = a + 8'h1; endmodule
+    module f2 (input [7:0] a, output [7:0] y); assign y = a ^ 8'h55; endmodule
+    module f3 (input [7:0] a, output [7:0] y); assign y = {a[0], a[7:1]}; endmodule
+    module wide (input [63:0] a, output [63:0] y); assign y = ~a; endmodule
+    module top (input [7:0] x, input [63:0] w, output [7:0] out1, output [7:0] out2, output [63:0] wout);
+      wire [7:0] t;
+      f1 u1 (.a(x), .y(t));
+      f2 u2 (.a(t), .y(out1));
+      f3 u3 (.a(x), .y(out2));
+      wide u4 (.a(w), .y(wout));
+    endmodule|}
+
+let demo_cfg =
+  { C.Flow_config.default with
+    C.Flow_config.max_io_pins = 40; max_efpgas = 2;
+    selected_outputs = [ "out1"; "out2" ];
+    min_fabric_size = 2; max_fabric_size = 12 }
+
+let run () = A.Flow.run_source ~config:demo_cfg demo_src
+
+let test_filtering () =
+  let flow = run () in
+  let names =
+    List.map (fun (c : A.Filtering.candidate) -> c.module_name)
+      flow.A.Flow.filtering.A.Filtering.candidates
+    |> List.sort compare
+  in
+  (* wide (128 pins) is structurally excluded; u4 does not affect the
+     selected outputs anyway *)
+  Alcotest.(check (list string)) "candidates" [ "f1"; "f2"; "f3" ] names;
+  let f3 = List.find (fun (c : A.Filtering.candidate) -> c.module_name = "f3")
+      flow.A.Flow.filtering.A.Filtering.candidates in
+  Alcotest.(check int) "f3 affects only out2" 1 f3.A.Filtering.score;
+  Alcotest.(check int) "f3 pins" 16 f3.A.Filtering.io_pins
+
+let test_clustering () =
+  let flow = run () in
+  let keys = List.map (fun (c : A.Clustering.cluster) -> c.key) flow.A.Flow.clusters in
+  (* u1 feeds u2 directly, so {u1,u2} must not cluster; u3 pairs with
+     both; pins 16+16=32 <= 40; triples exceed the pin budget *)
+  let sorted = List.sort compare keys in
+  Alcotest.(check (list string)) "clusters"
+    [ "top.u1"; "top.u1|top.u3"; "top.u2"; "top.u2|top.u3"; "top.u3" ]
+    sorted
+
+let test_selection () =
+  let flow = run () in
+  let sel = flow.A.Flow.selection in
+  Alcotest.(check bool) "has solutions" true (sel.A.Selection.solutions <> []);
+  (* solutions never share an instance *)
+  List.iter
+    (fun (s : A.Selection.solution) ->
+      let paths =
+        List.concat_map
+          (fun (e : A.Selection.efpga_impl) ->
+            List.map (fun (m : V.Design.tree) -> m.path)
+              e.cluster.A.Clustering.members)
+          s.A.Selection.efpgas
+      in
+      Alcotest.(check int) "no overlap" (List.length paths)
+        (List.length (List.sort_uniq compare paths)))
+    sel.A.Selection.solutions;
+  (* ranked best-first *)
+  (match sel.A.Selection.solutions with
+  | first :: rest ->
+    List.iter
+      (fun (s : A.Selection.solution) ->
+        Alcotest.(check bool) "descending scores" true
+          (first.A.Selection.total_score >= s.A.Selection.total_score))
+      rest
+  | [] -> ())
+
+let test_scoring_formulas () =
+  let cfg = demo_cfg in
+  let reward =
+    A.Selection.score_eq1 cfg ~max_io:0.8 ~max_clb:0.5 ~io_util:0.4 ~clb_util:0.5
+  in
+  Alcotest.(check (float 1e-9)) "reward" 1.5 reward;
+  let cfg_p = { cfg with C.Flow_config.score_formula = C.Flow_config.Penalty } in
+  let penalty =
+    A.Selection.score_eq1 cfg_p ~max_io:0.8 ~max_clb:0.5 ~io_util:0.4 ~clb_util:0.5
+  in
+  Alcotest.(check (float 1e-9)) "penalty (Eq. 1 literal)" 0.5 penalty;
+  (* alpha/beta weighting *)
+  let cfg_w = { cfg with C.Flow_config.alpha = 2.0; beta = 0.0 } in
+  let weighted =
+    A.Selection.score_eq1 cfg_w ~max_io:0.8 ~max_clb:0.5 ~io_util:0.4 ~clb_util:0.5
+  in
+  Alcotest.(check (float 1e-9)) "alpha only" 1.0 weighted
+
+let test_max_efpgas_respected () =
+  let flow = run () in
+  List.iter
+    (fun (s : A.Selection.solution) ->
+      Alcotest.(check bool) "efpga budget" true (List.length s.A.Selection.efpgas <= 2))
+    flow.A.Flow.selection.A.Selection.solutions;
+  let cfg1 = { demo_cfg with C.Flow_config.max_efpgas = 1 } in
+  let flow1 = A.Flow.run_source ~config:cfg1 demo_src in
+  List.iter
+    (fun (s : A.Selection.solution) ->
+      Alcotest.(check int) "single efpga" 1 (List.length s.A.Selection.efpgas))
+    flow1.A.Flow.selection.A.Selection.solutions
+
+let test_empty_candidates_flow () =
+  (* a pin budget below every module: the flow stops like IIR/cfg1 *)
+  let cfg = { demo_cfg with C.Flow_config.max_io_pins = 4 } in
+  let flow = A.Flow.run_source ~config:cfg demo_src in
+  Alcotest.(check int) "no candidates" 0
+    (A.Filtering.candidate_count flow.A.Flow.filtering);
+  Alcotest.(check int) "no clusters" 0 (List.length flow.A.Flow.clusters);
+  Alcotest.(check bool) "no solution" true
+    (flow.A.Flow.selection.A.Selection.best = None)
+
+let test_fixed_point_equals_enumeration () =
+  (* Algorithm 2's fixed point must produce exactly the admissible
+     subsets that direct enumeration produces *)
+  let flow = run () in
+  let design = flow.A.Flow.design in
+  let df = Alice_analysis.Dataflow.build design in
+  let candidates =
+    A.Filtering.candidate_instances flow.A.Flow.filtering
+  in
+  (* enumerate all non-empty subsets, keep admissible ones *)
+  let n = List.length candidates in
+  let arr = Array.of_list candidates in
+  let subsets = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    let members = ref [] in
+    for i = 0 to n - 1 do
+      if (mask lsr i) land 1 = 1 then members := arr.(i) :: !members
+    done;
+    let cluster = A.Clustering.make_cluster design !members in
+    if
+      A.Clustering.check_parameters demo_cfg cluster
+      && A.Clustering.cluster_independent demo_cfg df cluster
+    then subsets := cluster.A.Clustering.key :: !subsets
+  done;
+  let expected = List.sort compare !subsets in
+  let got =
+    List.sort compare
+      (List.map (fun (c : A.Clustering.cluster) -> c.key) flow.A.Flow.clusters)
+  in
+  Alcotest.(check (list string)) "fixed point = enumeration" expected got
+
+(* properties over randomized flow configurations *)
+let cluster_invariants_prop =
+  QCheck.Test.make ~count:25 ~name:"clusters admissible under random pin budgets"
+    QCheck.(make Gen.(int_range 8 80))
+    (fun pins ->
+      let cfg = { demo_cfg with C.Flow_config.max_io_pins = pins } in
+      let flow = A.Flow.run_source ~config:cfg demo_src in
+      let design = flow.A.Flow.design in
+      let df = Alice_analysis.Dataflow.build design in
+      List.for_all
+        (fun (c : A.Clustering.cluster) ->
+          c.A.Clustering.io_pins <= pins
+          && A.Clustering.cluster_independent cfg df c
+          && A.Clustering.member_count c >= 1)
+        flow.A.Flow.clusters)
+
+let best_is_max_prop =
+  QCheck.Test.make ~count:15 ~name:"best solution has the maximal score"
+    QCheck.(make Gen.(pair (int_range 30 80) (int_range 1 3)))
+    (fun (pins, efpgas) ->
+      let cfg =
+        { demo_cfg with C.Flow_config.max_io_pins = pins; max_efpgas = efpgas }
+      in
+      let flow = A.Flow.run_source ~config:cfg demo_src in
+      match flow.A.Flow.selection.A.Selection.best with
+      | None -> flow.A.Flow.selection.A.Selection.solutions = []
+      | Some best ->
+        List.for_all
+          (fun (s : A.Selection.solution) ->
+            s.A.Selection.total_score <= best.A.Selection.total_score +. 1e-9)
+          flow.A.Flow.selection.A.Selection.solutions)
+
+let tests =
+  [ Alcotest.test_case "filtering" `Quick test_filtering;
+    Alcotest.test_case "clustering" `Quick test_clustering;
+    Alcotest.test_case "selection invariants" `Quick test_selection;
+    Alcotest.test_case "scoring formulas" `Quick test_scoring_formulas;
+    Alcotest.test_case "efpga budget" `Quick test_max_efpgas_respected;
+    Alcotest.test_case "empty candidate flow" `Quick test_empty_candidates_flow;
+    Alcotest.test_case "fixed point equals enumeration" `Quick
+      test_fixed_point_equals_enumeration;
+    QCheck_alcotest.to_alcotest cluster_invariants_prop;
+    QCheck_alcotest.to_alcotest best_is_max_prop ]

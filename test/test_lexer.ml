@@ -1,0 +1,78 @@
+(* Lexer unit tests. *)
+
+module V = Alice_verilog
+
+let toks src =
+  List.map (fun (t : Alice_verilog.Lexer.located) -> t.tok) (V.Lexer.tokenize src)
+
+let check_toks msg src expected =
+  Alcotest.(check (list string))
+    msg
+    (List.map V.Tok.to_string expected @ [ "<eof>" ])
+    (List.map V.Tok.to_string (toks src))
+
+let test_keywords () =
+  check_toks "keywords" "module endmodule input output wire reg"
+    [ V.Tok.Kmodule; V.Tok.Kendmodule; V.Tok.Kinput; V.Tok.Koutput;
+      V.Tok.Kwire; V.Tok.Kreg ]
+
+let test_identifiers () =
+  check_toks "identifiers" "foo _bar baz_12 q$x"
+    [ V.Tok.Id "foo"; V.Tok.Id "_bar"; V.Tok.Id "baz_12"; V.Tok.Id "q$x" ]
+
+let test_numbers () =
+  check_toks "plain decimal" "42 0 123_456"
+    [ V.Tok.Int 42; V.Tok.Int 0; V.Tok.Int 123456 ];
+  check_toks "sized hex" "8'hff" [ V.Tok.Sized (8, 'h', "ff") ];
+  check_toks "sized binary" "4'b1010" [ V.Tok.Sized (4, 'b', "1010") ];
+  check_toks "sized decimal" "6'd63" [ V.Tok.Sized (6, 'd', "63") ];
+  check_toks "underscores in digits" "16'hdead_beef_is_not_16_bits"
+    [ V.Tok.Sized (16, 'h', "deadbeef"); V.Tok.Id "is_not_16_bits" ]
+
+let test_operators () =
+  check_toks "comparison family" "< <= << <<< > >= >> >>>"
+    [ V.Tok.Lt; V.Tok.Nonblock_op; V.Tok.LtLt; V.Tok.LtLtLt; V.Tok.Gt;
+      V.Tok.GtEq; V.Tok.GtGt; V.Tok.GtGtGt ];
+  check_toks "equality family" "= == === != !=="
+    [ V.Tok.Assign_op; V.Tok.EqEq; V.Tok.EqEqEq; V.Tok.BangEq; V.Tok.BangEqEq ];
+  check_toks "reduction prefixes" "~& ~| ~^ ~ & | ^"
+    [ V.Tok.TildeAmp; V.Tok.TildePipe; V.Tok.TildeCaret; V.Tok.Tilde;
+      V.Tok.Amp; V.Tok.Pipe; V.Tok.Caret ];
+  check_toks "logic ops" "&& || !"
+    [ V.Tok.AmpAmp; V.Tok.PipePipe; V.Tok.Bang ]
+
+let test_comments () =
+  check_toks "line comment" "a // comment here\nb" [ V.Tok.Id "a"; V.Tok.Id "b" ];
+  check_toks "block comment" "a /* multi\nline */ b" [ V.Tok.Id "a"; V.Tok.Id "b" ];
+  check_toks "directive skipped" "`timescale 1ns/1ps\na" [ V.Tok.Id "a" ]
+
+let test_errors () =
+  Alcotest.check_raises "unterminated block comment"
+    (V.Loc.Error (V.Loc.make ~file:"<buffer>" ~line:1 ~col:1, "unterminated block comment"))
+    (fun () -> ignore (V.Lexer.tokenize "/* never closed"));
+  (match V.Lexer.tokenize "64'hffff_ffff_ffff_ffff_f" with
+  | exception V.Loc.Error _ -> ()
+  | toks ->
+    (* 64-bit literal is wider than the 62-bit cap; caught at parse time *)
+    (match V.Parser.parse_design_tokens { toks } with
+    | exception V.Loc.Error _ -> ()
+    | exception _ -> ()
+    | _ -> Alcotest.fail "expected oversized literal rejection"))
+
+let test_positions () =
+  let located = V.Lexer.tokenize ~file:"f.v" "a\n  b" in
+  match located with
+  | [ a; b; _eof ] ->
+    Alcotest.(check int) "a line" 1 a.V.Lexer.loc.V.Loc.line;
+    Alcotest.(check int) "b line" 2 b.V.Lexer.loc.V.Loc.line;
+    Alcotest.(check int) "b col" 3 b.V.Lexer.loc.V.Loc.col
+  | _ -> Alcotest.fail "expected exactly three tokens"
+
+let tests =
+  [ Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "identifiers" `Quick test_identifiers;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "positions" `Quick test_positions ]

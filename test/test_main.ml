@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "alice"
+    [ ("lexer", Test_lexer.tests);
+      ("parser", Test_parser.tests);
+      ("elaborate", Test_elaborate.tests);
+      ("config", Test_config.tests);
+      ("analysis", Test_analysis.tests);
+      ("synth", Test_synth.tests);
+      ("lutmap", Test_lutmap.tests);
+      ("fabric", Test_fabric.tests);
+      ("sat", Test_sat.tests);
+      ("security", Test_security.tests);
+      ("flow", Test_flow.tests);
+      ("redact", Test_redact.tests);
+      ("decompose", Test_decompose.tests);
+      ("structural", Test_structural.tests);
+      ("unroll", Test_unroll.tests);
+      ("benchmarks", Test_benchmarks.tests) ]

@@ -1,0 +1,206 @@
+(* Parser unit tests plus the pretty-printer round-trip property. *)
+
+module V = Alice_verilog
+
+let parse_expr_str s =
+  let m = V.Parser.parse_module_exn ("module t (y); output y; assign y = " ^ s ^ "; endmodule") in
+  match
+    List.find_map
+      (function V.Ast.Assign (_, rhs) -> Some rhs | _ -> None)
+      m.V.Ast.mod_items
+  with
+  | Some e -> e
+  | None -> Alcotest.fail "no assign found"
+
+let expr_str e = V.Pp.expr_to_string e
+
+let check_expr msg src expected =
+  Alcotest.(check string) msg expected (expr_str (parse_expr_str src))
+
+let test_precedence () =
+  check_expr "mul binds tighter than add" "a + b * c" "(a + (b * c))";
+  check_expr "shift vs compare" "a << 2 > b" "((a << 2) > b)";
+  check_expr "and vs or" "a & b | c" "((a & b) | c)";
+  check_expr "xor between" "a & b ^ c | d" "(((a & b) ^ c) | d)";
+  check_expr "logical lowest" "a == b && c != d" "((a == b) && (c != d))";
+  check_expr "ternary" "a ? b + 1 : c" "(a ? (b + 1) : c)";
+  check_expr "le in expression" "a <= b" "(a <= b)"
+
+let test_unary () =
+  check_expr "reduction and" "&a" "&(a)";
+  check_expr "nested unary" "~|a" "~|(a)";
+  check_expr "not of parens" "!(a && b)" "!((a && b))";
+  check_expr "double negation" "~~a" "~(~(a))"
+
+let test_selects_concat () =
+  check_expr "bit select" "a[3]" "a[3]";
+  check_expr "part select" "a[7:4]" "a[7:4]";
+  check_expr "concat" "{a, b, c}" "{a, b, c}";
+  check_expr "replication" "{4{b}}" "{4{b}}";
+  check_expr "nested concat" "{a, {2{b}}}" "{a, {2{b}}}"
+
+let test_module_forms () =
+  let ansi =
+    V.Parser.parse_module_exn
+      "module m (input clk, input [7:0] a, output reg [7:0] q); endmodule"
+  in
+  Alcotest.(check (list string)) "ansi ports" [ "clk"; "a"; "q" ] ansi.V.Ast.mod_ports;
+  let nonansi =
+    V.Parser.parse_module_exn
+      "module m (clk, a, q); input clk; input [7:0] a; output reg [7:0] q; endmodule"
+  in
+  Alcotest.(check (list string)) "non-ansi ports" [ "clk"; "a"; "q" ]
+    nonansi.V.Ast.mod_ports
+
+let test_statements () =
+  let m =
+    V.Parser.parse_module_exn
+      {|module m (input clk, input [1:0] s, output reg [3:0] q);
+        always @(posedge clk) begin
+          if (s[0]) q <= 4'h1;
+          else begin
+            case (s)
+              2'd0: q <= 4'h2;
+              2'd1, 2'd2: q <= 4'h3;
+              default: q <= 4'h0;
+            endcase
+          end
+        end
+      endmodule|}
+  in
+  let always =
+    List.find_map
+      (function V.Ast.Always (s, b) -> Some (s, b) | _ -> None)
+      m.V.Ast.mod_items
+  in
+  match always with
+  | Some (V.Ast.Sens_events [ { edge = V.Ast.Posedge; signal = "clk" } ], [ V.Ast.If (_, _, [ V.Ast.Case (_, arms, Some _) ]) ]) ->
+    Alcotest.(check int) "two labelled arms" 2 (List.length arms);
+    let multi = List.nth arms 1 in
+    Alcotest.(check int) "second arm has two labels" 2 (List.length (fst multi))
+  | Some _ -> Alcotest.fail "unexpected always structure"
+  | None -> Alcotest.fail "no always block"
+
+let test_instances () =
+  let m =
+    V.Parser.parse_module_exn
+      {|module m (output [7:0] y);
+        sub #(.W(8), .D(2)) u1 (.a(y[3:0]), .b(), .c(8'hff));
+        sub u2 (y, 1'h1);
+      endmodule|}
+  in
+  let instances =
+    List.filter_map
+      (function V.Ast.Instance i -> Some i | _ -> None)
+      m.V.Ast.mod_items
+  in
+  match instances with
+  | [ u1; u2 ] ->
+    Alcotest.(check string) "u1 module" "sub" u1.V.Ast.inst_module;
+    Alcotest.(check int) "u1 params" 2 (List.length u1.V.Ast.inst_params);
+    Alcotest.(check int) "u1 ports" 3 (List.length u1.V.Ast.inst_ports);
+    Alcotest.(check bool) "u1.b unconnected" true
+      (List.exists
+         (fun (b : V.Ast.port_binding) ->
+           b.port_name = Some "b" && b.port_expr = None)
+         u1.V.Ast.inst_ports);
+    Alcotest.(check int) "u2 positional ports" 2 (List.length u2.V.Ast.inst_ports)
+  | _ -> Alcotest.fail "expected two instances"
+
+let test_parse_errors () =
+  let expect_error src =
+    match V.Parser.parse src with
+    | exception V.Loc.Error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for: " ^ src)
+  in
+  expect_error "module m (; endmodule";
+  expect_error "module m (a); assign a = ; endmodule";
+  expect_error "module m (a); input a endmodule";
+  expect_error "module m (a); always @(posedge) a = 1; endmodule";
+  expect_error "module";
+  expect_error "module m (a); wire w; assign w = 70'hffff; endmodule"
+
+(* ---------- round-trip property ---------- *)
+
+let gen_expr : V.Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun i -> V.Ast.Num { width = None; value = abs i mod 1000 }) int;
+        oneofl [ V.Ast.Ident "a"; V.Ast.Ident "b"; V.Ast.Ident "c" ];
+        map (fun i -> V.Ast.Bit_select ("a", V.Ast.num (abs i mod 8))) int ]
+  in
+  let binops =
+    [ V.Ast.Badd; V.Ast.Bsub; V.Ast.Bmul; V.Ast.Band; V.Ast.Bor; V.Ast.Bxor;
+      V.Ast.Blogand; V.Ast.Blogor; V.Ast.Beq; V.Ast.Bneq; V.Ast.Blt;
+      V.Ast.Ble; V.Ast.Bshl; V.Ast.Bshr ]
+  in
+  let unops = [ V.Ast.Unot; V.Ast.Ulognot; V.Ast.Uneg; V.Ast.Ured_and; V.Ast.Ured_or; V.Ast.Ured_xor ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then leaf
+      else
+        frequency
+          [ (2, leaf);
+            (3,
+             map3
+               (fun op a b -> V.Ast.Binary (op, a, b))
+               (oneofl binops) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun op a -> V.Ast.Unary (op, a)) (oneofl unops) (self (depth - 1)));
+            (1,
+             map3
+               (fun c a b -> V.Ast.Ternary (c, a, b))
+               (self (depth - 1)) (self (depth - 1)) (self (depth - 1)));
+            (1, map (fun es -> V.Ast.Concat es) (list_size (int_range 1 3) (self (depth - 1)))) ])
+    4
+
+let roundtrip_prop =
+  QCheck.Test.make ~count:300 ~name:"pp/parse round-trip"
+    (QCheck.make gen_expr ~print:expr_str)
+    (fun e ->
+      let printed = expr_str e in
+      let reparsed = parse_expr_str printed in
+      (* compare via printing: the printer is deterministic and fully
+         parenthesized, so equal trees print equally *)
+      expr_str reparsed = printed)
+
+(* whole-module round trip: print, reparse, reprint — fixpoint *)
+let gen_module : V.Ast.module_decl QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* n_assigns = int_range 1 4 in
+  let* exprs = list_repeat n_assigns (gen_expr) in
+  let items =
+    [ V.Ast.Port_decl (V.Ast.Input, V.Ast.Wire, Some (V.Ast.num 7, V.Ast.num 0), [ "a" ]);
+      V.Ast.Port_decl (V.Ast.Input, V.Ast.Wire, Some (V.Ast.num 7, V.Ast.num 0), [ "b" ]);
+      V.Ast.Port_decl (V.Ast.Input, V.Ast.Wire, Some (V.Ast.num 7, V.Ast.num 0), [ "c" ]) ]
+    @ List.mapi
+        (fun i _ ->
+          V.Ast.Net_decl (V.Ast.Wire, Some (V.Ast.num 7, V.Ast.num 0), [ Printf.sprintf "w%d" i ]))
+        exprs
+    @ List.mapi
+        (fun i e -> V.Ast.Assign (V.Ast.Ident (Printf.sprintf "w%d" i), e))
+        exprs
+  in
+  return
+    { V.Ast.mod_name = "m"; mod_ports = [ "a"; "b"; "c" ];
+      mod_items = items; mod_loc = V.Loc.none }
+
+let module_roundtrip_prop =
+  QCheck.Test.make ~count:100 ~name:"module pp/parse fixpoint"
+    (QCheck.make gen_module ~print:V.Pp.module_to_string)
+    (fun m ->
+      let printed = V.Pp.module_to_string m in
+      let reparsed = V.Parser.parse_module_exn printed in
+      let reprinted = V.Pp.module_to_string reparsed in
+      reprinted = printed)
+
+let tests =
+  [ Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "unary" `Quick test_unary;
+    Alcotest.test_case "selects and concat" `Quick test_selects_concat;
+    Alcotest.test_case "module forms" `Quick test_module_forms;
+    Alcotest.test_case "statements" `Quick test_statements;
+    Alcotest.test_case "instances" `Quick test_instances;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    QCheck_alcotest.to_alcotest roundtrip_prop;
+    QCheck_alcotest.to_alcotest module_roundtrip_prop ]

@@ -1,0 +1,195 @@
+(* Redacted-design generation: the programmed view must be functionally
+   identical to the original design, and the opaque view must hide the
+   redacted module bodies. *)
+
+module V = Alice_verilog
+module N = Alice_netlist
+module A = Alice
+module C = Alice_config
+
+let demo_src =
+  {|module f1 (input [7:0] a, output [7:0] y); assign y = a + 8'h1; endmodule
+    module f2 (input [7:0] a, output [7:0] y); assign y = a ^ 8'h55; endmodule
+    module f3 (input [7:0] a, output [7:0] y); assign y = {a[0], a[7:1]}; endmodule
+    module top (input [7:0] x, output [7:0] out1, output [7:0] out2);
+      wire [7:0] t;
+      f1 u1 (.a(x), .y(t));
+      f2 u2 (.a(t), .y(out1));
+      f3 u3 (.a(x), .y(out2));
+    endmodule|}
+
+let demo_cfg =
+  { C.Flow_config.default with
+    C.Flow_config.max_io_pins = 40; max_efpgas = 2;
+    min_fabric_size = 2; max_fabric_size = 12 }
+
+let equivalent (a : N.Circuit.t) (b : N.Circuit.t) : bool =
+  let sa = N.Simulate.create a and sb = N.Simulate.create b in
+  let ok = ref true in
+  for x = 0 to 255 do
+    N.Simulate.set_input sa "x" x;
+    N.Simulate.set_input sb "x" x;
+    N.Simulate.eval sa;
+    N.Simulate.eval sb;
+    if
+      N.Simulate.read_output sa "out1" <> N.Simulate.read_output sb "out1"
+      || N.Simulate.read_output sa "out2" <> N.Simulate.read_output sb "out2"
+    then ok := false
+  done;
+  !ok
+
+let redacted view =
+  let flow = A.Flow.run_source ~config:demo_cfg demo_src in
+  match A.Flow.redact ~view flow with
+  | Some r -> (flow, r)
+  | None -> Alcotest.fail "flow found no solution"
+
+let test_programmed_equivalence () =
+  let flow, r = redacted A.Redact.Programmed in
+  ignore flow;
+  (* the emitted text must parse with our own frontend *)
+  let ast = V.Parser.parse ~file:"redacted.v" r.A.Redact.verilog in
+  let original = N.Synth.synthesize (V.Elaborate.elaborate ~top:"top" (V.Parser.parse demo_src)) in
+  let redone = N.Synth.synthesize (V.Elaborate.elaborate ~top:"top" ast) in
+  Alcotest.(check bool) "programmed view equals original" true
+    (equivalent original redone)
+
+let test_sites () =
+  let flow, r = redacted A.Redact.Programmed in
+  let best = Option.get flow.A.Flow.selection.A.Selection.best in
+  Alcotest.(check int) "one site per eFPGA"
+    (List.length best.A.Selection.efpgas)
+    (List.length r.A.Redact.sites);
+  List.iter
+    (fun (s : A.Redact.efpga_site) ->
+      Alcotest.(check bool) "gpio widths positive" true
+        (s.A.Redact.gpio_in_width > 0 && s.A.Redact.gpio_out_width > 0);
+      Alcotest.(check string) "insertion point is the parent" "top"
+        s.A.Redact.insertion_point)
+    r.A.Redact.sites
+
+let test_opaque_hides_modules () =
+  let _, r = redacted A.Redact.Opaque in
+  let ast = V.Parser.parse r.A.Redact.verilog in
+  let module_names = List.map (fun (m : V.Ast.module_decl) -> m.V.Ast.mod_name) ast.V.Ast.modules in
+  List.iter
+    (fun removed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "module %s absent from opaque view" removed)
+        false
+        (List.mem removed module_names))
+    r.A.Redact.removed_modules;
+  Alcotest.(check bool) "some module was removed" true (r.A.Redact.removed_modules <> []);
+  (* the redacted instances are gone from the top module *)
+  let top = Option.get (V.Ast.find_module ast "top") in
+  let instances =
+    List.filter_map
+      (function V.Ast.Instance i -> Some i.V.Ast.inst_module | _ -> None)
+      top.V.Ast.mod_items
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "no redacted instance in top" false (List.mem m instances))
+    r.A.Redact.removed_modules
+
+let test_opaque_still_elaborates () =
+  let _, r = redacted A.Redact.Opaque in
+  (* the opaque design must remain a valid, synthesizable netlist (the
+     fabrics are stubs driving constants) *)
+  let ast = V.Parser.parse r.A.Redact.verilog in
+  let d = V.Elaborate.elaborate ~top:"top" ast in
+  let c = N.Synth.synthesize d in
+  Alcotest.(check bool) "synthesizes" true (N.Circuit.gate_count c > 0)
+
+let test_multi_member_site () =
+  (* force a multi-module redaction by allowing only one eFPGA: the best
+     solution under Reward scoring packs the pair cluster *)
+  let cfg = { demo_cfg with C.Flow_config.max_efpgas = 1 } in
+  let flow = A.Flow.run_source ~config:cfg demo_src in
+  match A.Flow.redact ~view:A.Redact.Programmed flow with
+  | None -> Alcotest.fail "no solution"
+  | Some r ->
+    let ast = V.Parser.parse r.A.Redact.verilog in
+    let original = N.Synth.synthesize (V.Elaborate.elaborate ~top:"top" (V.Parser.parse demo_src)) in
+    let redone = N.Synth.synthesize (V.Elaborate.elaborate ~top:"top" ast) in
+    Alcotest.(check bool) "multi-member programmed equivalence" true
+      (equivalent original redone)
+
+(* cross-parent redaction on the real GCD benchmark: members live under
+   both the top and the datapath, exercising dominator insertion and
+   port punching; the programmed view must still compute gcd *)
+let test_gcd_cross_parent () =
+  let module B = Alice_benchmarks.Suite in
+  let gcd = Option.get (B.find "GCD") in
+  let flow = A.Flow.run ~config:(B.config1 gcd) (B.parse gcd) in
+  match A.Flow.redact ~view:A.Redact.Programmed flow with
+  | None -> Alcotest.fail "no GCD solution"
+  | Some r ->
+    let ast = V.Parser.parse ~file:"gcd_redacted.v" r.A.Redact.verilog in
+    let c = N.Synth.synthesize (V.Elaborate.elaborate ~top:"gcd" ast) in
+    let sim = N.Simulate.create c in
+    let run_gcd a bv =
+      N.Simulate.reset sim;
+      N.Simulate.set_input sim "rst" 0;
+      N.Simulate.step sim;
+      N.Simulate.set_input sim "rst" 1;
+      N.Simulate.set_input sim "a_in" a;
+      N.Simulate.set_input sim "b_in" bv;
+      N.Simulate.set_input sim "start" 1;
+      N.Simulate.step sim;
+      N.Simulate.set_input sim "start" 0;
+      let rec wait n =
+        if n = 0 then Alcotest.fail "redacted gcd did not finish"
+        else begin
+          N.Simulate.step sim;
+          N.Simulate.eval sim;
+          if N.Simulate.read_output sim "done" = 1 then
+            N.Simulate.read_output sim "result"
+          else wait (n - 1)
+        end
+      in
+      wait 200
+    in
+    Alcotest.(check int) "redacted gcd(48,18)" 6 (run_gcd 48 18);
+    Alcotest.(check int) "redacted gcd(35,14)" 7 (run_gcd 35 14);
+    Alcotest.(check int) "redacted gcd(81,27)" 27 (run_gcd 81 27)
+
+let test_specialized_member () =
+  (* redacting an instance of a parameterized module must re-instantiate
+     the same specialization in the programmed view (regression) *)
+  let src =
+    {|module scale #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);
+      assign y = a + {{(W-1){1'h0}}, 1'h1};
+    endmodule
+    module top (input [7:0] x, input [15:0] z, output [7:0] o1, output [15:0] o2);
+      scale u8 (.a(x), .y(o1));
+      scale #(.W(16)) u16 (.a(z), .y(o2));
+    endmodule|}
+  in
+  let cfg =
+    { demo_cfg with C.Flow_config.max_efpgas = 1; selected_outputs = [ "o2" ] }
+  in
+  let flow = A.Flow.run_source ~config:cfg src in
+  match A.Flow.redact ~view:A.Redact.Programmed flow with
+  | None -> Alcotest.fail "no solution"
+  | Some r ->
+    let c =
+      N.Synth.synthesize
+        (V.Elaborate.elaborate ~top:"top" (V.Parser.parse r.A.Redact.verilog))
+    in
+    let sim = N.Simulate.create c in
+    N.Simulate.set_input sim "x" 41;
+    N.Simulate.set_input sim "z" 1000;
+    N.Simulate.eval sim;
+    Alcotest.(check int) "narrow instance untouched" 42 (N.Simulate.read_output sim "o1");
+    Alcotest.(check int) "wide instance redacted at full width" 1001
+      (N.Simulate.read_output sim "o2")
+
+let tests =
+  [ Alcotest.test_case "programmed equivalence" `Quick test_programmed_equivalence;
+    Alcotest.test_case "gcd cross-parent redaction" `Quick test_gcd_cross_parent;
+    Alcotest.test_case "sites" `Quick test_sites;
+    Alcotest.test_case "opaque hides modules" `Quick test_opaque_hides_modules;
+    Alcotest.test_case "opaque still elaborates" `Quick test_opaque_still_elaborates;
+    Alcotest.test_case "multi-member site" `Quick test_multi_member_site;
+    Alcotest.test_case "specialized member" `Quick test_specialized_member ]
