@@ -158,7 +158,8 @@ let run_security () =
   let attack_one label mapped =
     let locked = Sec.Locked.of_mapped mapped in
     let oracle = Sec.Locked.make_oracle locked in
-    let budget = { Sec.Sat_attack.max_iterations = 200; max_seconds = 30.0 } in
+    let budget = { Sec.Sat_attack.max_iterations = 200; max_seconds = 30.0;
+                   solver_conflicts = None } in
     let o = Sec.Sat_attack.attack ~budget locked ~oracle in
     let correct =
       match o.Sec.Sat_attack.key with
@@ -167,7 +168,8 @@ let run_security () =
     in
     let approx =
       Sec.Approx_attack.attack
-        ~budget:{ Sec.Approx_attack.queries = 96; max_flips = 2000; restarts = 4 }
+        ~budget:{ Sec.Approx_attack.queries = 96; max_flips = 2000; restarts = 4;
+                  max_seconds = 30.0 }
         locked ~oracle
     in
     Format.printf "%-18s %6d %9d | %6d %8.2f %9s | %8.0f%% %8.2f@." label
@@ -466,7 +468,8 @@ let run_micro () =
              let oracle = Sec.Locked.make_oracle locked in
              ignore
                (Sec.Sat_attack.attack
-                  ~budget:{ Sec.Sat_attack.max_iterations = 64; max_seconds = 10.0 }
+                  ~budget:{ Sec.Sat_attack.max_iterations = 64; max_seconds = 10.0;
+                            solver_conflicts = None }
                   locked ~oracle))) ]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in

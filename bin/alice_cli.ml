@@ -8,13 +8,18 @@
      alice bench     <name>                  # run a bundled benchmark
 
    The YAML configuration file follows the paper's Section 3; see
-   Alice_config.Flow_config for the recognized keys. *)
+   Alice_config.Flow_config for the recognized keys.
+
+   Errors are reported as structured diagnostics (--diag-format=text|json;
+   text goes to stderr, json to stdout). Exit codes: 0 success, 1 input
+   errors were reported, 2 internal failure. *)
 
 open Cmdliner
 
 module A = Alice
 module B = Alice_benchmarks.Suite
 module C = Alice_config
+module D = Alice_diag.Diag
 module F = Alice_fabric
 module N = Alice_netlist
 module V = Alice_verilog
@@ -35,24 +40,50 @@ let load_config = function
   | None -> C.Flow_config.default
   | Some path -> C.Flow_config.of_string (read_file path)
 
-let handle_errors f =
+(* ---------- diagnostics plumbing ---------- *)
+
+let diag_format =
+  let fmt_conv = Arg.enum [ ("text", D.Text); ("json", D.Json) ] in
+  Arg.(value & opt fmt_conv D.Text
+       & info [ "diag-format" ] ~docv:"FMT"
+           ~doc:"Diagnostic output format: $(b,text) (to stderr) or \
+                 $(b,json) (to stdout).")
+
+let render_diags (fmt : D.format) (diags : D.t list) : unit =
+  if diags <> [] then
+    match fmt with
+    | D.Text -> prerr_string (D.render_list D.Text diags)
+    | D.Json -> print_string (D.render_list D.Json diags)
+
+(* Classify an exception that escaped a command into a diagnostic plus
+   the exit code it implies: recognized input/configuration problems are
+   1, anything unexpected is an internal failure, 2. *)
+let diag_of_cli_exn : exn -> D.t * int = function
+  | V.Loc.Error (loc, msg) -> (D.error ~loc ~code:"E0100" "%s" msg, 1)
+  | C.Yaml_lite.Parse_error (line, msg) ->
+    (D.error ~code:"E0601" "configuration parse error at line %d: %s" line msg, 1)
+  | N.Synth.Synthesis_error msg -> (D.error ~code:"E0201" "synthesis error: %s" msg, 1)
+  | N.Simulate.Combinational_cycle msg ->
+    (D.error ~code:"E0202" "combinational cycle: %s" msg, 1)
+  | A.Redact.Redaction_error msg -> (D.error ~code:"E0800" "redaction error: %s" msg, 1)
+  | Invalid_argument msg -> (D.error ~code:"E0602" "%s" msg, 1)
+  | Sys_error msg -> (D.error ~code:"E0001" "%s" msg, 1)
+  | e -> (D.of_exn e, 2)
+
+(* Run a command body that returns its own exit code; exceptions become
+   rendered diagnostics (appended to any partial ones already collected)
+   and the classified exit code. *)
+let handle_errors ~(fmt : D.format) ?(collector : D.Collector.t option)
+    (f : unit -> int) : int =
   match f () with
-  | () -> 0
-  | exception V.Loc.Error (loc, msg) ->
-    Printf.eprintf "%s: %s\n" (V.Loc.to_string loc) msg;
-    1
-  | exception N.Synth.Synthesis_error msg ->
-    Printf.eprintf "synthesis error: %s\n" msg;
-    1
-  | exception A.Redact.Redaction_error msg ->
-    Printf.eprintf "redaction error: %s\n" msg;
-    1
-  | exception Invalid_argument msg ->
-    Printf.eprintf "error: %s\n" msg;
-    1
-  | exception Sys_error msg ->
-    Printf.eprintf "%s\n" msg;
-    1
+  | code -> code
+  | exception e ->
+    let d, code = diag_of_cli_exn e in
+    let pending =
+      match collector with Some c -> D.Collector.list c | None -> []
+    in
+    render_diags fmt (pending @ [ d ]);
+    code
 
 (* ---------- inspect ---------- *)
 
@@ -61,8 +92,8 @@ let inspect_cmd =
   let top =
     Arg.(value & opt (some string) None & info [ "t"; "top" ] ~docv:"MODULE")
   in
-  let run file top =
-    handle_errors (fun () ->
+  let run file top fmt =
+    handle_errors ~fmt (fun () ->
         let ast = load_design file in
         let d = V.Elaborate.elaborate ?top ast in
         Format.printf "top module: %s@." d.V.Elaborate.d_top;
@@ -76,11 +107,12 @@ let inspect_cmd =
               m.V.Elaborate.em_name
               (V.Elaborate.io_pin_count m)
               (List.length (V.Design.instances_of_module d m.V.Elaborate.em_name)))
-          (V.Design.non_top_modules d))
+          (V.Design.non_top_modules d);
+        0)
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Show design characteristics (Table 1 style)")
-    Term.(const run $ file $ top)
+    Term.(const run $ file $ top $ diag_format)
 
 (* ---------- redact ---------- *)
 
@@ -93,37 +125,47 @@ let redact_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.v")
   in
   let opaque = Arg.(value & flag & info [ "opaque" ] ~doc:"Emit the foundry view") in
-  let run file config output opaque =
-    handle_errors (fun () ->
-        let ast = load_design file in
+  let run file config output opaque fmt =
+    let collector = D.Collector.create () in
+    handle_errors ~fmt ~collector (fun () ->
+        let src = read_file file in
         let cfg = load_config config in
-        let flow = A.Flow.run ~config:cfg ast in
+        (* recovering front end: every syntax error lands in the
+           collector and surviving modules continue through the flow *)
+        let flow = A.Flow.run_source ~config:cfg ~diags:collector ~file src in
         Format.eprintf "%a" A.Report.pp_table2_header ();
         Format.eprintf "%a" A.Report.pp_table2_row
           (A.Report.row_of_flow ~design_name:(Filename.basename file) flow);
         let view = if opaque then A.Redact.Opaque else A.Redact.Programmed in
-        match A.Flow.redact ~view flow with
-        | None ->
-          Format.eprintf "no feasible redaction under this configuration@.";
-          exit 2
-        | Some r ->
-          List.iter
-            (fun (s : A.Redact.efpga_site) ->
-              Format.eprintf "%s at %s: %d modules, gpio %d in / %d out@."
-                s.efpga_name s.insertion_point (List.length s.members)
-                s.gpio_in_width s.gpio_out_width)
-            r.A.Redact.sites;
-          (match output with
-          | Some path ->
-            let oc = open_out path in
-            output_string oc r.A.Redact.verilog;
-            close_out oc;
-            Format.eprintf "wrote %s@." path
-          | None -> print_string r.A.Redact.verilog))
+        let code =
+          match A.Flow.redact ~view flow with
+          | None ->
+            D.Collector.add collector
+              (D.error ~code:"E0801"
+                 "no feasible redaction under this configuration");
+            1
+          | Some r ->
+            List.iter
+              (fun (s : A.Redact.efpga_site) ->
+                Format.eprintf "%s at %s: %d modules, gpio %d in / %d out@."
+                  s.efpga_name s.insertion_point (List.length s.members)
+                  s.gpio_in_width s.gpio_out_width)
+              r.A.Redact.sites;
+            (match output with
+            | Some path ->
+              let oc = open_out path in
+              output_string oc r.A.Redact.verilog;
+              close_out oc;
+              Format.eprintf "wrote %s@." path
+            | None -> print_string r.A.Redact.verilog);
+            if D.Collector.has_errors collector then 1 else 0
+        in
+        render_diags fmt (D.Collector.list collector);
+        code)
   in
   Cmd.v
     (Cmd.info "redact" ~doc:"Run the ALICE flow and emit the redacted design")
-    Term.(const run $ file $ config $ output $ opaque)
+    Term.(const run $ file $ config $ output $ opaque $ diag_format)
 
 (* ---------- attack ---------- *)
 
@@ -136,8 +178,14 @@ let attack_cmd =
     Arg.(value & opt int 256 & info [ "iterations" ] ~docv:"N")
   in
   let seconds = Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S") in
-  let run file module_name iterations seconds =
-    handle_errors (fun () ->
+  let solver_budget =
+    Arg.(value & opt (some int) None
+         & info [ "solver-budget" ] ~docv:"CONFLICTS"
+             ~doc:"Conflict budget per SAT-solver call; when exhausted the \
+                   attack reports $(b,inconclusive) instead of looping.")
+  in
+  let run file module_name iterations seconds solver_budget fmt =
+    handle_errors ~fmt (fun () ->
         let ast = load_design file in
         let d = V.Elaborate.elaborate ast in
         let circuit = N.Synth.synthesize_module d module_name in
@@ -146,13 +194,15 @@ let attack_cmd =
           (N.Circuit.lut_count mapped) (N.Circuit.dff_count mapped)
           (N.Circuit.io_bit_count mapped);
         let budget =
-          { Sec.Sat_attack.max_iterations = iterations; max_seconds = seconds }
+          { Sec.Sat_attack.max_iterations = iterations; max_seconds = seconds;
+            solver_conflicts = solver_budget }
         in
         let locked = Sec.Locked.of_mapped mapped in
         let oracle = Sec.Locked.make_oracle locked in
         let o = Sec.Sat_attack.attack ~budget locked ~oracle in
         Format.printf "key space: %d bits@." o.Sec.Sat_attack.key_bits;
-        if o.Sec.Sat_attack.success then begin
+        (match o.Sec.Sat_attack.status with
+        | Sec.Sat_attack.Converged ->
           let correct =
             match o.Sec.Sat_attack.key with
             | Some key -> Sec.Metrics.key_is_correct locked key
@@ -163,15 +213,22 @@ let attack_cmd =
              recovered key is %s@."
             o.Sec.Sat_attack.iterations o.Sec.Sat_attack.seconds
             (if correct then "functionally correct" else "NOT correct")
-        end
-        else
+        | Sec.Sat_attack.Exhausted ->
           Format.printf "attack exhausted its budget after %d DIPs (%.2fs)@."
-            o.Sec.Sat_attack.iterations o.Sec.Sat_attack.seconds)
+            o.Sec.Sat_attack.iterations o.Sec.Sat_attack.seconds
+        | Sec.Sat_attack.Inconclusive ->
+          render_diags fmt
+            [ D.warning ~code:"W0501"
+                "attack inconclusive: solver conflict budget exhausted \
+                 after %d DIPs (%.2fs); proves nothing about the lock"
+                o.Sec.Sat_attack.iterations o.Sec.Sat_attack.seconds ]);
+        0)
   in
   Cmd.v
     (Cmd.info "attack"
        ~doc:"Lock one module as an eFPGA and run the oracle-guided SAT attack")
-    Term.(const run $ file $ module_name $ iterations $ seconds)
+    Term.(const run $ file $ module_name $ iterations $ seconds $ solver_budget
+          $ diag_format)
 
 (* ---------- decompose ---------- *)
 
@@ -184,13 +241,14 @@ let decompose_cmd =
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.v")
   in
-  let run file module_name pins output =
-    handle_errors (fun () ->
+  let run file module_name pins output fmt =
+    handle_errors ~fmt (fun () ->
         let ast = load_design file in
         match A.Decompose.decompose_module ast ~module_name ~max_io_pins:pins with
         | exception A.Decompose.Unsupported msg ->
-          Printf.eprintf "cannot decompose: %s\n" msg;
-          exit 2
+          render_diags fmt
+            [ D.error ~code:"E0802" "cannot decompose: %s" msg ];
+          1
         | design', plan ->
           List.iter2
             (fun part outs ->
@@ -203,12 +261,13 @@ let decompose_cmd =
             output_string oc text;
             close_out oc;
             Format.eprintf "wrote %s@." path
-          | None -> print_string text))
+          | None -> print_string text);
+          0)
   in
   Cmd.v
     (Cmd.info "decompose"
        ~doc:"Split a combinational module into eFPGA-sized parts              (fine-grained redaction pre-processing)")
-    Term.(const run $ file $ module_name $ pins $ output)
+    Term.(const run $ file $ module_name $ pins $ output $ diag_format)
 
 (* ---------- simulate ---------- *)
 
@@ -222,8 +281,8 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"OUT.vcd")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S") in
-  let run file top cycles vcd_out seed =
-    handle_errors (fun () ->
+  let run file top cycles vcd_out seed fmt =
+    handle_errors ~fmt (fun () ->
         let ast = load_design file in
         let d = V.Elaborate.elaborate ?top ast in
         let c = N.Synth.synthesize d in
@@ -244,42 +303,46 @@ let simulate_cmd =
           (fun (name, _) ->
             Format.printf "%s = %d@." name (N.Simulate.read_output sim name))
           c.N.Circuit.outputs;
-        match vcd_out with
+        (match vcd_out with
         | Some path ->
           N.Vcd.write_file vcd path;
           Format.eprintf "wrote %s@." path
-        | None -> ())
+        | None -> ());
+        0)
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Synthesize and simulate a design with random stimuli;              optionally dump a VCD waveform")
-    Term.(const run $ file $ top $ cycles $ vcd_out $ seed)
+    Term.(const run $ file $ top $ cycles $ vcd_out $ seed $ diag_format)
 
 (* ---------- bench ---------- *)
 
 let bench_cmd =
   let bench_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in
   let cfg2 = Arg.(value & flag & info [ "cfg2" ] ~doc:"Use the paper's cfg2") in
-  let run name cfg2 =
-    handle_errors (fun () ->
+  let run name cfg2 fmt =
+    handle_errors ~fmt (fun () ->
         match B.find name with
         | None ->
-          Printf.eprintf "unknown benchmark %s (have: %s)\n" name
-            (String.concat ", " (List.map (fun b -> b.B.name) B.all));
-          exit 1
+          render_diags fmt
+            [ D.error ~code:"E0002" "unknown benchmark %s (have: %s)" name
+                (String.concat ", " (List.map (fun b -> b.B.name) B.all)) ];
+          1
         | Some b ->
           let config = if cfg2 then B.config2 b else B.config1 b in
           let flow = A.Flow.run ~config (B.parse b) in
           Format.printf "%a" A.Report.pp_table2_header ();
           Format.printf "%a" A.Report.pp_table2_row
             (A.Report.row_of_flow ~design_name:b.B.name flow);
-          match flow.A.Flow.selection.A.Selection.best with
+          (match flow.A.Flow.selection.A.Selection.best with
           | None -> ()
-          | Some best -> Format.printf "best: %a@." A.Selection.pp_solution best)
+          | Some best -> Format.printf "best: %a@." A.Selection.pp_solution best);
+          render_diags fmt flow.A.Flow.diags;
+          if List.exists D.is_error flow.A.Flow.diags then 1 else 0)
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run a bundled benchmark through the flow")
-    Term.(const run $ bench_name $ cfg2)
+    Term.(const run $ bench_name $ cfg2 $ diag_format)
 
 let () =
   let doc = "automatic eFPGA redaction (DAC'22 ALICE flow)" in

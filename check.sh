@@ -1,0 +1,42 @@
+#!/bin/sh
+# Tier-1 verification: build, unit/property tests, and a CLI smoke test
+# of the diagnostics contract (broken input => exit 1 + JSON diagnostics).
+set -eu
+cd "$(dirname "$0")"
+
+dune build
+dune runtest
+
+# --- diagnostics smoke test -------------------------------------------
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# deliberately broken: a syntax error inside one module
+cat > "$tmpdir/broken.v" <<'EOF'
+module leaf (input [3:0] a, output [3:0] y);
+  assign y = ;
+endmodule
+module top (input [3:0] x, output [3:0] o);
+  leaf u1 (.a(x), .y(o));
+endmodule
+EOF
+
+set +e
+dune exec --no-build bin/alice_cli.exe -- redact "$tmpdir/broken.v" \
+  --diag-format=json -o "$tmpdir/out.v" > "$tmpdir/diags.json" 2> /dev/null
+code=$?
+set -e
+
+if [ "$code" -ne 1 ]; then
+  echo "check.sh: expected exit code 1 on broken input, got $code" >&2
+  exit 1
+fi
+
+# non-empty JSON array of diagnostics on stdout
+if ! grep -q '"code":"E01' "$tmpdir/diags.json"; then
+  echo "check.sh: expected a front-end diagnostic in JSON output, got:" >&2
+  cat "$tmpdir/diags.json" >&2
+  exit 1
+fi
+
+echo "check.sh: OK"

@@ -57,6 +57,14 @@ type t = {
       (** when true, any dataflow path between two instances (even through
           registers and third-party logic) makes them dependent; when
           false (default) only a direct wire connection does *)
+  (* resource budgets *)
+  solver_budget : int option;
+      (** conflict budget per SAT-solver call in security evaluation;
+          [None] leaves the solver unbounded *)
+  characterize_deadline_s : float option;
+      (** wall-clock deadline in seconds for characterizing the whole
+          candidate set; clusters not started before the deadline are
+          skipped with a diagnostic. [None] disables the deadline *)
 }
 
 let default =
@@ -65,7 +73,8 @@ let default =
     min_fabric_size = 2; max_fabric_size = 20; target_utilization = 0.5;
     min_clb_utilization = 0.0;
     selected_outputs = []; top = None; min_score = 1; rank_order = Highest;
-    score_formula = Reward; transitive_independence = false }
+    score_formula = Reward; transitive_independence = false;
+    solver_budget = None; characterize_deadline_s = None }
 
 (** The paper's cfg1: at most 64 I/O pins per eFPGA, up to two eFPGAs. *)
 let cfg1 = { default with max_io_pins = 64; max_efpgas = 2 }
@@ -109,7 +118,24 @@ let of_yaml (doc : Yaml_lite.t) : t =
        | other -> invalid_arg (Printf.sprintf "score_formula: %s" other));
     transitive_independence =
       Yaml_lite.get_bool ~default:d.transitive_independence doc
-        "transitive_independence" }
+        "transitive_independence";
+    solver_budget =
+      (match Yaml_lite.find doc "solver_budget" with
+       | None | Some Yaml_lite.Null -> None
+       | Some (Yaml_lite.Int n) ->
+         if n <= 0 then invalid_arg "solver_budget: must be positive"
+         else Some n
+       | Some _ -> invalid_arg "solver_budget: expected an integer");
+    characterize_deadline_s =
+      (match Yaml_lite.find doc "characterize_deadline_s" with
+       | None | Some Yaml_lite.Null -> None
+       | Some (Yaml_lite.Int n) ->
+         if n <= 0 then invalid_arg "characterize_deadline_s: must be positive"
+         else Some (float_of_int n)
+       | Some (Yaml_lite.Float f) ->
+         if f <= 0.0 then invalid_arg "characterize_deadline_s: must be positive"
+         else Some f
+       | Some _ -> invalid_arg "characterize_deadline_s: expected a number") }
 
 let of_string (src : string) : t = of_yaml (Yaml_lite.parse src)
 

@@ -39,6 +39,13 @@ type t = {
   transitive_independence : bool;
       (** true: any dataflow path between two instances makes them
           dependent; false (default): only a direct wire connection *)
+  solver_budget : int option;
+      (** conflict budget per SAT-solver call in security evaluation;
+          [None] leaves the solver unbounded *)
+  characterize_deadline_s : float option;
+      (** wall-clock deadline in seconds for characterizing the whole
+          candidate set; clusters not started before the deadline are
+          skipped with a diagnostic. [None] disables the deadline *)
 }
 
 val default : t

@@ -12,10 +12,22 @@ module V = Alice_verilog
 module N = Alice_netlist
 module F = Alice_fabric
 module C = Alice_config
+module D = Alice_diag.Diag
+module Timebase = Alice_diag.Timebase
+
+(** How characterizing one cluster ended. [Implemented] is a feasible
+    fabric; [Infeasible] is the expected "no permitted fabric works"
+    outcome of the size search; [Failed] is a fault — an exception that
+    escaped synthesis, mapping or the search — captured as a diagnostic
+    so one broken cluster cannot abort the whole flow. *)
+type outcome =
+  | Implemented of F.Size_search.implementation
+  | Infeasible of F.Size_search.failure
+  | Failed of D.t
 
 type characterization = {
   cluster : Clustering.cluster;
-  outcome : (F.Size_search.implementation, F.Size_search.failure) result;
+  outcome : outcome;
   mapped : N.Circuit.t option;  (* the LUT-mapped cluster, for security work *)
 }
 
@@ -73,22 +85,55 @@ let cache_key (cluster : Clustering.cluster) : string =
   |> List.map (fun (m : V.Design.tree) -> m.module_name)
   |> List.sort compare |> String.concat "|"
 
-(** Characterize one cluster (cached). *)
+(* a short human label for diagnostics: the cluster's member instances *)
+let cluster_label (cluster : Clustering.cluster) : string =
+  cluster.Clustering.members
+  |> List.map (fun (m : V.Design.tree) -> m.inst_name)
+  |> String.concat "+"
+
+(** Classify an exception that escaped one cluster's characterization.
+    Layer exceptions get their layer's code; everything else falls back
+    to {!D.of_exn}. The cluster's member instances always ride along as
+    context so an aggregated report stays attributable. *)
+let diag_of_cluster_exn (cluster : Clustering.cluster) (e : exn) : D.t =
+  let context = [ ("cluster", cluster_label cluster) ] in
+  match e with
+  | N.Synth.Synthesis_error msg ->
+    D.error ~context ~code:"E0201" "synthesis failed: %s" msg
+  | N.Simulate.Combinational_cycle msg ->
+    D.error ~context ~code:"E0202" "combinational cycle: %s" msg
+  | F.Place.Does_not_fit fe ->
+    D.error ~context ~code:"E0301" "placement failed: %s"
+      (F.Place.fit_failure_to_string fe)
+  | V.Loc.Error (loc, msg) -> D.error ~loc ~context ~code:"E0100" "%s" msg
+  | e -> { (D.of_exn e) with D.context = context }
+
+(** Characterize one cluster (cached). Any exception escaping synthesis,
+    LUT mapping or the size search — except [Out_of_memory], which is
+    not safely resumable — becomes a [Failed] outcome carrying a
+    diagnostic, so a single broken cluster degrades to one lost
+    candidate instead of aborting the run. *)
 let run ?(cache : cache option) (design : V.Elaborate.design)
     (cfg : C.Flow_config.t) (cluster : Clustering.cluster) : characterization =
   let compute () =
     match cluster_circuit design cfg cluster with
-    | exception N.Synth.Synthesis_error msg ->
-      { cluster; outcome = Error (F.Size_search.Synthesis_failed msg); mapped = None }
-    | mapped ->
+    | exception Out_of_memory -> raise Out_of_memory
+    | exception e ->
+      { cluster; outcome = Failed (diag_of_cluster_exn cluster e); mapped = None }
+    | mapped -> (
       let arch = F.Arch.of_config cfg in
-      let outcome =
+      match
         F.Size_search.minimum arch
           ~min_size:cfg.C.Flow_config.min_fabric_size
           ~max_size:cfg.C.Flow_config.max_fabric_size
           ~target_utilization:cfg.C.Flow_config.target_utilization mapped
-      in
-      { cluster; outcome; mapped = Some mapped }
+      with
+      | exception Out_of_memory -> raise Out_of_memory
+      | exception e ->
+        { cluster; outcome = Failed (diag_of_cluster_exn cluster e);
+          mapped = Some mapped }
+      | Ok impl -> { cluster; outcome = Implemented impl; mapped = Some mapped }
+      | Error f -> { cluster; outcome = Infeasible f; mapped = Some mapped })
   in
   match cache with
   | None -> compute ()
@@ -101,8 +146,30 @@ let run ?(cache : cache option) (design : V.Elaborate.design)
       Hashtbl.add table key c;
       c)
 
-(** Characterize every cluster; order preserved. *)
-let run_all (design : V.Elaborate.design) (cfg : C.Flow_config.t)
-    (clusters : Clustering.cluster list) : characterization list =
+(** Characterize every cluster; order preserved. With [deadline_s],
+    clusters whose characterization has not *started* when the deadline
+    passes are skipped with a [W0701] diagnostic instead of being run —
+    a cluster already in flight is allowed to finish. *)
+let run_all ?deadline_s (design : V.Elaborate.design)
+    (cfg : C.Flow_config.t) (clusters : Clustering.cluster list) :
+    characterization list =
   let cache = create_cache () in
-  List.map (run ~cache design cfg) clusters
+  let t0 = Timebase.now_s () in
+  let overdue () =
+    match deadline_s with
+    | None -> false
+    | Some limit -> Timebase.elapsed_since t0 > limit
+  in
+  List.map
+    (fun cluster ->
+      if overdue () then
+        { cluster;
+          outcome =
+            Failed
+              (D.warning ~context:[ ("cluster", cluster_label cluster) ]
+                 ~code:"W0701"
+                 "characterization deadline (%.1fs) exceeded; cluster skipped"
+                 (Option.value deadline_s ~default:0.0));
+          mapped = None }
+      else run ~cache design cfg cluster)
+    clusters

@@ -8,10 +8,21 @@ module V = Alice_verilog
 module N = Alice_netlist
 module F = Alice_fabric
 module C = Alice_config
+module D = Alice_diag.Diag
+
+(** How characterizing one cluster ended. [Implemented] is a feasible
+    fabric; [Infeasible] is the size search's expected "no permitted
+    fabric works"; [Failed] is a fault — an exception that escaped
+    synthesis, mapping or the search, captured as a diagnostic so one
+    broken cluster cannot abort the whole flow. *)
+type outcome =
+  | Implemented of F.Size_search.implementation
+  | Infeasible of F.Size_search.failure
+  | Failed of D.t
 
 type characterization = {
   cluster : Clustering.cluster;
-  outcome : (F.Size_search.implementation, F.Size_search.failure) result;
+  outcome : outcome;
   mapped : N.Circuit.t option;  (** the LUT-mapped cluster *)
 }
 
@@ -23,6 +34,9 @@ type cache
 
 val create_cache : unit -> cache
 
+(** Characterize one cluster. Any exception escaping synthesis, LUT
+    mapping or the size search (except [Out_of_memory]) becomes a
+    [Failed] outcome carrying a classified diagnostic. *)
 val run :
   ?cache:cache ->
   V.Elaborate.design ->
@@ -30,8 +44,11 @@ val run :
   Clustering.cluster ->
   characterization
 
-(** Characterize every cluster (shared cache); order preserved. *)
+(** Characterize every cluster (shared cache); order preserved. With
+    [deadline_s], clusters not started before the wall-clock deadline
+    are skipped with a [W0701] diagnostic. *)
 val run_all :
+  ?deadline_s:float ->
   V.Elaborate.design ->
   C.Flow_config.t ->
   Clustering.cluster list ->

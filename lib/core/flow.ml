@@ -1,11 +1,21 @@
 (** The end-to-end ALICE flow (Figure 3): parse → elaborate → module
     filtering → cluster identification → eFPGA selection → redacted
     design generation. Phase wall-clock times are recorded, matching the
-    columns of Table 2. *)
+    columns of Table 2.
+
+    Faults are isolated per phase (and, inside characterization, per
+    cluster): an exception escaping a phase is recorded as a structured
+    diagnostic and the phase degrades to an empty result, so the flow
+    always completes and reports everything it found wrong. The only
+    exceptions allowed out of {!run} are {!Alice_verilog.Loc.Error}
+    (malformed input that leaves nothing to elaborate) and
+    [Out_of_memory]. *)
 
 module V = Alice_verilog
 module A = Alice_analysis
 module C = Alice_config
+module D = Alice_diag.Diag
+module Timebase = Alice_diag.Timebase
 
 type phase_times = {
   filtering_s : float;   (* includes dataflow analysis, as in the paper *)
@@ -21,41 +31,122 @@ type t = {
   clusters : Clustering.cluster list;
   characterized : Characterize.characterization list;
   selection : Selection.result;
+  diags : D.t list;  (* everything recorded while the flow ran *)
   times : phase_times;
 }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+(* Record the phase wall clock into [record] even when the thunk raises,
+   so a faulting phase still shows up in the timing columns. *)
+let timed (record : float -> unit) (f : unit -> 'a) : 'a =
+  let t0 = Timebase.now_s () in
+  Fun.protect ~finally:(fun () -> record (Timebase.elapsed_since t0)) f
+
+(* Elaboration failures leave nothing for later phases to work on, so
+   they stay exceptional — but normalized to [Loc.Error] so callers have
+   a single malformed-input escape to catch. *)
+let elaborate_checked ?top (ast : V.Ast.design) : V.Elaborate.design =
+  try V.Elaborate.elaborate ?top ast with
+  | (V.Loc.Error _ | Out_of_memory) as e -> raise e
+  | Stack_overflow ->
+    raise (V.Loc.Error
+             (V.Loc.none, "elaboration overflowed the stack \
+                           (recursive instantiation?)"))
+  | Invalid_argument msg | Failure msg ->
+    raise (V.Loc.Error (V.Loc.none, "elaboration failed: " ^ msg))
+  | Not_found ->
+    raise (V.Loc.Error (V.Loc.none, "elaboration failed: unresolved reference"))
+  | e ->
+    raise (V.Loc.Error
+             (V.Loc.none, "elaboration failed: " ^ Printexc.to_string e))
 
 (** Run the flow on parsed source. Raises {!Alice_verilog.Loc.Error} on
     malformed input; an empty candidate set (like IIR under cfg1) is not
-    an error — the result simply carries no solution. *)
-let run ?(config = C.Flow_config.default) (ast : V.Ast.design) : t =
-  let design = V.Elaborate.elaborate ?top:config.C.Flow_config.top ast in
-  let (filtering, df), filtering_s =
-    timed (fun () ->
-        let df = A.Dataflow.build design in
-        (Filtering.run df config, df))
+    an error — the result simply carries no solution. Later-phase
+    faults never raise: they are recorded into [diags] (appended to the
+    caller's collector when one is passed) and the faulting phase
+    degrades to an empty result. *)
+let run ?(config = C.Flow_config.default) ?(diags : D.Collector.t option)
+    (ast : V.Ast.design) : t =
+  let collector =
+    match diags with Some c -> c | None -> D.Collector.create ()
   in
-  let clusters, clustering_s =
-    timed (fun () -> Clustering.run df config filtering)
+  let design = elaborate_checked ?top:config.C.Flow_config.top ast in
+  let filtering_s = ref 0.0
+  and clustering_s = ref 0.0
+  and selection_s = ref 0.0 in
+  (* fault isolation: record a classified diagnostic, return the
+     phase's degraded (empty) value *)
+  let guard ~phase ~degraded f =
+    try f () with
+    | Out_of_memory -> raise Out_of_memory
+    | e ->
+      D.Collector.add collector
+        { (D.of_exn e) with D.context = [ ("phase", phase) ] };
+      degraded
   in
-  let (characterized, selection), selection_s =
-    timed (fun () ->
-        let characterized = Characterize.run_all design config clusters in
-        let total_instances =
-          List.length (Filtering.candidate_instances filtering)
+  let empty_filtering =
+    { Filtering.candidates = []; scores = []; outputs_used = [] }
+  in
+  let empty_selection =
+    { Selection.valid = []; solutions = []; best = None;
+      max_io_util = 0.0; max_clb_util = 0.0 }
+  in
+  let filtering, df =
+    timed (fun dt -> filtering_s := dt) (fun () ->
+        guard ~phase:"filtering" ~degraded:(empty_filtering, None) (fun () ->
+            let df = A.Dataflow.build design in
+            (Filtering.run df config, Some df)))
+  in
+  let clusters =
+    timed (fun dt -> clustering_s := dt) (fun () ->
+        match df with
+        | None -> []  (* no dataflow graph: nothing to cluster *)
+        | Some df ->
+          guard ~phase:"clustering" ~degraded:[] (fun () ->
+              Clustering.run df config filtering))
+  in
+  let characterized, selection =
+    timed (fun dt -> selection_s := dt) (fun () ->
+        let characterized =
+          guard ~phase:"characterize" ~degraded:[] (fun () ->
+              Characterize.run_all
+                ?deadline_s:config.C.Flow_config.characterize_deadline_s
+                design config clusters)
         in
-        (characterized, Selection.run config characterized ~total_instances))
+        (* per-cluster faults were captured as [Failed] outcomes;
+           surface their diagnostics on the flow result *)
+        List.iter
+          (fun (c : Characterize.characterization) ->
+            match c.Characterize.outcome with
+            | Characterize.Failed d -> D.Collector.add collector d
+            | Characterize.Implemented _ | Characterize.Infeasible _ -> ())
+          characterized;
+        let selection =
+          guard ~phase:"selection" ~degraded:empty_selection (fun () ->
+              let total_instances =
+                List.length (Filtering.candidate_instances filtering)
+              in
+              Selection.run config characterized ~total_instances)
+        in
+        (characterized, selection))
   in
   { config; ast; design; filtering; clusters; characterized; selection;
-    times = { filtering_s; clustering_s; selection_s } }
+    diags = D.Collector.list collector;
+    times = { filtering_s = !filtering_s; clustering_s = !clustering_s;
+              selection_s = !selection_s } }
 
-(** Run on Verilog source text. *)
-let run_source ?config ?file (src : string) : t =
-  run ?config (V.Parser.parse ?file src)
+(** Run on Verilog source text. The parser recovers at item and module
+    boundaries, so one pass reports every syntax error: each recovered
+    error becomes an [E0102] diagnostic and the surviving modules
+    continue through the flow. *)
+let run_source ?config ?diags ?file (src : string) : t =
+  let collector = match diags with Some c -> c | None -> D.Collector.create () in
+  let ast, errors = V.Parser.parse_with_recovery ?file src in
+  List.iter
+    (fun (loc, msg) ->
+      D.Collector.add collector (D.error ~loc ~code:"E0102" "%s" msg))
+    errors;
+  run ?config ~diags:collector ast
 
 (** Generate the redacted design for the flow's best solution. *)
 let redact ?(view = Redact.Programmed) (flow : t) : Redact.redacted option =

@@ -1,10 +1,17 @@
 (** The end-to-end ALICE flow (paper Figure 3): parse → elaborate →
     module filtering → cluster identification → eFPGA selection →
     redacted design generation, with per-phase wall-clock times matching
-    Table 2's columns. *)
+    Table 2's columns.
+
+    Faults are isolated per phase (and per cluster inside
+    characterization): exceptions become structured diagnostics on the
+    result and the faulting phase degrades to an empty value, so the
+    flow always completes. Only {!Alice_verilog.Loc.Error} (malformed
+    input with nothing to elaborate) and [Out_of_memory] escape. *)
 
 module V = Alice_verilog
 module C = Alice_config
+module D = Alice_diag.Diag
 
 type phase_times = {
   filtering_s : float;  (** includes dataflow analysis, as in the paper *)
@@ -20,14 +27,23 @@ type t = {
   clusters : Clustering.cluster list;
   characterized : Characterize.characterization list;
   selection : Selection.result;
+  diags : D.t list;
+      (** every diagnostic recorded while the flow ran, in order:
+          parse-recovery errors, per-cluster faults, phase faults *)
   times : phase_times;
 }
 
 (** Run the flow on parsed source. An empty candidate set (like IIR under
-    cfg1) is not an error — the result simply carries no solution. *)
-val run : ?config:C.Flow_config.t -> V.Ast.design -> t
+    cfg1) is not an error — the result simply carries no solution. When
+    [diags] is given, diagnostics are appended to that collector (on top
+    of anything already in it) as well as reported on the result. *)
+val run : ?config:C.Flow_config.t -> ?diags:D.Collector.t -> V.Ast.design -> t
 
-val run_source : ?config:C.Flow_config.t -> ?file:string -> string -> t
+(** Run on Verilog source text; the parser recovers at item and module
+    boundaries, reporting every syntax error as an [E0102] diagnostic
+    while surviving modules continue through the flow. *)
+val run_source :
+  ?config:C.Flow_config.t -> ?diags:D.Collector.t -> ?file:string -> string -> t
 
 (** Generate the redacted design for the flow's best solution. *)
 val redact : ?view:Redact.view -> t -> Redact.redacted option

@@ -78,11 +78,12 @@ let run (cfg : C.Flow_config.t)
     List.filter_map
       (fun (c : Characterize.characterization) ->
         match (c.outcome, c.mapped) with
-        | Ok impl, Some mapped
+        | Characterize.Implemented impl, Some mapped
           when impl.F.Size_search.clb_util
                >= cfg.C.Flow_config.min_clb_utilization ->
           Some (c.Characterize.cluster, impl, mapped)
-        | (Ok _ | Error _), _ -> None)
+        | ( Characterize.(Implemented _ | Infeasible _ | Failed _),
+            (Some _ | None) ) -> None)
       characterized
   in
   let max_io_util =

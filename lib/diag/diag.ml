@@ -1,0 +1,185 @@
+(** Structured diagnostics for the whole ALICE flow.
+
+    A diagnostic is data, not control flow: a severity, a stable code,
+    a human message, an optional source location and a list of
+    machine-readable context fields. Layers *record* diagnostics into a
+    {!Collector} and degrade gracefully instead of aborting; the CLI
+    renders the collected list as text or JSON and derives its exit
+    code from the worst severity seen.
+
+    Code ranges (stable; see DESIGN.md "Error handling & diagnostics"):
+    - [E00xx] driver / file I/O
+    - [E01xx] Verilog front end (E0101 lex, E0102 parse, E0103 elaborate)
+    - [E02xx] netlist (E0201 synthesis, E0202 combinational cycle)
+    - [E03xx] fabric (E0301 does-not-fit, E0302 unroutable, E0303
+      too-large, E0304 empty circuit)
+    - [E04xx]/[W04xx] SAT (W0401 solver budget exhausted)
+    - [E05xx]/[W05xx] security attacks (W0501 inconclusive)
+    - [E06xx] configuration
+    - [W07xx] resource budgets (W0701 characterization deadline)
+    - [E08xx] redaction
+    - [E09xx] internal failures (uncaught exceptions) *)
+
+module Loc = Alice_verilog.Loc
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  code : string;                     (* stable, e.g. "E0201" *)
+  message : string;
+  loc : Loc.t option;
+  context : (string * string) list;  (* ordered key/value detail *)
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let make ?loc ?(context = []) severity ~code message =
+  { severity; code; message; loc; context }
+
+let error ?loc ?context ~code fmt =
+  Format.kasprintf (fun m -> make ?loc ?context Error ~code m) fmt
+
+let warning ?loc ?context ~code fmt =
+  Format.kasprintf (fun m -> make ?loc ?context Warning ~code m) fmt
+
+let note ?loc ?context ~code fmt =
+  Format.kasprintf (fun m -> make ?loc ?context Note ~code m) fmt
+
+let is_error d = d.severity = Error
+
+(* ---------- text rendering ---------- *)
+
+let to_string (d : t) : string =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (severity_to_string d.severity);
+  Buffer.add_char b '[';
+  Buffer.add_string b d.code;
+  Buffer.add_string b "]: ";
+  (match d.loc with
+  | Some loc ->
+    Buffer.add_string b (Loc.to_string loc);
+    Buffer.add_string b ": "
+  | None -> ());
+  Buffer.add_string b d.message;
+  (match d.context with
+  | [] -> ()
+  | ctx ->
+    Buffer.add_string b " {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b "; ";
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b v)
+      ctx;
+    Buffer.add_char b '}');
+  Buffer.contents b
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)
+
+(* ---------- JSON rendering ---------- *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (d : t) : string =
+  let b = Buffer.create 160 in
+  Buffer.add_string b "{\"severity\":\"";
+  Buffer.add_string b (severity_to_string d.severity);
+  Buffer.add_string b "\",\"code\":\"";
+  Buffer.add_string b (json_escape d.code);
+  Buffer.add_string b "\",\"message\":\"";
+  Buffer.add_string b (json_escape d.message);
+  Buffer.add_string b "\",\"loc\":";
+  (match d.loc with
+  | None -> Buffer.add_string b "null"
+  | Some { Loc.file; line; col } ->
+    Buffer.add_string b
+      (Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"col\":%d}"
+         (json_escape file) line col));
+  Buffer.add_string b ",\"context\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b (json_escape k);
+      Buffer.add_string b "\":\"";
+      Buffer.add_string b (json_escape v);
+      Buffer.add_char b '"')
+    d.context;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let list_to_json (ds : t list) : string =
+  "[" ^ String.concat "," (List.map to_json ds) ^ "]"
+
+type format = Text | Json
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | _ -> None
+
+let render_list (format : format) (ds : t list) : string =
+  match format with
+  | Text -> String.concat "\n" (List.map to_string ds)
+  | Json -> list_to_json ds
+
+(* ---------- exception classification ---------- *)
+
+(** Map an escaped exception to a diagnostic. Only exceptions every
+    layer can see are classified here (located errors and the standard
+    library's); layer-specific exceptions (synthesis, placement, ...)
+    are classified by the layer that catches them before falling back
+    to this function. *)
+let of_exn ?loc (exn : exn) : t =
+  match exn with
+  | Loc.Error (l, msg) -> make ~loc:l Error ~code:"E0100" msg
+  | Sys_error msg -> make ?loc Error ~code:"E0001" msg
+  | Failure msg -> error ?loc ~code:"E0901" "internal failure: %s" msg
+  | Invalid_argument msg -> error ?loc ~code:"E0902" "invalid argument: %s" msg
+  | Not_found -> make ?loc Error ~code:"E0903" "internal lookup failed (Not_found)"
+  | Stack_overflow -> make ?loc Error ~code:"E0904" "stack overflow (runaway recursion)"
+  | Assert_failure (file, line, col) ->
+    error ?loc ~code:"E0905" "assertion failed at %s:%d:%d" file line col
+  | e -> error ?loc ~code:"E0900" "unexpected exception: %s" (Printexc.to_string e)
+
+(* ---------- collector ---------- *)
+
+module Collector = struct
+  type diag = t
+
+  type t = { mutable rev_items : diag list }
+
+  let create () = { rev_items = [] }
+
+  let add c d = c.rev_items <- d :: c.rev_items
+
+  let add_list c ds = List.iter (add c) ds
+
+  let list c = List.rev c.rev_items
+
+  let is_empty c = c.rev_items = []
+
+  let error_count c =
+    List.fold_left (fun n d -> if is_error d then n + 1 else n) 0 c.rev_items
+
+  let has_errors c = error_count c > 0
+end

@@ -1,0 +1,17 @@
+(** One wall-clock helper for every phase/attack timer in the repo.
+
+    [Unix.gettimeofday] can step backwards under NTP adjustment; the
+    flow's phase times and the attacks' budget checks both misbehave on
+    negative intervals, so readings are clamped to be non-decreasing
+    ("monotonic-ish"). All callers that previously kept their own
+    [gettimeofday] pairs (flow phases, SAT attack, approximate attack)
+    go through this module. *)
+
+let last = ref 0.0
+
+let now_s () : float =
+  let t = Unix.gettimeofday () in
+  if t > !last then last := t;
+  !last
+
+let elapsed_since (t0 : float) : float = Float.max 0.0 (now_s () -. t0)

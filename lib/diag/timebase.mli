@@ -1,0 +1,9 @@
+(** Shared monotonic-ish wall clock: readings never decrease, so
+    intervals are never negative. Used by the flow's phase timers and
+    the attacks' time budgets alike. *)
+
+(** Current time in seconds (non-decreasing across calls). *)
+val now_s : unit -> float
+
+(** Seconds elapsed since an earlier [now_s] reading (never negative). *)
+val elapsed_since : float -> float

@@ -22,7 +22,37 @@ type placement = {
   wirelength : float;                   (* total HPWL in tile units *)
 }
 
-exception Does_not_fit of string
+(** Structured payload for fit failures: which fabric width was
+    attempted, which resource ran out, and by how much — so that
+    diagnostics can say *which* size failed and at what utilization,
+    not just that sizing failed. *)
+type fit_failure = {
+  fit_width : int;                          (* attempted fabric width *)
+  fit_resource : [ `Clb | `Io | `Utilization ];
+  fit_needed : int;
+  fit_available : int;
+  fit_utilization : float;                  (* needed / available *)
+}
+
+let fit_failure ~width ~resource ~needed ~available =
+  { fit_width = width; fit_resource = resource; fit_needed = needed;
+    fit_available = available;
+    fit_utilization =
+      (if available <= 0 then Float.infinity
+       else float_of_int needed /. float_of_int available) }
+
+let resource_to_string = function
+  | `Clb -> "CLBs"
+  | `Io -> "I/O bits"
+  | `Utilization -> "CLB utilization"
+
+let fit_failure_to_string (fe : fit_failure) : string =
+  Printf.sprintf "%dx%d fabric: %d %s needed, %d available (%.0f%% demand)"
+    fe.fit_width fe.fit_width fe.fit_needed
+    (resource_to_string fe.fit_resource)
+    fe.fit_available (100.0 *. fe.fit_utilization)
+
+exception Does_not_fit of fit_failure
 
 (* ---------- packing ---------- *)
 
@@ -175,8 +205,9 @@ let place ?(effort : effort = `Greedy) (fabric : Fabric.t) (c : Circuit.t) :
   let w = fabric.Fabric.width in
   if List.length clusters > Fabric.clb_count fabric then
     raise (Does_not_fit
-             (Printf.sprintf "%d CLBs needed, %d available"
-                (List.length clusters) (Fabric.clb_count fabric)));
+             (fit_failure ~width:w ~resource:`Clb
+                ~needed:(List.length clusters)
+                ~available:(Fabric.clb_count fabric)));
   (* I/O bits on the top (y = w) and bottom (y = -1) pad rows *)
   let io_bits =
     List.concat_map (fun (_, nets) -> Array.to_list nets) c.Circuit.inputs
@@ -184,8 +215,9 @@ let place ?(effort : effort = `Greedy) (fabric : Fabric.t) (c : Circuit.t) :
   in
   if List.length io_bits > Fabric.io_capacity fabric then
     raise (Does_not_fit
-             (Printf.sprintf "%d I/O bits needed, %d available"
-                (List.length io_bits) (Fabric.io_capacity fabric)));
+             (fit_failure ~width:w ~resource:`Io
+                ~needed:(List.length io_bits)
+                ~available:(Fabric.io_capacity fabric)));
   let gpio = fabric.Fabric.arch.Arch.gpio_per_tile in
   let io_sites =
     List.mapi

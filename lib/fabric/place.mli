@@ -21,7 +21,27 @@ type placement = {
   wirelength : float;  (** total HPWL in tile units *)
 }
 
-exception Does_not_fit of string
+(** Structured fit-failure payload: the attempted fabric width, the
+    resource that ran out, and the demand/capacity numbers — enough for
+    diagnostics to report utilization rather than just "does not fit". *)
+type fit_failure = {
+  fit_width : int;                          (** attempted fabric width *)
+  fit_resource : [ `Clb | `Io | `Utilization ];
+  fit_needed : int;
+  fit_available : int;
+  fit_utilization : float;                  (** needed / available *)
+}
+
+val fit_failure :
+  width:int ->
+  resource:[ `Clb | `Io | `Utilization ] ->
+  needed:int ->
+  available:int ->
+  fit_failure
+
+val fit_failure_to_string : fit_failure -> string
+
+exception Does_not_fit of fit_failure
 
 (** All nets touching a logic element (outputs then inputs). *)
 val element_nets : logic_element -> Circuit.net list

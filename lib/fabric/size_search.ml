@@ -24,32 +24,58 @@ type implementation = {
   lut_depth : int;
 }
 
+type congestion = {
+  cg_width : int;        (* last fabric width attempted *)
+  cg_demand : int;       (* peak channel demand at that width *)
+  cg_tracks : int;       (* tracks available per channel *)
+}
+
 type failure =
-  | Too_large of int  (* smallest width that would fit, beyond max *)
-  | Unroutable
+  | Too_large of Place.fit_failure
+      (* the last width's structured fit failure, beyond max size *)
+  | Unroutable of congestion
   | Empty_circuit
   | Synthesis_failed of string
 
 let failure_to_string = function
-  | Too_large w -> Printf.sprintf "needs a %dx%d fabric, beyond the permitted range" w w
-  | Unroutable -> "congestion exceeds the track budget at every permitted size"
+  | Too_large fe ->
+    Printf.sprintf "no permitted fabric fits (last attempt: %s)"
+      (Place.fit_failure_to_string fe)
+  | Unroutable cg ->
+    Printf.sprintf
+      "congestion exceeds the track budget at every permitted size \
+       (at %dx%d: peak demand %d over %d tracks)"
+      cg.cg_width cg.cg_width cg.cg_demand cg.cg_tracks
   | Empty_circuit -> "cluster synthesizes to an empty circuit"
   | Synthesis_failed msg -> "synthesis failed: " ^ msg
 
-(** Attempt one width. *)
+(** Attempt one width. Errors carry the structured payload so the
+    caller can report what failed at the final attempted size. *)
 let try_width (arch : Arch.t) ~(target_utilization : float) (mapped : Circuit.t)
-    (w : int) : (implementation, [ `No_fit | `No_route ]) result =
+    (w : int) :
+    (implementation,
+     [ `No_fit of Place.fit_failure | `No_route of congestion ]) result =
   let fabric = Fabric.make arch w in
   match Place.place fabric mapped with
-  | exception Place.Does_not_fit _ -> Error `No_fit
+  | exception Place.Does_not_fit fe -> Error (`No_fit fe)
   | placement ->
     let clbs_used = Place.clbs_used placement in
     let clb_cap = Fabric.clb_count fabric in
     if float_of_int clbs_used > target_utilization *. float_of_int clb_cap
-    then Error `No_fit
+    then
+      Error
+        (`No_fit
+           (Place.fit_failure ~width:w ~resource:`Utilization
+              ~needed:clbs_used
+              ~available:(int_of_float (target_utilization *. float_of_int clb_cap))))
     else begin
       let routing = Route.route placement in
-      if not routing.Route.routable then Error `No_route
+      if not routing.Route.routable then
+        Error
+          (`No_route
+             { cg_width = w;
+               cg_demand = routing.Route.max_demand;
+               cg_tracks = routing.Route.tracks_available })
       else begin
         let luts_used = Circuit.lut_count mapped in
         let ffs_used = Circuit.dff_count mapped in
@@ -71,16 +97,26 @@ let minimum (arch : Arch.t) ~(min_size : int) ~(max_size : int)
     (implementation, failure) result =
   if Circuit.io_bit_count mapped = 0 then Error Empty_circuit
   else begin
-    let rec search w saw_route_failure =
+    (* remember the last failure of each kind so the caller sees what
+       went wrong at the final attempted size, not just that it did *)
+    let rec search w last_no_route last_no_fit =
       if w > max_size then
-        if saw_route_failure then Error Unroutable else Error (Too_large w)
+        match (last_no_route, last_no_fit) with
+        | Some cg, _ -> Error (Unroutable cg)
+        | None, Some fe -> Error (Too_large fe)
+        | None, None ->
+          (* min_size > max_size: nothing was ever attempted *)
+          Error
+            (Too_large
+               (Place.fit_failure ~width:max_size ~resource:`Clb ~needed:0
+                  ~available:0))
       else
         match try_width arch ~target_utilization mapped w with
         | Ok impl -> Ok impl
-        | Error `No_fit -> search (w + 1) saw_route_failure
-        | Error `No_route -> search (w + 1) true
+        | Error (`No_fit fe) -> search (w + 1) last_no_route (Some fe)
+        | Error (`No_route cg) -> search (w + 1) (Some cg) last_no_fit
     in
-    search (max 1 min_size) false
+    search (max 1 min_size) None None
   end
 
 let pp_implementation fmt (impl : implementation) =

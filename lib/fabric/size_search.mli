@@ -20,9 +20,21 @@ type implementation = {
   lut_depth : int;
 }
 
+(** Congestion payload for routing failures: the last width attempted
+    and its peak channel demand against the track budget. *)
+type congestion = {
+  cg_width : int;
+  cg_demand : int;
+  cg_tracks : int;
+}
+
 type failure =
-  | Too_large of int  (** smallest width that would fit, beyond max *)
-  | Unroutable
+  | Too_large of Place.fit_failure
+      (** no permitted width fits; carries the last width's structured
+          fit failure (resource, demand, capacity) *)
+  | Unroutable of congestion
+      (** congestion exceeded the track budget at every permitted size;
+          carries the last width's peak demand *)
   | Empty_circuit
   | Synthesis_failed of string
 

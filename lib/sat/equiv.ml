@@ -17,7 +17,10 @@ type counterexample = {
   outputs_b : (string * int) list;
 }
 
-type result = Equivalent | Different of counterexample
+type result =
+  | Equivalent
+  | Different of counterexample
+  | Unknown  (* the solver's budget ran out before a verdict *)
 
 exception Interface_mismatch of string
 
@@ -44,8 +47,10 @@ let check_interfaces a b =
     fail "output interfaces differ"
 
 (** Check equivalence of [a] and [b]. Raises {!Interface_mismatch} when
-    their port names/widths (or register counts) differ. *)
-let check (a : Circuit.t) (b : Circuit.t) : result =
+    their port names/widths (or register counts) differ.
+    [solver_budget] bounds the solver's conflicts; an exhausted budget
+    yields {!Unknown} rather than an unbounded search. *)
+let check ?solver_budget (a : Circuit.t) (b : Circuit.t) : result =
   check_interfaces a b;
   let f = Cnf.create () in
   let map_a = Tseitin.encode_copy f a ~share:(fun _ -> None) in
@@ -72,8 +77,9 @@ let check (a : Circuit.t) (b : Circuit.t) : result =
          (scan_outputs a) (scan_outputs b))
   in
   Cnf.add_clause f diffs;
-  match Solver.solve f with
+  match Solver.solve ?max_conflicts:solver_budget f with
   | Solver.Unsat -> Equivalent
+  | Solver.Unknown -> Unknown
   | Solver.Sat model ->
     let pack nets map =
       let v = ref 0 in

@@ -10,12 +10,16 @@ type counterexample = {
   outputs_b : (string * int) list;
 }
 
-type result = Equivalent | Different of counterexample
+type result =
+  | Equivalent
+  | Different of counterexample
+  | Unknown  (** the solver's budget ran out before a verdict *)
 
 exception Interface_mismatch of string
 
 (** Raises {!Interface_mismatch} when port names/widths or register
-    counts differ. *)
-val check : Circuit.t -> Circuit.t -> result
+    counts differ. [solver_budget] bounds the solver's conflicts; an
+    exhausted budget yields {!Unknown}. *)
+val check : ?solver_budget:int -> Circuit.t -> Circuit.t -> result
 
 val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -3,7 +3,10 @@
     phase saving, and geometric restarts. Sized for the circuit problems
     the SAT attack generates (thousands of variables). *)
 
-type result = Sat of bool array (* indexed by variable, entry 0 unused *) | Unsat
+type result =
+  | Sat of bool array (* indexed by variable, entry 0 unused *)
+  | Unsat
+  | Unknown (* a resource budget ran out before the search concluded *)
 
 (* literal encoding internal to the solver: lit = 2*var for positive,
    2*var+1 for negative; var in 1..n *)
@@ -245,9 +248,19 @@ let pick_branch (s : t) : int option =
   else Some (if s.phase.(!best) then 2 * !best else (2 * !best) + 1)
 
 (** Solve the formula. [assumptions] are literals (DIMACS convention)
-    fixed before search; the solver is single-shot. *)
-let solve ?(assumptions : int list = []) (f : Cnf.t) : result =
+    fixed before search; the solver is single-shot.
+
+    [max_conflicts]/[max_decisions] are hard resource budgets: when the
+    search would exceed either, it stops and returns {!Unknown} instead
+    of looping indefinitely on a hard instance. Conflicts at decision
+    level 0 still conclude [Unsat] regardless of budget. *)
+let solve ?(assumptions : int list = []) ?max_conflicts ?max_decisions
+    (f : Cnf.t) : result =
   let s = create (Cnf.var_count f) in
+  let over_budget () =
+    (match max_conflicts with Some b -> s.conflicts >= b | None -> false)
+    || (match max_decisions with Some b -> s.decisions >= b | None -> false)
+  in
   (* load clauses; inline simplification of satisfied/false literals is
      skipped — clauses come straight from Tseitin encodings *)
   let ok = ref true in
@@ -270,10 +283,10 @@ let solve ?(assumptions : int list = []) (f : Cnf.t) : result =
   else begin
     try
       (match propagate s with Some _ -> raise Unsat_exception | None -> ());
-      let max_conflicts = ref 256 in
+      let restart_interval = ref 256 in
       let result = ref None in
       while !result = None do
-        let budget = ref !max_conflicts in
+        let budget = ref !restart_interval in
         (try
            while !result = None do
              match propagate s with
@@ -281,6 +294,8 @@ let solve ?(assumptions : int list = []) (f : Cnf.t) : result =
                s.conflicts <- s.conflicts + 1;
                decr budget;
                if s.decision_level = 0 then raise Unsat_exception;
+               if over_budget () then result := Some Unknown
+               else begin
                let lits, btlevel = analyze s confl in
                backjump s btlevel;
                (match Array.length lits with
@@ -307,6 +322,7 @@ let solve ?(assumptions : int list = []) (f : Cnf.t) : result =
                  backjump s 0;
                  raise Exit
                end
+               end
              | None -> (
                match pick_branch s with
                | None ->
@@ -317,12 +333,15 @@ let solve ?(assumptions : int list = []) (f : Cnf.t) : result =
                  done;
                  result := Some (Sat model)
                | Some l ->
-                 s.decisions <- s.decisions + 1;
-                 s.trail_lim.(s.decision_level) <- s.trail_size;
-                 s.decision_level <- s.decision_level + 1;
-                 enqueue s l None)
+                 if over_budget () then result := Some Unknown
+                 else begin
+                   s.decisions <- s.decisions + 1;
+                   s.trail_lim.(s.decision_level) <- s.trail_size;
+                   s.decision_level <- s.decision_level + 1;
+                   enqueue s l None
+                 end)
            done
-         with Exit -> max_conflicts := !max_conflicts * 2)
+         with Exit -> restart_interval := !restart_interval * 2)
       done;
       (match !result with Some r -> r | None -> assert false)
     with Unsat_exception -> Unsat

@@ -6,10 +6,18 @@
 type result =
   | Sat of bool array  (** indexed by variable; entry 0 unused *)
   | Unsat
+  | Unknown  (** a resource budget ran out before the search concluded *)
 
 (** Single-shot solve. [assumptions] are DIMACS literals fixed before
-    search. *)
-val solve : ?assumptions:int list -> Cnf.t -> result
+    search. [max_conflicts]/[max_decisions] are hard budgets: when the
+    search would exceed either it returns {!Unknown} instead of running
+    unboundedly (conflicts at level 0 still conclude [Unsat]). *)
+val solve :
+  ?assumptions:int list ->
+  ?max_conflicts:int ->
+  ?max_decisions:int ->
+  Cnf.t ->
+  result
 
 (** Value of a variable in a model. *)
 val model_value : bool array -> int -> bool

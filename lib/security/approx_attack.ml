@@ -11,27 +11,34 @@
 
 module Circuit = Alice_netlist.Circuit
 module Simulate = Alice_netlist.Simulate
+module Timebase = Alice_diag.Timebase
 
 type outcome = {
   best_agreement : float;  (* fraction of queries matched, in [0,1] *)
   exact_on_queries : bool; (* the best key matched every sampled query *)
+  status : Sat_attack.status;
+      (* Converged: exact on every query; Exhausted: flip budget spent;
+         Inconclusive: the wall-clock deadline cut the search short *)
   flips_tried : int;
   restarts : int;
   seconds : float;
 }
 
 type budget = {
-  queries : int;     (* oracle queries sampled for the score *)
-  max_flips : int;   (* total bit flips across restarts *)
+  queries : int;       (* oracle queries sampled for the score *)
+  max_flips : int;     (* total bit flips across restarts *)
   restarts : int;
+  max_seconds : float; (* wall-clock deadline for the whole search *)
 }
 
-let default_budget = { queries = 128; max_flips = 4096; restarts = 4 }
+let default_budget =
+  { queries = 128; max_flips = 4096; restarts = 4; max_seconds = 30.0 }
 
 (** Run the baseline attack. *)
 let attack ?(budget = default_budget) ?(seed = 0xbada55) (l : Locked.t)
     ~(oracle : bool array -> bool array) : outcome =
-  let start = Unix.gettimeofday () in
+  let start = Timebase.now_s () in
+  let deadline_hit () = Timebase.elapsed_since start > budget.max_seconds in
   let st = Random.State.make [| seed; l.Locked.key_bits |] in
   let ins = Locked.input_nets l in
   let nin = Array.length ins in
@@ -76,27 +83,43 @@ let attack ?(budget = default_budget) ?(seed = 0xbada55) (l : Locked.t)
     float_of_int !agree /. float_of_int (max 1 budget.queries)
   in
   let best = ref 0.0 and flips = ref 0 in
+  let cut_short = ref false in
   let flips_per_restart = budget.max_flips / max 1 budget.restarts in
-  for _restart = 1 to budget.restarts do
-    let key = Array.init l.Locked.key_bits (fun _ -> Random.State.bool st) in
-    let current = ref (score key) in
-    if !current > !best then best := !current;
-    let budget_left = ref flips_per_restart in
-    while !budget_left > 0 && !current < 1.0 do
-      decr budget_left;
-      incr flips;
-      let bit = Random.State.int st l.Locked.key_bits in
-      key.(bit) <- not key.(bit);
-      let s = score key in
-      if s >= !current then begin
-        current := s;
-        if s > !best then best := s
-      end
-      else key.(bit) <- not key.(bit)
-    done
-  done;
+  (try
+     for _restart = 1 to budget.restarts do
+       if deadline_hit () then begin
+         cut_short := true;
+         raise Exit
+       end;
+       let key = Array.init l.Locked.key_bits (fun _ -> Random.State.bool st) in
+       let current = ref (score key) in
+       if !current > !best then best := !current;
+       let budget_left = ref flips_per_restart in
+       while !budget_left > 0 && !current < 1.0 do
+         if deadline_hit () then begin
+           cut_short := true;
+           raise Exit
+         end;
+         decr budget_left;
+         incr flips;
+         let bit = Random.State.int st l.Locked.key_bits in
+         key.(bit) <- not key.(bit);
+         let s = score key in
+         if s >= !current then begin
+           current := s;
+           if s > !best then best := s
+         end
+         else key.(bit) <- not key.(bit)
+       done
+     done
+   with Exit -> ());
+  let exact = !best >= 1.0 -. 1e-9 in
   { best_agreement = !best;
-    exact_on_queries = !best >= 1.0 -. 1e-9;
+    exact_on_queries = exact;
+    status =
+      (if exact then Sat_attack.Converged
+       else if !cut_short then Sat_attack.Inconclusive
+       else Sat_attack.Exhausted);
     flips_tried = !flips;
     restarts = budget.restarts;
-    seconds = Unix.gettimeofday () -. start }
+    seconds = Timebase.elapsed_since start }

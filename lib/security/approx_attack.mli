@@ -6,12 +6,20 @@
 type outcome = {
   best_agreement : float;   (** fraction of queries matched, in [0,1] *)
   exact_on_queries : bool;
+  status : Sat_attack.status;
+      (** [Converged]: exact on every query; [Exhausted]: flip budget
+          spent; [Inconclusive]: the deadline cut the search short *)
   flips_tried : int;
   restarts : int;
   seconds : float;
 }
 
-type budget = { queries : int; max_flips : int; restarts : int }
+type budget = {
+  queries : int;
+  max_flips : int;
+  restarts : int;
+  max_seconds : float;  (** wall-clock deadline for the whole search *)
+}
 
 val default_budget : budget
 

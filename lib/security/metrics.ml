@@ -63,7 +63,7 @@ let evaluate ?budget (mapped : Circuit.t) : report =
 let pp_report fmt (r : report) =
   Format.fprintf fmt
     "key=%d bits, attack %s in %d iterations (%.2fs)%s" r.key_bits
-    (if r.attack.Sat_attack.success then "converged" else "exhausted budget")
+    (Sat_attack.status_to_string r.attack.Sat_attack.status)
     r.attack.Sat_attack.iterations r.attack.Sat_attack.seconds
     (match r.key_correct with
     | Some true -> ", recovered key correct"

@@ -12,9 +12,23 @@
 module Circuit = Alice_netlist.Circuit
 module Cnf = Alice_sat.Cnf
 module Solver = Alice_sat.Solver
+module Timebase = Alice_diag.Timebase
+
+(** How an attack run ended. [Converged] proves the key space collapsed;
+    [Exhausted] means the iteration/time budget ran out (the lock held
+    within the budget); [Inconclusive] means the SAT solver's own
+    conflict budget ran out, so the run proves nothing either way and
+    must not be read as "secure". *)
+type status = Converged | Exhausted | Inconclusive
+
+let status_to_string = function
+  | Converged -> "converged"
+  | Exhausted -> "exhausted"
+  | Inconclusive -> "inconclusive"
 
 type outcome = {
   success : bool;          (* miter converged within the budget *)
+  status : status;
   iterations : int;        (* DIPs used *)
   key : bool array option; (* recovered key, when successful *)
   key_bits : int;
@@ -24,9 +38,13 @@ type outcome = {
 type budget = {
   max_iterations : int;
   max_seconds : float;
+  solver_conflicts : int option;
+      (* per-call conflict budget for the underlying SAT solver;
+         [None] leaves the solver unbounded *)
 }
 
-let default_budget = { max_iterations = 256; max_seconds = 30.0 }
+let default_budget =
+  { max_iterations = 256; max_seconds = 30.0; solver_conflicts = None }
 
 (* Rebuild the whole attack CNF from scratch: the CDCL solver is
    single-shot, and for fabric-sized problems re-encoding is cheap
@@ -103,28 +121,37 @@ let build_feasibility (l : Locked.t) (dips : (bool array * bool array) list) :
     response (use {!Locked.make_oracle} for the standard threat model). *)
 let attack ?(budget = default_budget) (l : Locked.t)
     ~(oracle : bool array -> bool array) : outcome =
-  let start = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. start in
+  let start = Timebase.now_s () in
+  let elapsed () = Timebase.elapsed_since start in
+  let solve f = Solver.solve ?max_conflicts:budget.solver_conflicts f in
   let ins = Locked.input_nets l in
   let rec loop dips iterations =
     if iterations >= budget.max_iterations || elapsed () > budget.max_seconds
     then
-      { success = false; iterations; key = None; key_bits = l.Locked.key_bits;
-        seconds = elapsed () }
+      { success = false; status = Exhausted; iterations; key = None;
+        key_bits = l.Locked.key_bits; seconds = elapsed () }
     else begin
       let f, input_vars, _key1 = build_miter l dips in
-      match Solver.solve f with
+      match solve f with
+      | Solver.Unknown ->
+        (* the solver's own budget ran out: the run proves nothing *)
+        { success = false; status = Inconclusive; iterations; key = None;
+          key_bits = l.Locked.key_bits; seconds = elapsed () }
       | Solver.Unsat ->
         (* converged: any key satisfying the recorded queries is correct *)
         let fk, key_vars = build_feasibility l dips in
-        let key =
-          match Solver.solve fk with
-          | Solver.Sat model ->
-            Some (Array.map (fun v -> Solver.model_value model v) key_vars)
-          | Solver.Unsat -> None
-        in
-        { success = true; iterations; key; key_bits = l.Locked.key_bits;
-          seconds = elapsed () }
+        (match solve fk with
+        | Solver.Sat model ->
+          let key = Some (Array.map (fun v -> Solver.model_value model v) key_vars) in
+          { success = true; status = Converged; iterations; key;
+            key_bits = l.Locked.key_bits; seconds = elapsed () }
+        | Solver.Unsat ->
+          { success = true; status = Converged; iterations; key = None;
+            key_bits = l.Locked.key_bits; seconds = elapsed () }
+        | Solver.Unknown ->
+          (* miter collapsed but key extraction hit the solver budget *)
+          { success = false; status = Inconclusive; iterations; key = None;
+            key_bits = l.Locked.key_bits; seconds = elapsed () })
       | Solver.Sat model ->
         let dip =
           Array.init (Array.length ins) (fun i ->

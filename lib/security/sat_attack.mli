@@ -4,15 +4,31 @@
     which any key consistent with the recorded queries is functionally
     correct. *)
 
+(** How a run ended. [Converged] proves the key space collapsed;
+    [Exhausted] means the iteration/time budget ran out (the lock held
+    within the budget); [Inconclusive] means the SAT solver's own
+    conflict budget ran out — the run proves nothing either way and
+    must not be read as "secure". *)
+type status = Converged | Exhausted | Inconclusive
+
+val status_to_string : status -> string
+
 type outcome = {
   success : bool;           (** miter converged within the budget *)
+  status : status;
   iterations : int;         (** distinguishing inputs used *)
   key : bool array option;  (** recovered key, when successful *)
   key_bits : int;
   seconds : float;
 }
 
-type budget = { max_iterations : int; max_seconds : float }
+type budget = {
+  max_iterations : int;
+  max_seconds : float;
+  solver_conflicts : int option;
+      (** per-call conflict budget for the underlying solver; [None]
+          leaves it unbounded *)
+}
 
 val default_budget : budget
 

@@ -32,7 +32,10 @@ let lock_unrolled (l : Locked.t) ~(cycles : int) : Locked.t =
 
 (** Attack a sequential locked circuit through [cycles] frames. The
     oracle is derived from the unrolled correct circuit, which by
-    construction equals the running device observed from reset. *)
+    construction equals the running device observed from reset. The
+    budget (including any [solver_conflicts] bound) passes straight to
+    {!Sat_attack.attack}, so an exhausted solver budget surfaces here
+    as the same [Inconclusive] status. *)
 let attack ?budget (l : Locked.t) ~(cycles : int) : Sat_attack.outcome =
   let ul = lock_unrolled l ~cycles in
   let oracle = Locked.make_oracle ul in

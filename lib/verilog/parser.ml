@@ -512,12 +512,11 @@ let parse_instance st mod_name loc : Ast.item =
     { Ast.inst_module = mod_name; inst_name; inst_params = params;
       inst_ports = ports; inst_loc = loc }
 
-let rec parse_items st acc : Ast.item list =
+(* Parse one module item; [endmodule] is handled by the items driver so
+   that the error-recovery driver can resynchronize between items. *)
+let parse_item st : Ast.item list =
   let t = peek st in
   match t.Lexer.tok with
-  | Tok.Kendmodule ->
-    advance st;
-    List.rev acc
   | Tok.Kinput | Tok.Koutput | Tok.Kinout ->
     let dir =
       match t.Lexer.tok with
@@ -540,7 +539,7 @@ let rec parse_items st acc : Ast.item list =
     let range = parse_range_opt st in
     let names = parse_name_list st in
     expect st Tok.Semi;
-    parse_items st (Ast.Port_decl (dir, kind, range, names) :: acc)
+    [ Ast.Port_decl (dir, kind, range, names) ]
   | Tok.Kwire | Tok.Kreg ->
     let kind = if t.Lexer.tok = Tok.Kwire then Ast.Wire else Ast.Reg in
     advance st;
@@ -548,7 +547,7 @@ let rec parse_items st acc : Ast.item list =
     let range = parse_range_opt st in
     let names = parse_name_list st in
     expect st Tok.Semi;
-    parse_items st (Ast.Net_decl (kind, range, names) :: acc)
+    [ Ast.Net_decl (kind, range, names) ]
   | Tok.Kparameter | Tok.Klocalparam ->
     let local = t.Lexer.tok = Tok.Klocalparam in
     advance st;
@@ -565,7 +564,7 @@ let rec parse_items st acc : Ast.item list =
         List.rev (pa :: acc_p)
     in
     let assigns = loop [] in
-    parse_items st (Ast.Param_decl (local, assigns) :: acc)
+    [ Ast.Param_decl (local, assigns) ]
   | Tok.Kassign ->
     advance st;
     let rec loop acc_a =
@@ -580,20 +579,29 @@ let rec parse_items st acc : Ast.item list =
         expect st Tok.Semi;
         List.rev (Ast.Assign (lhs, rhs) :: acc_a)
     in
-    parse_items st (List.rev_append (loop []) acc)
+    loop []
   | Tok.Kalways ->
     advance st;
     let sens = parse_sensitivity st in
     let body = parse_stmt st in
-    parse_items st (Ast.Always (sens, body) :: acc)
+    [ Ast.Always (sens, body) ]
   | Tok.Id name ->
     advance st;
-    parse_items st (parse_instance st name t.Lexer.loc :: acc)
+    [ parse_instance st name t.Lexer.loc ]
   | other ->
     Loc.error t.Lexer.loc "unsupported module item starting with '%s'"
       (Tok.to_string other)
 
-let parse_module st : Ast.module_decl =
+let rec parse_items st acc : Ast.item list =
+  match peek_tok st with
+  | Tok.Kendmodule ->
+    advance st;
+    List.rev acc
+  | _ -> parse_items st (List.rev_append (parse_item st) acc)
+
+(* The module header: [module name [#(...)] [(ports)] ;]. Returns the
+   pieces needed to assemble the declaration once the items are read. *)
+let parse_module_header st =
   let t = peek st in
   expect st Tok.Kmodule;
   let name = expect_ident st in
@@ -604,14 +612,22 @@ let parse_module st : Ast.module_decl =
   in
   let ports, ansi_items = parse_module_ports st in
   expect st Tok.Semi;
-  let items = parse_items st [] in
+  (t.Lexer.loc, name, header_params, ports, ansi_items)
+
+let assemble_module loc name header_params ports ansi_items items :
+    Ast.module_decl =
   let param_items =
     match header_params with
     | [] -> []
     | ps -> [ Ast.Param_decl (false, ps) ]
   in
   { Ast.mod_name = name; mod_ports = ports;
-    mod_items = param_items @ ansi_items @ items; mod_loc = t.Lexer.loc }
+    mod_items = param_items @ ansi_items @ items; mod_loc = loc }
+
+let parse_module st : Ast.module_decl =
+  let loc, name, header_params, ports, ansi_items = parse_module_header st in
+  let items = parse_items st [] in
+  assemble_module loc name header_params ports ansi_items items
 
 let parse_design_tokens st : Ast.design =
   let rec loop acc =
@@ -625,6 +641,88 @@ let parse_design_tokens st : Ast.design =
 let parse ?(file = "<buffer>") src : Ast.design =
   let toks = Lexer.tokenize ~file src in
   parse_design_tokens { toks }
+
+(* ---------- error recovery ---------- *)
+
+(* Skip to just after the next ';' — or stop (without consuming) at a
+   module boundary, so an error in a module's last item cannot swallow
+   the next module. *)
+let rec resync_item st =
+  match peek_tok st with
+  | Tok.Eof | Tok.Kendmodule | Tok.Kmodule -> ()
+  | Tok.Semi -> advance st
+  | _ ->
+    advance st;
+    resync_item st
+
+(* Skip to the next [module] keyword (or end of input). *)
+let rec resync_module st =
+  match peek_tok st with
+  | Tok.Eof | Tok.Kmodule -> ()
+  | _ ->
+    advance st;
+    resync_module st
+
+(* Items loop that records errors and resynchronizes instead of
+   aborting. Returns the items that parsed cleanly. *)
+let parse_items_recovering st (errors : (Loc.t * string) list ref) :
+    Ast.item list =
+  let record loc msg = errors := (loc, msg) :: !errors in
+  let rec loop acc =
+    match peek_tok st with
+    | Tok.Kendmodule ->
+      advance st;
+      List.rev acc
+    | Tok.Kmodule | Tok.Eof ->
+      (* unterminated module body: report once and hand the boundary
+         back to the design loop *)
+      record (peek st).Lexer.loc "expected 'endmodule'";
+      List.rev acc
+    | _ -> (
+      match parse_item st with
+      | items -> loop (List.rev_append items acc)
+      | exception Loc.Error (loc, msg) ->
+        record loc msg;
+        resync_item st;
+        loop acc)
+  in
+  loop []
+
+(* One module with recovery: a header error skips the whole module (to
+   the next [module] keyword); item errors are recovered per item. *)
+let parse_module_recovering st errors : Ast.module_decl option =
+  match parse_module_header st with
+  | exception Loc.Error (loc, msg) ->
+    errors := (loc, msg) :: !errors;
+    resync_module st;
+    None
+  | loc, name, header_params, ports, ansi_items ->
+    let items = parse_items_recovering st errors in
+    Some (assemble_module loc name header_params ports ansi_items items)
+
+(** Parse with error recovery: every syntax error is recorded (in
+    source order) and the parser resynchronizes at the next [;] or
+    module boundary, so one pass reports *all* errors instead of just
+    the first. Modules that parsed cleanly are returned. A lexing
+    error cannot be recovered and yields an empty design with that
+    single error. *)
+let parse_with_recovery ?(file = "<buffer>") src :
+    Ast.design * (Loc.t * string) list =
+  match Lexer.tokenize ~file src with
+  | exception Loc.Error (loc, msg) -> ({ Ast.modules = [] }, [ (loc, msg) ])
+  | toks ->
+    let st = { toks } in
+    let errors = ref [] in
+    let rec loop acc =
+      match peek_tok st with
+      | Tok.Eof -> List.rev acc
+      | _ -> (
+        match parse_module_recovering st errors with
+        | Some m -> loop (m :: acc)
+        | None -> loop acc)
+    in
+    let modules = loop [] in
+    ({ Ast.modules }, List.rev !errors)
 
 (** Parse a single module from source; fails if none or several. *)
 let parse_module_exn ?file src : Ast.module_decl =

@@ -12,6 +12,15 @@ type state = { mutable toks : Lexer.located list }
 (** Parse a complete design (a sequence of modules). *)
 val parse : ?file:string -> string -> Ast.design
 
+(** Parse with error recovery: every syntax error is recorded (in
+    source order) and the parser resynchronizes at the next [;] or
+    module boundary, so one pass reports *all* syntax errors instead
+    of only the first. Modules that parsed cleanly are returned; a
+    lexing error aborts recovery and yields an empty design with that
+    single error. Never raises {!Loc.Error}. *)
+val parse_with_recovery :
+  ?file:string -> string -> Ast.design * (Loc.t * string) list
+
 (** Parse a single module; [Invalid_argument] if the source holds none
     or several. *)
 val parse_module_exn : ?file:string -> string -> Ast.module_decl

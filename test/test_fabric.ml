@@ -96,7 +96,7 @@ let test_size_search () =
 let test_size_search_failures () =
   let mapped = mapped_of small_design in
   (match F.Size_search.minimum arch ~min_size:2 ~max_size:2 ~target_utilization:0.5 mapped with
-  | Error (F.Size_search.Too_large _ | F.Size_search.Unroutable) -> ()
+  | Error (F.Size_search.Too_large _ | F.Size_search.Unroutable _) -> ()
   | Error f -> Alcotest.fail ("unexpected failure: " ^ F.Size_search.failure_to_string f)
   | Ok _ -> Alcotest.fail "expected failure on max_size 2")
 

@@ -9,6 +9,7 @@ let () =
       ("lutmap", Test_lutmap.tests);
       ("fabric", Test_fabric.tests);
       ("sat", Test_sat.tests);
+      ("diag", Test_diag.tests);
       ("security", Test_security.tests);
       ("flow", Test_flow.tests);
       ("redact", Test_redact.tests);

@@ -10,11 +10,13 @@ let test_trivial () =
   S.Cnf.add_clause f [ a ];
   (match S.Solver.solve f with
   | S.Solver.Sat m -> Alcotest.(check bool) "a true" true m.(a)
-  | S.Solver.Unsat -> Alcotest.fail "sat expected");
+  | S.Solver.Unsat -> Alcotest.fail "sat expected"
+  | S.Solver.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown");
   S.Cnf.add_clause f [ -a ];
   (match S.Solver.solve f with
   | S.Solver.Unsat -> ()
-  | S.Solver.Sat _ -> Alcotest.fail "unsat expected")
+  | S.Solver.Sat _ -> Alcotest.fail "unsat expected"
+  | S.Solver.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown")
 
 let test_pigeonhole () =
   (* 3 pigeons into 2 holes: classic small UNSAT instance *)
@@ -33,6 +35,7 @@ let test_pigeonhole () =
   match S.Solver.solve f with
   | S.Solver.Unsat -> ()
   | S.Solver.Sat _ -> Alcotest.fail "pigeonhole must be unsat"
+  | S.Solver.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown"
 
 let test_assumptions () =
   let f = S.Cnf.create () in
@@ -40,10 +43,12 @@ let test_assumptions () =
   S.Cnf.add_clause f [ a; b ];
   (match S.Solver.solve ~assumptions:[ -a ] f with
   | S.Solver.Sat m -> Alcotest.(check bool) "b forced" true m.(b)
-  | S.Solver.Unsat -> Alcotest.fail "sat expected");
+  | S.Solver.Unsat -> Alcotest.fail "sat expected"
+  | S.Solver.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown");
   match S.Solver.solve ~assumptions:[ -a; -b ] f with
   | S.Solver.Unsat -> ()
   | S.Solver.Sat _ -> Alcotest.fail "unsat expected"
+  | S.Solver.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown"
 
 (* random 3-SAT vs brute force *)
 let brute_force nvars clauses =
@@ -85,7 +90,8 @@ let fuzz_prop =
           (fun c -> List.exists (fun l -> if l > 0 then model.(l) else not model.(-l)) c)
           clauses
       | S.Solver.Unsat, false -> true
-      | S.Solver.Sat _, false | S.Solver.Unsat, true -> false)
+      | S.Solver.Sat _, false | S.Solver.Unsat, true -> false
+      | S.Solver.Unknown, _ -> false)
 
 (* Tseitin: circuit equivalence as UNSAT of a difference miter *)
 let test_tseitin_miter () =
@@ -119,7 +125,8 @@ let test_tseitin_miter () =
   S.Cnf.add_clause f diffs;
   (match S.Solver.solve f with
   | S.Solver.Unsat -> ()
-  | S.Solver.Sat _ -> Alcotest.fail "equivalent circuits: miter must be unsat");
+  | S.Solver.Sat _ -> Alcotest.fail "equivalent circuits: miter must be unsat"
+  | S.Solver.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown");
   (* now a buggy variant must yield SAT *)
   let c3 = build "module m (input [3:0] a, input [3:0] b, output [3:0] y); assign y = a + b + 4'h1; endmodule" in
   let f2 = S.Cnf.create () in
@@ -146,7 +153,8 @@ let test_tseitin_miter () =
   S.Cnf.add_clause f2 diffs2;
   match S.Solver.solve f2 with
   | S.Solver.Sat _ -> ()
-  | S.Solver.Unsat -> Alcotest.fail "different circuits: miter must be sat"
+  | (S.Solver.Unsat | S.Solver.Unknown) ->
+    Alcotest.fail "different circuits: miter must be sat"
 
 (* property: Tseitin encoding agrees with simulation on random inputs *)
 let tseitin_sim_prop =
@@ -174,7 +182,7 @@ let tseitin_sim_prop =
       in
       let assumptions = assume_input "a" av @ assume_input "b" bv in
       match S.Solver.solve ~assumptions f with
-      | S.Solver.Unsat -> false
+      | S.Solver.Unsat | S.Solver.Unknown -> false
       | S.Solver.Sat model ->
         let y = Option.get (N.Circuit.find_output c "y") in
         let got = ref 0 in

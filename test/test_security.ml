@@ -65,7 +65,8 @@ let test_attack_budget () =
   let oracle = Sec.Locked.make_oracle locked in
   let outcome =
     Sec.Sat_attack.attack
-      ~budget:{ Sec.Sat_attack.max_iterations = 1; max_seconds = 30.0 }
+      ~budget:{ Sec.Sat_attack.max_iterations = 1; max_seconds = 30.0;
+                solver_conflicts = None }
       locked ~oracle
   in
   Alcotest.(check bool) "budget exhausts" false outcome.Sec.Sat_attack.success

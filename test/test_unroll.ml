@@ -137,7 +137,8 @@ let test_seq_attack_no_scan () =
   let cycles = 4 in
   let o =
     Sec.Seq_attack.attack
-      ~budget:{ Sec.Sat_attack.max_iterations = 200; max_seconds = 30.0 }
+      ~budget:{ Sec.Sat_attack.max_iterations = 200; max_seconds = 30.0;
+                solver_conflicts = None }
       locked ~cycles
   in
   Alcotest.(check bool) "sequential attack converges" true o.Sec.Sat_attack.success;
