@@ -49,6 +49,22 @@ let diag_format =
            ~doc:"Diagnostic output format: $(b,text) (to stderr) or \
                  $(b,json) (to stdout).")
 
+(* ---------- parallelism plumbing ---------- *)
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Characterize candidate clusters across $(docv) worker \
+                 domains. $(b,1) disables parallelism; the default is \
+                 the machine's recommended domain count. Results are \
+                 identical for any value.")
+
+let apply_jobs (jobs : int option) (cfg : C.Flow_config.t) : C.Flow_config.t =
+  match jobs with
+  | None -> cfg
+  | Some n when n >= 1 -> { cfg with C.Flow_config.jobs = n }
+  | Some n -> invalid_arg (Printf.sprintf "--jobs %d: must be at least 1" n)
+
 let render_diags (fmt : D.format) (diags : D.t list) : unit =
   if diags <> [] then
     match fmt with
@@ -125,11 +141,11 @@ let redact_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.v")
   in
   let opaque = Arg.(value & flag & info [ "opaque" ] ~doc:"Emit the foundry view") in
-  let run file config output opaque fmt =
+  let run file config output opaque jobs fmt =
     let collector = D.Collector.create () in
     handle_errors ~fmt ~collector (fun () ->
         let src = read_file file in
-        let cfg = load_config config in
+        let cfg = apply_jobs jobs (load_config config) in
         (* recovering front end: every syntax error lands in the
            collector and surviving modules continue through the flow *)
         let flow = A.Flow.run_source ~config:cfg ~diags:collector ~file src in
@@ -165,7 +181,7 @@ let redact_cmd =
   in
   Cmd.v
     (Cmd.info "redact" ~doc:"Run the ALICE flow and emit the redacted design")
-    Term.(const run $ file $ config $ output $ opaque $ diag_format)
+    Term.(const run $ file $ config $ output $ opaque $ jobs_arg $ diag_format)
 
 (* ---------- attack ---------- *)
 
@@ -320,7 +336,13 @@ let simulate_cmd =
 let bench_cmd =
   let bench_name = Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK") in
   let cfg2 = Arg.(value & flag & info [ "cfg2" ] ~doc:"Use the paper's cfg2") in
-  let run name cfg2 fmt =
+  let dump =
+    Arg.(value & flag
+         & info [ "dump-source" ]
+             ~doc:"Print the benchmark's Verilog source and exit \
+                   (for driving $(b,redact) on a bundled design).")
+  in
+  let run name cfg2 dump jobs fmt =
     handle_errors ~fmt (fun () ->
         match B.find name with
         | None ->
@@ -328,8 +350,13 @@ let bench_cmd =
             [ D.error ~code:"E0002" "unknown benchmark %s (have: %s)" name
                 (String.concat ", " (List.map (fun b -> b.B.name) B.all)) ];
           1
+        | Some b when dump ->
+          print_string b.B.source;
+          0
         | Some b ->
-          let config = if cfg2 then B.config2 b else B.config1 b in
+          let config =
+            apply_jobs jobs (if cfg2 then B.config2 b else B.config1 b)
+          in
           let flow = A.Flow.run ~config (B.parse b) in
           Format.printf "%a" A.Report.pp_table2_header ();
           Format.printf "%a" A.Report.pp_table2_row
@@ -342,7 +369,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run a bundled benchmark through the flow")
-    Term.(const run $ bench_name $ cfg2 $ diag_format)
+    Term.(const run $ bench_name $ cfg2 $ dump $ jobs_arg $ diag_format)
 
 let () =
   let doc = "automatic eFPGA redaction (DAC'22 ALICE flow)" in

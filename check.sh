@@ -39,4 +39,21 @@ if ! grep -q '"code":"E01' "$tmpdir/diags.json"; then
   exit 1
 fi
 
+# --- parallel determinism: jobs=1 and jobs=4 must agree byte-for-byte --
+dune exec --no-build bin/alice_cli.exe -- bench GCD --dump-source \
+  > "$tmpdir/gcd.v"
+for j in 1 4; do
+  dune exec --no-build bin/alice_cli.exe -- redact "$tmpdir/gcd.v" \
+    --jobs "$j" --diag-format=json -o "$tmpdir/out$j.v" \
+    > "$tmpdir/diags$j.json" 2> /dev/null
+done
+if ! cmp -s "$tmpdir/out1.v" "$tmpdir/out4.v"; then
+  echo "check.sh: redacted Verilog differs between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+if ! cmp -s "$tmpdir/diags1.json" "$tmpdir/diags4.json"; then
+  echo "check.sh: diagnostics differ between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+
 echo "check.sh: OK"

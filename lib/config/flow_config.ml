@@ -65,6 +65,11 @@ type t = {
       (** wall-clock deadline in seconds for characterizing the whole
           candidate set; clusters not started before the deadline are
           skipped with a diagnostic. [None] disables the deadline *)
+  jobs : int;
+      (** worker domains for cluster characterization; [1] runs strictly
+          serially (no domain is spawned). Results are order-preserving
+          and bit-identical across any [jobs] value. Default: the
+          runtime's recommended domain count *)
 }
 
 let default =
@@ -74,7 +79,8 @@ let default =
     min_clb_utilization = 0.0;
     selected_outputs = []; top = None; min_score = 1; rank_order = Highest;
     score_formula = Reward; transitive_independence = false;
-    solver_budget = None; characterize_deadline_s = None }
+    solver_budget = None; characterize_deadline_s = None;
+    jobs = Domain.recommended_domain_count () }
 
 (** The paper's cfg1: at most 64 I/O pins per eFPGA, up to two eFPGAs. *)
 let cfg1 = { default with max_io_pins = 64; max_efpgas = 2 }
@@ -135,7 +141,13 @@ let of_yaml (doc : Yaml_lite.t) : t =
        | Some (Yaml_lite.Float f) ->
          if f <= 0.0 then invalid_arg "characterize_deadline_s: must be positive"
          else Some f
-       | Some _ -> invalid_arg "characterize_deadline_s: expected a number") }
+       | Some _ -> invalid_arg "characterize_deadline_s: expected a number");
+    jobs =
+      (match Yaml_lite.find doc "jobs" with
+       | None | Some Yaml_lite.Null -> d.jobs
+       | Some (Yaml_lite.Int n) ->
+         if n < 1 then invalid_arg "jobs: must be at least 1" else n
+       | Some _ -> invalid_arg "jobs: expected an integer") }
 
 let of_string (src : string) : t = of_yaml (Yaml_lite.parse src)
 

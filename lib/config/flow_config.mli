@@ -46,6 +46,11 @@ type t = {
       (** wall-clock deadline in seconds for characterizing the whole
           candidate set; clusters not started before the deadline are
           skipped with a diagnostic. [None] disables the deadline *)
+  jobs : int;
+      (** worker domains for cluster characterization; [1] runs strictly
+          serially (no domain is spawned). Results are order-preserving
+          and bit-identical across any [jobs] value. Default: the
+          runtime's recommended domain count *)
 }
 
 val default : t

@@ -6,24 +6,38 @@
     member with all ports exposed, exactly the "top Verilog module that
     instantiates all independent modules" of Section 6. Results are
     cached by the multiset of member modules: two clusters of the same
-    module mix always get the same fabric. *)
+    module mix always get the same fabric.
+
+    Characterizations are independent of each other (the paper's
+    per-cluster OpenFPGA fan-out), so {!run_all} deduplicates the
+    candidate set by cache key up front, characterizes each unique
+    module multiset once across an {!Alice_parallel.Pool} of worker
+    domains, and fans the results back out to every aliasing cluster in
+    the original order — output is bit-identical to the serial flow for
+    any [jobs] value. *)
 
 module V = Alice_verilog
 module N = Alice_netlist
 module F = Alice_fabric
 module C = Alice_config
 module D = Alice_diag.Diag
+module Pool = Alice_parallel.Pool
+module Memo = Alice_parallel.Memo
 module Timebase = Alice_diag.Timebase
 
 (** How characterizing one cluster ended. [Implemented] is a feasible
     fabric; [Infeasible] is the expected "no permitted fabric works"
     outcome of the size search; [Failed] is a fault — an exception that
     escaped synthesis, mapping or the search — captured as a diagnostic
-    so one broken cluster cannot abort the whole flow. *)
+    so one broken cluster cannot abort the whole flow; [Skipped] is a
+    cluster never dispatched because the characterization deadline
+    passed: a budget decision, not a fault, carried as a [W0701]
+    warning. *)
 type outcome =
   | Implemented of F.Size_search.implementation
   | Infeasible of F.Size_search.failure
   | Failed of D.t
+  | Skipped of D.t
 
 type characterization = {
   cluster : Clustering.cluster;
@@ -75,9 +89,9 @@ let cluster_circuit (design : V.Elaborate.design) (cfg : C.Flow_config.t)
   let mapped, _ = N.Lutmap.map ~k:cfg.C.Flow_config.lut_inputs circuit in
   mapped
 
-type cache = (string, characterization) Hashtbl.t
+type cache = (string, characterization) Memo.t
 
-let create_cache () : cache = Hashtbl.create 64
+let create_cache () : cache = Memo.create ~size:64 ()
 
 (* clusters with the same module multiset map to the same fabric *)
 let cache_key (cluster : Clustering.cluster) : string =
@@ -108,68 +122,136 @@ let diag_of_cluster_exn (cluster : Clustering.cluster) (e : exn) : D.t =
   | V.Loc.Error (loc, msg) -> D.error ~loc ~context ~code:"E0100" "%s" msg
   | e -> { (D.of_exn e) with D.context = context }
 
-(** Characterize one cluster (cached). Any exception escaping synthesis,
-    LUT mapping or the size search — except [Out_of_memory], which is
-    not safely resumable — becomes a [Failed] outcome carrying a
-    diagnostic, so a single broken cluster degrades to one lost
-    candidate instead of aborting the run. *)
-let run ?(cache : cache option) (design : V.Elaborate.design)
-    (cfg : C.Flow_config.t) (cluster : Clustering.cluster) : characterization =
-  let compute () =
-    match cluster_circuit design cfg cluster with
+let skip_diag ~(deadline_s : float) (cluster : Clustering.cluster) : D.t =
+  D.warning ~context:[ ("cluster", cluster_label cluster) ] ~code:"W0701"
+    "characterization deadline (%.1fs) exceeded; cluster skipped" deadline_s
+
+(* Fan a shared characterization back out to an aliasing cluster. The
+   fabric result is identical by construction (same module multiset),
+   but a diagnostic must name *this* cluster's instances, not the ones
+   of whichever alias computed first. *)
+let retarget (cluster : Clustering.cluster) (c : characterization) :
+    characterization =
+  let relabel (d : D.t) : D.t =
+    let label = cluster_label cluster in
+    let context =
+      if List.mem_assoc "cluster" d.D.context then
+        List.map
+          (fun (k, v) -> if k = "cluster" then (k, label) else (k, v))
+          d.D.context
+      else ("cluster", label) :: d.D.context
+    in
+    { d with D.context }
+  in
+  let outcome =
+    match c.outcome with
+    | (Implemented _ | Infeasible _) as o -> o
+    | Failed d -> Failed (relabel d)
+    | Skipped d -> Skipped (relabel d)
+  in
+  { c with cluster; outcome }
+
+(* Characterize one cluster, uncached. Any exception escaping synthesis,
+   LUT mapping or the size search — except [Out_of_memory], which is not
+   safely resumable — becomes a [Failed] outcome carrying a diagnostic,
+   so a single broken cluster degrades to one lost candidate instead of
+   aborting the run. *)
+let compute (design : V.Elaborate.design) (cfg : C.Flow_config.t)
+    (cluster : Clustering.cluster) : characterization =
+  match cluster_circuit design cfg cluster with
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e ->
+    { cluster; outcome = Failed (diag_of_cluster_exn cluster e); mapped = None }
+  | mapped -> (
+    let arch = F.Arch.of_config cfg in
+    match
+      F.Size_search.minimum arch
+        ~min_size:cfg.C.Flow_config.min_fabric_size
+        ~max_size:cfg.C.Flow_config.max_fabric_size
+        ~target_utilization:cfg.C.Flow_config.target_utilization mapped
+    with
     | exception Out_of_memory -> raise Out_of_memory
     | exception e ->
-      { cluster; outcome = Failed (diag_of_cluster_exn cluster e); mapped = None }
-    | mapped -> (
-      let arch = F.Arch.of_config cfg in
-      match
-        F.Size_search.minimum arch
-          ~min_size:cfg.C.Flow_config.min_fabric_size
-          ~max_size:cfg.C.Flow_config.max_fabric_size
-          ~target_utilization:cfg.C.Flow_config.target_utilization mapped
-      with
-      | exception Out_of_memory -> raise Out_of_memory
-      | exception e ->
-        { cluster; outcome = Failed (diag_of_cluster_exn cluster e);
-          mapped = Some mapped }
-      | Ok impl -> { cluster; outcome = Implemented impl; mapped = Some mapped }
-      | Error f -> { cluster; outcome = Infeasible f; mapped = Some mapped })
-  in
-  match cache with
-  | None -> compute ()
-  | Some table -> (
-    let key = cache_key cluster in
-    match Hashtbl.find_opt table key with
-    | Some hit -> { hit with cluster }
-    | None ->
-      let c = compute () in
-      Hashtbl.add table key c;
-      c)
+      { cluster; outcome = Failed (diag_of_cluster_exn cluster e);
+        mapped = Some mapped }
+    | Ok impl -> { cluster; outcome = Implemented impl; mapped = Some mapped }
+    | Error f -> { cluster; outcome = Infeasible f; mapped = Some mapped })
 
-(** Characterize every cluster; order preserved. With [deadline_s],
-    clusters whose characterization has not *started* when the deadline
-    passes are skipped with a [W0701] diagnostic instead of being run —
-    a cluster already in flight is allowed to finish. *)
-let run_all ?deadline_s (design : V.Elaborate.design)
+(** Characterize one cluster (cached). On a cache hit the shared result
+    is retargeted so any diagnostic names this cluster's own
+    instances. *)
+let run ?(cache : cache option) (design : V.Elaborate.design)
+    (cfg : C.Flow_config.t) (cluster : Clustering.cluster) : characterization =
+  match cache with
+  | None -> compute design cfg cluster
+  | Some memo ->
+    retarget cluster
+      (Memo.find_or_add memo (cache_key cluster) (fun () ->
+           compute design cfg cluster))
+
+(** Characterize every cluster; order preserved. Clusters are
+    deduplicated by cache key up front — one computation per unique
+    module multiset — and the unique keys are fanned out over [jobs]
+    worker domains (serial, without spawning a domain, when [jobs] is
+    1). With [deadline_s], unique keys whose characterization has not
+    *started* when the deadline passes become [Skipped] with a [W0701]
+    diagnostic — a computation already in flight is allowed to finish.
+    Results are fanned back out to every aliasing cluster, each with
+    its diagnostics relabeled to its own instances. *)
+let run_all ?deadline_s ?(jobs = 1) (design : V.Elaborate.design)
     (cfg : C.Flow_config.t) (clusters : Clustering.cluster list) :
     characterization list =
-  let cache = create_cache () in
+  let memo : cache = create_cache () in
   let t0 = Timebase.now_s () in
-  let overdue () =
+  let should_stop () =
     match deadline_s with
     | None -> false
     | Some limit -> Timebase.elapsed_since t0 > limit
   in
+  let keyed =
+    List.map (fun cluster -> (cache_key cluster, cluster)) clusters
+  in
+  let seen = Hashtbl.create 64 in
+  let uniques =
+    List.filter
+      (fun (key, _) ->
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      keyed
+  in
+  let pool = Pool.create ~jobs in
+  let outcomes =
+    Pool.map_ordered ~should_stop pool
+      (fun (_key, cluster) -> compute design cfg cluster)
+      uniques
+  in
+  List.iter2
+    (fun (key, rep) outcome ->
+      let c =
+        match outcome with
+        | Pool.Value c -> c
+        | Pool.Raised Out_of_memory -> raise Out_of_memory
+        | Pool.Raised e ->
+          (* [compute] catches everything else itself; keep a safety
+             net so an unexpected escape still costs one candidate *)
+          { cluster = rep; outcome = Failed (diag_of_cluster_exn rep e);
+            mapped = None }
+        | Pool.Skipped ->
+          { cluster = rep;
+            outcome =
+              Skipped
+                (skip_diag ~deadline_s:(Option.value deadline_s ~default:0.0)
+                   rep);
+            mapped = None }
+      in
+      Memo.set memo key c)
+    uniques outcomes;
   List.map
-    (fun cluster ->
-      if overdue () then
-        { cluster;
-          outcome =
-            Failed
-              (D.warning ~context:[ ("cluster", cluster_label cluster) ]
-                 ~code:"W0701"
-                 "characterization deadline (%.1fs) exceeded; cluster skipped"
-                 (Option.value deadline_s ~default:0.0));
-          mapped = None }
-      else run ~cache design cfg cluster)
-    clusters
+    (fun (key, cluster) ->
+      match Memo.find_opt memo key with
+      | Some c -> retarget cluster c
+      | None -> assert false (* every unique key was just stored *))
+    keyed

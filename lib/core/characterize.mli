@@ -2,7 +2,10 @@
     cluster by actually building its eFPGA — a synthetic top
     instantiating the members with all ports exposed, synthesized,
     LUT-mapped, and passed to the minimum-fabric search. Results are
-    cached by member-module multiset. *)
+    cached by member-module multiset; {!run_all} deduplicates by that
+    key up front and characterizes the unique keys across a
+    Domain-based worker pool, with output bit-identical to the serial
+    order for any [jobs] value. *)
 
 module V = Alice_verilog
 module N = Alice_netlist
@@ -14,11 +17,14 @@ module D = Alice_diag.Diag
     fabric; [Infeasible] is the size search's expected "no permitted
     fabric works"; [Failed] is a fault — an exception that escaped
     synthesis, mapping or the search, captured as a diagnostic so one
-    broken cluster cannot abort the whole flow. *)
+    broken cluster cannot abort the whole flow; [Skipped] is a cluster
+    never dispatched because the characterization deadline passed — a
+    budget decision carried as a [W0701] warning, not a fault. *)
 type outcome =
   | Implemented of F.Size_search.implementation
   | Infeasible of F.Size_search.failure
   | Failed of D.t
+  | Skipped of D.t
 
 type characterization = {
   cluster : Clustering.cluster;
@@ -30,13 +36,17 @@ type characterization = {
 val cluster_circuit :
   V.Elaborate.design -> C.Flow_config.t -> Clustering.cluster -> N.Circuit.t
 
+(** Shared characterization cache: a mutex-guarded memo table keyed by
+    member-module multiset, safe to share across worker domains. *)
 type cache
 
 val create_cache : unit -> cache
 
 (** Characterize one cluster. Any exception escaping synthesis, LUT
     mapping or the size search (except [Out_of_memory]) becomes a
-    [Failed] outcome carrying a classified diagnostic. *)
+    [Failed] outcome carrying a classified diagnostic. On a cache hit
+    the shared result is retargeted so any diagnostic names this
+    cluster's own instances. *)
 val run :
   ?cache:cache ->
   V.Elaborate.design ->
@@ -44,11 +54,17 @@ val run :
   Clustering.cluster ->
   characterization
 
-(** Characterize every cluster (shared cache); order preserved. With
-    [deadline_s], clusters not started before the wall-clock deadline
-    are skipped with a [W0701] diagnostic. *)
+(** Characterize every cluster; order preserved and output independent
+    of [jobs] (default 1: strictly serial, no domain spawned).
+    Clusters are deduplicated by cache key up front — one computation
+    per unique module multiset, fanned back out to every aliasing
+    cluster with per-cluster relabeled diagnostics. With [deadline_s],
+    computations not started before the wall-clock deadline come back
+    [Skipped] with a [W0701] diagnostic; in-flight computations are
+    allowed to finish. *)
 val run_all :
   ?deadline_s:float ->
+  ?jobs:int ->
   V.Elaborate.design ->
   C.Flow_config.t ->
   Clustering.cluster list ->

@@ -111,14 +111,16 @@ let run ?(config = C.Flow_config.default) ?(diags : D.Collector.t option)
           guard ~phase:"characterize" ~degraded:[] (fun () ->
               Characterize.run_all
                 ?deadline_s:config.C.Flow_config.characterize_deadline_s
-                design config clusters)
+                ~jobs:config.C.Flow_config.jobs design config clusters)
         in
-        (* per-cluster faults were captured as [Failed] outcomes;
-           surface their diagnostics on the flow result *)
+        (* per-cluster faults were captured as [Failed] outcomes and
+           deadline skips as [Skipped] warnings; surface both on the
+           flow result *)
         List.iter
           (fun (c : Characterize.characterization) ->
             match c.Characterize.outcome with
-            | Characterize.Failed d -> D.Collector.add collector d
+            | Characterize.Failed d | Characterize.Skipped d ->
+              D.Collector.add collector d
             | Characterize.Implemented _ | Characterize.Infeasible _ -> ())
           characterized;
         let selection =

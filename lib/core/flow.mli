@@ -29,7 +29,9 @@ type t = {
   selection : Selection.result;
   diags : D.t list;
       (** every diagnostic recorded while the flow ran, in order:
-          parse-recovery errors, per-cluster faults, phase faults *)
+          parse-recovery errors, per-cluster faults and deadline skips,
+          phase faults. Deadline skips are [W0701] warnings, not errors:
+          a run whose only diagnostics are skips is not a failed run *)
   times : phase_times;
 }
 

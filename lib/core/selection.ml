@@ -82,7 +82,7 @@ let run (cfg : C.Flow_config.t)
           when impl.F.Size_search.clb_util
                >= cfg.C.Flow_config.min_clb_utilization ->
           Some (c.Characterize.cluster, impl, mapped)
-        | ( Characterize.(Implemented _ | Infeasible _ | Failed _),
+        | ( Characterize.(Implemented _ | Infeasible _ | Failed _ | Skipped _),
             (Some _ | None) ) -> None)
       characterized
   in

@@ -5,13 +5,21 @@
     negative intervals, so readings are clamped to be non-decreasing
     ("monotonic-ish"). All callers that previously kept their own
     [gettimeofday] pairs (flow phases, SAT attack, approximate attack)
-    go through this module. *)
+    go through this module.
+
+    The clamp state is mutex-guarded: deadline predicates are polled
+    from worker domains when characterization runs parallel, and an
+    unguarded read-modify-write on [last] could publish a torn or stale
+    clamp across domains. *)
+
+let mu = Mutex.create ()
 
 let last = ref 0.0
 
 let now_s () : float =
   let t = Unix.gettimeofday () in
-  if t > !last then last := t;
-  !last
+  Mutex.protect mu (fun () ->
+      if t > !last then last := t;
+      !last)
 
 let elapsed_since (t0 : float) : float = Float.max 0.0 (now_s () -. t0)

@@ -35,7 +35,6 @@ type failure =
       (* the last width's structured fit failure, beyond max size *)
   | Unroutable of congestion
   | Empty_circuit
-  | Synthesis_failed of string
 
 let failure_to_string = function
   | Too_large fe ->
@@ -47,7 +46,14 @@ let failure_to_string = function
        (at %dx%d: peak demand %d over %d tracks)"
       cg.cg_width cg.cg_width cg.cg_demand cg.cg_tracks
   | Empty_circuit -> "cluster synthesizes to an empty circuit"
-  | Synthesis_failed msg -> "synthesis failed: " ^ msg
+
+(** The largest CLB count the utilization target admits on a fabric of
+    [clb_cap] CLBs. This is the single integer form of the feasibility
+    test: [try_width] compares against it and the fit-failure payload
+    reports it, so the two can never disagree (the payload previously
+    re-truncated the float product independently of the comparison). *)
+let clb_budget ~(target_utilization : float) ~(clb_cap : int) : int =
+  int_of_float (Float.floor (target_utilization *. float_of_int clb_cap))
 
 (** Attempt one width. Errors carry the structured payload so the
     caller can report what failed at the final attempted size. *)
@@ -61,13 +67,12 @@ let try_width (arch : Arch.t) ~(target_utilization : float) (mapped : Circuit.t)
   | placement ->
     let clbs_used = Place.clbs_used placement in
     let clb_cap = Fabric.clb_count fabric in
-    if float_of_int clbs_used > target_utilization *. float_of_int clb_cap
-    then
+    let budget = clb_budget ~target_utilization ~clb_cap in
+    if clbs_used > budget then
       Error
         (`No_fit
            (Place.fit_failure ~width:w ~resource:`Utilization
-              ~needed:clbs_used
-              ~available:(int_of_float (target_utilization *. float_of_int clb_cap))))
+              ~needed:clbs_used ~available:budget))
     else begin
       let routing = Route.route placement in
       if not routing.Route.routable then

@@ -36,9 +36,15 @@ type failure =
       (** congestion exceeded the track budget at every permitted size;
           carries the last width's peak demand *)
   | Empty_circuit
-  | Synthesis_failed of string
 
 val failure_to_string : failure -> string
+
+(** The largest CLB count the utilization target admits on a fabric of
+    [clb_cap] CLBs — the integer form of the feasibility comparison,
+    shared between the width test and the fit-failure payload so the
+    reported "available" always matches what the test enforced. A
+    placement of exactly this many CLBs is feasible. *)
+val clb_budget : target_utilization:float -> clb_cap:int -> int
 
 (** Minimum-size search over permitted widths; the input must already be
     LUT-mapped. *)

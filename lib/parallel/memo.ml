@@ -1,0 +1,28 @@
+type ('k, 'v) t = {
+  mu : Mutex.t;
+  tbl : ('k, 'v) Hashtbl.t;
+}
+
+let create ?(size = 64) () = { mu = Mutex.create (); tbl = Hashtbl.create size }
+
+let find_opt (t : ('k, 'v) t) (k : 'k) : 'v option =
+  Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.tbl k)
+
+let set (t : ('k, 'v) t) (k : 'k) (v : 'v) : unit =
+  Mutex.protect t.mu (fun () -> Hashtbl.replace t.tbl k v)
+
+let find_or_add (t : ('k, 'v) t) (k : 'k) (compute : unit -> 'v) : 'v =
+  match find_opt t k with
+  | Some v -> v
+  | None ->
+    (* compute outside the lock; first writer wins a race *)
+    let v = compute () in
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.tbl k with
+        | Some winner -> winner
+        | None ->
+          Hashtbl.replace t.tbl k v;
+          v)
+
+let length (t : ('k, 'v) t) : int =
+  Mutex.protect t.mu (fun () -> Hashtbl.length t.tbl)

@@ -1,0 +1,28 @@
+(** Mutex-guarded memo table, usable as a shared cache across the
+    domains of a {!Pool} batch.
+
+    Lookups and insertions are atomic with respect to each other.
+    {!find_or_add} computes *outside* the lock so a slow computation
+    never blocks other keys; if two domains race to fill the same key,
+    the first writer wins and both callers observe the winning value
+    (callers must therefore be happy with either computation's result —
+    true of any pure keyed computation). *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+
+(** [set t k v] binds [k] to [v], replacing any previous binding. *)
+val set : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [find_or_add t k compute] returns the cached value for [k], or runs
+    [compute ()] (unlocked) and installs its result. Returns the stored
+    value, which under a race may be another domain's result for the
+    same key. An exception from [compute] propagates and caches
+    nothing. *)
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+(** Number of distinct keys currently cached. *)
+val length : ('k, 'v) t -> int

@@ -1,0 +1,64 @@
+(** Bounded Domain-based work pool; see pool.mli for the contract.
+
+    Scheduling is a single atomic task counter: workers race to claim
+    the next index, compute outside any lock, and write into a
+    per-index slot of a shared results array (disjoint cells, so no
+    further synchronization is needed; [Domain.join] publishes the
+    writes to the caller). Input order is preserved by construction —
+    slot [i] always holds task [i]'s outcome — which is what lets the
+    flow keep its serial output byte-identical under parallelism. *)
+
+type t = { jobs : int }
+
+let create ~jobs = { jobs = max 1 jobs }
+
+let jobs (pool : t) = pool.jobs
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+type 'a outcome =
+  | Value of 'a
+  | Raised of exn
+  | Skipped
+
+let run_task (f : 'a -> 'b) (x : 'a) : 'b outcome =
+  match f x with v -> Value v | exception e -> Raised e
+
+let map_ordered ?(should_stop = fun () -> false) (pool : t) (f : 'a -> 'b)
+    (xs : 'a list) : 'b outcome list =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else if pool.jobs = 1 then
+    (* serial bypass: no domain is spawned; semantics are exactly the
+       historical serial loop (stop check before each task) *)
+    Array.to_list
+      (Array.map
+         (fun x -> if should_stop () then Skipped else run_task f x)
+         tasks)
+  else begin
+    let results = Array.make n Skipped in
+    let next = Atomic.make 0 in
+    let stopped = Atomic.make false in
+    let worker () =
+      let rec loop () =
+        if not (Atomic.get stopped) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then
+            if should_stop () then Atomic.set stopped true
+              (* index [i] stays Skipped: it was claimed but never
+                 dispatched; siblings already past the check finish *)
+            else begin
+              results.(i) <- run_task f tasks.(i);
+              loop ()
+            end
+        end
+      in
+      loop ()
+    in
+    let workers =
+      Array.init (min pool.jobs n) (fun _ -> Domain.spawn worker)
+    in
+    Array.iter Domain.join workers;
+    Array.to_list results
+  end

@@ -1,0 +1,44 @@
+(** Bounded Domain-based work pool.
+
+    A pool is a parallelism budget: {!map_ordered} fans a task list out
+    over at most [jobs] worker domains and returns the results in input
+    order, so callers that were previously serial [List.map]s keep their
+    output order (and therefore their downstream determinism) unchanged.
+
+    Fault isolation survives parallelism: an exception raised by one
+    task is captured as its own {!outcome} and never kills a sibling
+    task or the pool. A cooperative stop predicate, checked at dispatch
+    time, supports deadline semantics — tasks already in flight finish,
+    tasks not yet dispatched come back {!Skipped}. *)
+
+type t
+
+(** [create ~jobs] is a pool dispatching at most [max 1 jobs] tasks
+    concurrently. Worker domains are spawned per {!map_ordered} batch
+    (never more than the batch size) and joined before it returns, so a
+    pool holds no resources between calls and needs no shutdown. *)
+val create : jobs:int -> t
+
+val jobs : t -> int
+
+(** The runtime's recommended parallelism ([Domain.recommended_domain_count]). *)
+val default_jobs : unit -> int
+
+(** How one task ended. *)
+type 'a outcome =
+  | Value of 'a        (** the task returned *)
+  | Raised of exn      (** the task raised; siblings were unaffected *)
+  | Skipped            (** never dispatched: [should_stop] was true *)
+
+(** [map_ordered ?should_stop pool f xs] applies [f] to every element of
+    [xs] across the pool's workers and returns the outcomes in the order
+    of [xs].
+
+    [should_stop] is polled immediately before each task is dispatched;
+    once it returns [true], no further task starts (in-flight tasks
+    finish) and every undispatched task's outcome is [Skipped]. With
+    [jobs = 1] no domain is spawned and the tasks run sequentially in
+    the calling domain — byte-identical to a serial [List.map] with the
+    same dispatch-time stop check. *)
+val map_ordered :
+  ?should_stop:(unit -> bool) -> t -> ('a -> 'b) -> 'a list -> 'b outcome list

@@ -137,7 +137,8 @@ let test_cluster_isolation () =
       (fun (c : A.Characterize.characterization) ->
         match c.A.Characterize.outcome with
         | A.Characterize.Failed _ -> true
-        | A.Characterize.Implemented _ | A.Characterize.Infeasible _ -> false)
+        | A.Characterize.Implemented _ | A.Characterize.Infeasible _
+        | A.Characterize.Skipped _ -> false)
       flow.A.Flow.characterized
   in
   Alcotest.(check bool) "some cluster failed" true (failed <> []);
@@ -150,12 +151,63 @@ let test_cluster_isolation () =
         Alcotest.(check string) "cycle code" "E0202" d.D.code;
         Alcotest.(check bool) "cluster context attached" true
           (List.mem_assoc "cluster" d.D.context)
-      | A.Characterize.Implemented _ | A.Characterize.Infeasible _ -> ())
+      | A.Characterize.Implemented _ | A.Characterize.Infeasible _
+      | A.Characterize.Skipped _ -> ())
     failed;
   Alcotest.(check bool) "diagnostics surfaced on the flow" true
     (List.exists (fun d -> d.D.code = "E0202") flow.A.Flow.diags);
   Alcotest.(check bool) "flow still selects among survivors" true
     (flow.A.Flow.selection.A.Selection.best <> None)
+
+let test_cache_hit_diag_names_own_cluster () =
+  (* two instances of the same broken module: their clusters share one
+     cache key, so one alias's characterization is a cache hit — its
+     Failed diagnostic must still name *its own* instances, not the
+     instances of whichever alias computed first (the old code reused
+     the first cluster's diagnostic verbatim) *)
+  let src =
+    {|module cyc (input [3:0] a, output [3:0] y);
+        wire [3:0] t;
+        assign t = {t[2:0], t[3]} ^ a;
+        assign y = t;
+      endmodule
+      module top (input [3:0] x, output [3:0] o0, output [3:0] o1);
+        cyc a0 (.a(x), .y(o0));
+        cyc a1 (.a(x), .y(o1));
+      endmodule|}
+  in
+  let flow = A.Flow.run_source ~config:isolation_cfg src in
+  let failed_labels = ref [] in
+  List.iter
+    (fun (c : A.Characterize.characterization) ->
+      match c.A.Characterize.outcome with
+      | A.Characterize.Failed d ->
+        let own_label =
+          c.A.Characterize.cluster.A.Clustering.members
+          |> List.map (fun (m : V.Design.tree) -> m.V.Design.inst_name)
+          |> String.concat "+"
+        in
+        (match List.assoc_opt "cluster" d.D.context with
+        | None -> Alcotest.fail "Failed diag lost its cluster context"
+        | Some label ->
+          Alcotest.(check string) "diag names its own instances" own_label
+            label;
+          failed_labels := label :: !failed_labels)
+      | A.Characterize.Implemented _ | A.Characterize.Infeasible _
+      | A.Characterize.Skipped _ -> ())
+    flow.A.Flow.characterized;
+  (* both same-module clusters failed, each under its own name *)
+  Alcotest.(check bool) "a0's cluster reported" true
+    (List.mem "a0" !failed_labels);
+  Alcotest.(check bool) "a1's cluster reported" true
+    (List.mem "a1" !failed_labels);
+  (* and the flow-level diagnostics carry the same per-cluster labels *)
+  let flow_labels =
+    List.filter_map (fun (d : D.t) -> List.assoc_opt "cluster" d.D.context)
+      flow.A.Flow.diags
+  in
+  Alcotest.(check bool) "flow diags attribute both aliases" true
+    (List.mem "a0" flow_labels && List.mem "a1" flow_labels)
 
 let test_all_failed_degrades_to_empty_selection () =
   (* every candidate is the cycle: nothing characterizes, yet the run
@@ -229,6 +281,31 @@ let test_deadline_skips_clusters () =
     (List.exists (fun d -> d.D.code = "W0701") flow.A.Flow.diags);
   Alcotest.(check bool) "run completed" true
     (flow.A.Flow.selection.A.Selection.best = None)
+
+let test_deadline_skip_is_not_a_failure () =
+  (* a budget skip is a [Skipped] outcome carrying a warning — never a
+     [Failed] fault, and never an error-severity diagnostic, so the
+     CLI's severity-derived exit code stays 0 for a skip-only run *)
+  let cfg =
+    { isolation_cfg with C.Flow_config.characterize_deadline_s = Some 0.0 }
+  in
+  let flow = A.Flow.run_source ~config:cfg isolation_src in
+  Alcotest.(check bool) "clusters exist" true
+    (flow.A.Flow.characterized <> []);
+  List.iter
+    (fun (c : A.Characterize.characterization) ->
+      match c.A.Characterize.outcome with
+      | A.Characterize.Skipped d ->
+        Alcotest.(check string) "skip code" "W0701" d.D.code;
+        Alcotest.(check bool) "skip is a warning" false (D.is_error d)
+      | A.Characterize.Failed _ ->
+        Alcotest.fail "deadline skip misclassified as Failed"
+      | A.Characterize.Implemented _ | A.Characterize.Infeasible _ ->
+        Alcotest.fail "nothing can characterize under a 0s deadline")
+    flow.A.Flow.characterized;
+  (* only-skips => no errors anywhere on the flow (exit-code-0 shape) *)
+  Alcotest.(check bool) "no error diagnostics for a mere budget skip" false
+    (List.exists D.is_error flow.A.Flow.diags)
 
 (* ---------- attack budgets surface as Inconclusive ---------- *)
 
@@ -320,6 +397,8 @@ let tests =
     Alcotest.test_case "diagnostic rendering" `Quick test_render;
     Alcotest.test_case "per-cluster fault isolation" `Quick
       test_cluster_isolation;
+    Alcotest.test_case "cache-hit diagnostics name their own cluster" `Quick
+      test_cache_hit_diag_names_own_cluster;
     Alcotest.test_case "all-failed run degrades cleanly" `Quick
       test_all_failed_degrades_to_empty_selection;
     Alcotest.test_case "run_source reports parse errors" `Quick
@@ -327,6 +406,8 @@ let tests =
     Alcotest.test_case "config budget knobs" `Quick test_config_knobs;
     Alcotest.test_case "characterize deadline skips clusters" `Quick
       test_deadline_skips_clusters;
+    Alcotest.test_case "deadline skip is not a failure" `Quick
+      test_deadline_skip_is_not_a_failure;
     Alcotest.test_case "attack inconclusive under solver budget" `Quick
       test_attack_inconclusive;
     Alcotest.test_case "fuzz: corrupt sources never crash" `Slow

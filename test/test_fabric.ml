@@ -100,6 +100,47 @@ let test_size_search_failures () =
   | Error f -> Alcotest.fail ("unexpected failure: " ^ F.Size_search.failure_to_string f)
   | Ok _ -> Alcotest.fail "expected failure on max_size 2")
 
+let test_clb_budget_boundary () =
+  (* the integer CLB budget shared by the feasibility comparison and the
+     fit-failure payload: exactly the target is feasible, one more CLB
+     is not, and the two sides can never disagree *)
+  Alcotest.(check int) "exact half of 12" 6
+    (F.Size_search.clb_budget ~target_utilization:0.5 ~clb_cap:12);
+  Alcotest.(check int) "0.6 of 10 is exactly 6" 6
+    (F.Size_search.clb_budget ~target_utilization:0.6 ~clb_cap:10);
+  Alcotest.(check int) "just under: 0.59 of 10 floors to 5" 5
+    (F.Size_search.clb_budget ~target_utilization:0.59 ~clb_cap:10);
+  List.iter
+    (fun (t, cap) ->
+      let b = F.Size_search.clb_budget ~target_utilization:t ~clb_cap:cap in
+      (* a placement of exactly the budget passes the (float) test the
+         search enforces; one more CLB fails it *)
+      Alcotest.(check bool) "budget itself is feasible" true
+        (float_of_int b <= t *. float_of_int cap);
+      Alcotest.(check bool) "budget + 1 is infeasible" true
+        (float_of_int (b + 1) > t *. float_of_int cap))
+    [ (0.5, 12); (0.6, 10); (0.7, 10); (0.3, 7); (1.0, 16); (0.25, 4) ];
+  (* end-to-end: a utilization fit failure reports exactly the budget
+     the comparison enforced at the failing width *)
+  let mapped = mapped_of small_design in
+  match
+    F.Size_search.minimum arch ~min_size:4 ~max_size:4
+      ~target_utilization:0.01 mapped
+  with
+  | Ok impl ->
+    Alcotest.fail
+      (Printf.sprintf "1%%-utilization target accepted %s"
+         (F.Fabric.size_label impl.F.Size_search.fabric))
+  | Error (F.Size_search.Too_large fe) ->
+    Alcotest.(check bool) "failure is the utilization test" true
+      (fe.F.Place.fit_resource = `Utilization);
+    Alcotest.(check int) "payload matches the enforced budget"
+      (F.Size_search.clb_budget ~target_utilization:0.01
+         ~clb_cap:(F.Fabric.clb_count (F.Fabric.make arch fe.F.Place.fit_width)))
+      fe.F.Place.fit_available
+  | Error f ->
+    Alcotest.fail ("unexpected failure: " ^ F.Size_search.failure_to_string f)
+
 let test_bitstream () =
   let f4 = F.Fabric.make arch 4 and f5 = F.Fabric.make arch 5 in
   let l4 = F.Bitstream.layout f4 and l5 = F.Bitstream.layout f5 in
@@ -193,6 +234,7 @@ let tests =
     Alcotest.test_case "does not fit" `Quick test_does_not_fit;
     Alcotest.test_case "size search" `Quick test_size_search;
     Alcotest.test_case "size search failures" `Quick test_size_search_failures;
+    Alcotest.test_case "clb budget boundary" `Quick test_clb_budget_boundary;
     Alcotest.test_case "bitstream" `Quick test_bitstream;
     Alcotest.test_case "area model" `Quick test_area_model;
     Alcotest.test_case "routing report" `Quick test_routing_report;

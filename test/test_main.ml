@@ -10,6 +10,7 @@ let () =
       ("fabric", Test_fabric.tests);
       ("sat", Test_sat.tests);
       ("diag", Test_diag.tests);
+      ("parallel", Test_parallel.tests);
       ("security", Test_security.tests);
       ("flow", Test_flow.tests);
       ("redact", Test_redact.tests);
