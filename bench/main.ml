@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one section
      sections: table1 table2 figure4 security overhead soc ablation
-             parallel micro
+             parallel cache micro
 
    Paper reference values are printed next to the measured ones so the
    output doubles as the data source for EXPERIMENTS.md. The [micro]
@@ -506,6 +506,57 @@ let run_parallel () =
     \ check — speedup needs cores, not domains)@."
 
 (* ------------------------------------------------------------------ *)
+(* Engine cache: cold vs warm on the SoC                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_cache () =
+  section "Persistent characterization cache: cold vs warm on the SoC";
+  let cfg =
+    { C.Flow_config.cfg1 with
+      C.Flow_config.selected_outputs = Alice_benchmarks.Soc.selected_outputs;
+      top = Some Alice_benchmarks.Soc.top;
+      min_fabric_size = 4; max_fabric_size = 20; target_utilization = 0.5;
+      min_clb_utilization = 0.3 }
+  in
+  let request () =
+    A.Flow.request ~config:cfg
+      (A.Flow.Text { text = Alice_benchmarks.Soc.source; file = Some "soc.v" })
+  in
+  let root = Filename.temp_file "alice_bench" ".cache" in
+  Sys.remove root;
+  let line label (flow : A.Flow.t) t =
+    let s = flow.A.Flow.char_stats in
+    Format.printf "  %-26s %6.2fs   %3d hits, %3d computed, %3d unique@."
+      label t s.A.Characterize.cache_hits s.A.Characterize.computed
+      s.A.Characterize.unique;
+    s
+  in
+  let cold_engine = A.Engine.create ~cache_dir:root () in
+  let cold_flow, t_cold = time (fun () -> A.Engine.run cold_engine (request ())) in
+  let _ = line "cold (empty store):" cold_flow t_cold in
+  let memo_flow, t_memo = time (fun () -> A.Engine.run cold_engine (request ())) in
+  let memo = line "warm (same engine):" memo_flow t_memo in
+  let disk_engine = A.Engine.create ~cache_dir:root () in
+  let disk_flow, t_disk = time (fun () -> A.Engine.run disk_engine (request ())) in
+  let disk = line "warm (new process):" disk_flow t_disk in
+  Format.printf "  speedup: %.1fx in-memory, %.1fx from disk@."
+    (t_cold /. Float.max 1e-9 t_memo)
+    (t_cold /. Float.max 1e-9 t_disk);
+  Format.printf "  warm runs recomputed nothing: %b@."
+    (memo.A.Characterize.computed = 0 && disk.A.Characterize.computed = 0);
+  let score (f : A.Flow.t) =
+    Option.map (fun s -> s.A.Selection.total_score)
+      f.A.Flow.selection.A.Selection.best
+  in
+  Format.printf "  selections identical across all three: %b@."
+    (score cold_flow = score memo_flow && score cold_flow = score disk_flow);
+  (match A.Engine.disk_stats disk_engine with
+  | Some s ->
+    Format.printf "  store (%s): %d disk hits, %d failures@." root
+      s.A.Disk_cache.disk_hits s.A.Disk_cache.failures
+  | None -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -581,6 +632,7 @@ let () =
   | "soc" -> run_soc ()
   | "ablation" -> run_ablation ()
   | "parallel" -> run_parallel ()
+  | "cache" -> run_cache ()
   | "micro" -> run_micro ()
   | "all" | _ ->
     run_table1 ();
@@ -591,5 +643,6 @@ let () =
     run_soc ();
     run_ablation ();
     run_parallel ();
+    run_cache ();
     run_micro ());
   Format.printf "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

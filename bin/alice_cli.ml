@@ -2,6 +2,7 @@
 
      alice inspect  design.v                 # Table-1 style characteristics
      alice redact   design.v -c flow.yaml -o out.v [--opaque]
+     alice sweep    design.v -c sweep.yaml   # config grid over one design
      alice attack    design.v -m module      # lock a module and SAT-attack it
      alice decompose design.v -m module      # fine-grained redaction prep
      alice simulate  design.v --vcd out.vcd  # random-stimulus simulation
@@ -9,6 +10,11 @@
 
    The YAML configuration file follows the paper's Section 3; see
    Alice_config.Flow_config for the recognized keys.
+
+   redact, bench and sweep share one flag group: --jobs (characterization
+   worker domains), --cache-dir and --no-cache (the persistent
+   characterization cache; see Alice.Engine). Warm-cache runs produce
+   byte-identical output to cold ones, they just skip CreateEFPGA.
 
    Errors are reported as structured diagnostics (--diag-format=text|json;
    text goes to stderr, json to stdout). Exit codes: 0 success, 1 input
@@ -49,21 +55,59 @@ let diag_format =
            ~doc:"Diagnostic output format: $(b,text) (to stderr) or \
                  $(b,json) (to stdout).")
 
-(* ---------- parallelism plumbing ---------- *)
+(* ---------- parallelism & cache plumbing ----------
 
-let jobs_arg =
-  Arg.(value & opt (some int) None
-       & info [ "j"; "jobs" ] ~docv:"N"
-           ~doc:"Characterize candidate clusters across $(docv) worker \
-                 domains. $(b,1) disables parallelism; the default is \
-                 the machine's recommended domain count. Results are \
-                 identical for any value.")
+   One flag group, threaded identically through redact, bench and
+   sweep: it evaluates to a configuration updater so each command
+   applies the same overrides on top of whatever configuration it
+   loaded. *)
 
-let apply_jobs (jobs : int option) (cfg : C.Flow_config.t) : C.Flow_config.t =
-  match jobs with
-  | None -> cfg
-  | Some n when n >= 1 -> { cfg with C.Flow_config.jobs = n }
-  | Some n -> invalid_arg (Printf.sprintf "--jobs %d: must be at least 1" n)
+let flow_flags : (C.Flow_config.t -> C.Flow_config.t) Cmdliner.Term.t =
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Characterize candidate clusters across $(docv) worker \
+                   domains. $(b,1) disables parallelism; the default is \
+                   the machine's recommended domain count. Results are \
+                   identical for any value.")
+  in
+  let cache_dir =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Root of the persistent characterization cache. \
+                   Defaults to \\$ALICE_CACHE_DIR, \
+                   \\$XDG_CACHE_HOME/alice or ~/.cache/alice. Warm runs \
+                   produce byte-identical results, they just skip \
+                   already-characterized eFPGAs.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ]
+             ~doc:"Disable the persistent characterization cache for \
+                   this invocation (nothing is read or written).")
+  in
+  let apply jobs cache_dir no_cache (cfg : C.Flow_config.t) =
+    let cfg =
+      match jobs with
+      | None -> cfg
+      | Some n when n >= 1 -> { cfg with C.Flow_config.jobs = n }
+      | Some n -> invalid_arg (Printf.sprintf "--jobs %d: must be at least 1" n)
+    in
+    let cfg =
+      match cache_dir with
+      | None -> cfg
+      | Some dir -> { cfg with C.Flow_config.cache_dir = Some dir }
+    in
+    if no_cache then { cfg with C.Flow_config.cache = false } else cfg
+  in
+  Term.(const apply $ jobs $ cache_dir $ no_cache)
+
+(* the per-run cache accounting, on stderr next to the tables *)
+let report_cache_line (flow : A.Flow.t) : unit =
+  let s = flow.A.Flow.char_stats in
+  Format.eprintf "cache: %d hits, %d computed, %d unique@."
+    s.A.Characterize.cache_hits s.A.Characterize.computed
+    s.A.Characterize.unique
 
 let render_diags (fmt : D.format) (diags : D.t list) : unit =
   if diags <> [] then
@@ -141,14 +185,20 @@ let redact_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT.v")
   in
   let opaque = Arg.(value & flag & info [ "opaque" ] ~doc:"Emit the foundry view") in
-  let run file config output opaque jobs fmt =
+  let run file config output opaque flags fmt =
     let collector = D.Collector.create () in
     handle_errors ~fmt ~collector (fun () ->
         let src = read_file file in
-        let cfg = apply_jobs jobs (load_config config) in
+        let cfg = flags (load_config config) in
+        let engine = A.Engine.of_config cfg in
         (* recovering front end: every syntax error lands in the
            collector and surviving modules continue through the flow *)
-        let flow = A.Flow.run_source ~config:cfg ~diags:collector ~file src in
+        let flow =
+          A.Engine.run engine
+            (A.Flow.request ~config:cfg ~diags:collector
+               (A.Flow.Text { text = src; file = Some file }))
+        in
+        report_cache_line flow;
         Format.eprintf "%a" A.Report.pp_table2_header ();
         Format.eprintf "%a" A.Report.pp_table2_row
           (A.Report.row_of_flow ~design_name:(Filename.basename file) flow);
@@ -181,7 +231,123 @@ let redact_cmd =
   in
   Cmd.v
     (Cmd.info "redact" ~doc:"Run the ALICE flow and emit the redacted design")
-    Term.(const run $ file $ config $ output $ opaque $ jobs_arg $ diag_format)
+    Term.(const run $ file $ config $ output $ opaque $ flow_flags $ diag_format)
+
+(* ---------- sweep ---------- *)
+
+(* A sweep file describes a configuration grid over one design:
+
+     base:              # optional: flow-config keys shared by all entries
+       max_io_pins: 64
+     sweep:             # one flow-config map per run; `name` labels the row
+       - name: two-efpga
+         max_efpgas: 2
+       - name: one-big
+         max_efpgas: 1
+         fabric:
+           max_size: 16
+
+   Every entry is deep-merged over `base` (entry wins) and run through
+   one engine, so entries sharing fabric parameters share
+   characterizations — within the sweep and, via the persistent cache,
+   with every earlier run. *)
+
+let sweep_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let config =
+    Arg.(required & opt (some file) None
+         & info [ "c"; "config" ] ~docv:"SWEEP.yaml"
+             ~doc:"Sweep description: an optional $(b,base) \
+                   configuration map and a $(b,sweep) list of \
+                   configuration overlays, one flow run per entry.")
+  in
+  let run file config flags fmt =
+    handle_errors ~fmt (fun () ->
+        let doc = C.Yaml_lite.parse (read_file config) in
+        let base =
+          Option.value (C.Yaml_lite.find doc "base") ~default:C.Yaml_lite.Null
+        in
+        let entries =
+          match C.Yaml_lite.find doc "sweep" with
+          | Some (C.Yaml_lite.List (_ :: _ as items)) -> items
+          | Some _ -> invalid_arg "sweep: expected a non-empty list of maps"
+          | None -> invalid_arg "sweep: missing `sweep` list"
+        in
+        let named =
+          List.mapi
+            (fun i entry ->
+              let name =
+                C.Yaml_lite.get_string
+                  ~default:(Printf.sprintf "cfg%d" (i + 1))
+                  entry "name"
+              in
+              let cfg =
+                flags (C.Flow_config.of_yaml (C.Yaml_lite.merge base entry))
+              in
+              (name, cfg))
+            entries
+        in
+        let ast = load_design file in
+        (* cache knobs (and the engine) come from base + flags; each
+           entry still carries its own full configuration *)
+        let engine = A.Engine.of_config (flags (C.Flow_config.of_yaml base)) in
+        let requests =
+          List.map
+            (fun (_, cfg) ->
+              A.Flow.request ~config:cfg
+                ~diags:(D.Collector.create ())
+                (A.Flow.Ast ast))
+            named
+        in
+        let flows = A.Engine.run_many engine requests in
+        Format.printf "%-16s %-8s %-16s %9s %9s %9s %6s %9s %8s@." "config"
+          "feasible" "best eFPGA(s)" "filter(s)" "cluster(s)" "select(s)"
+          "hits" "computed" "skipped";
+        List.iter2
+          (fun (name, _) (flow : A.Flow.t) ->
+            let feasible, sizes =
+              match flow.A.Flow.selection.A.Selection.best with
+              | None -> ("no", "-")
+              | Some best ->
+                ( "yes",
+                  String.concat "+"
+                    (List.map
+                       (fun (e : A.Selection.efpga_impl) ->
+                         F.Fabric.size_label e.A.Selection.impl.F.Size_search.fabric)
+                       best.A.Selection.efpgas) )
+            in
+            let s = flow.A.Flow.char_stats in
+            let t = flow.A.Flow.times in
+            Format.printf "%-16s %-8s %-16s %9.2f %9.2f %9.2f %6d %9d %8d@."
+              name feasible sizes t.A.Flow.filtering_s t.A.Flow.clustering_s
+              t.A.Flow.selection_s s.A.Characterize.cache_hits
+              s.A.Characterize.computed s.A.Characterize.skipped)
+          named flows;
+        (match A.Engine.disk_stats engine with
+        | None -> ()
+        | Some ds ->
+          Format.eprintf "cache store: %d disk hits, %d stores, %d failures (%s)@."
+            ds.A.Disk_cache.disk_hits ds.A.Disk_cache.stores
+            ds.A.Disk_cache.failures
+            (Option.value (A.Engine.cache_root engine) ~default:"-"));
+        (* diagnostics, each tagged with its entry's name *)
+        let tagged =
+          List.concat_map
+            (fun ((name, _), (flow : A.Flow.t)) ->
+              List.map
+                (fun (d : D.t) ->
+                  { d with D.context = ("config", name) :: d.D.context })
+                flow.A.Flow.diags)
+            (List.combine named flows)
+        in
+        render_diags fmt tagged;
+        if List.exists D.is_error tagged then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a YAML-described configuration grid over one design, \
+             reusing characterizations across entries and runs")
+    Term.(const run $ file $ config $ flow_flags $ diag_format)
 
 (* ---------- attack ---------- *)
 
@@ -342,7 +508,7 @@ let bench_cmd =
              ~doc:"Print the benchmark's Verilog source and exit \
                    (for driving $(b,redact) on a bundled design).")
   in
-  let run name cfg2 dump jobs fmt =
+  let run name cfg2 dump flags fmt =
     handle_errors ~fmt (fun () ->
         match B.find name with
         | None ->
@@ -354,10 +520,13 @@ let bench_cmd =
           print_string b.B.source;
           0
         | Some b ->
-          let config =
-            apply_jobs jobs (if cfg2 then B.config2 b else B.config1 b)
+          let config = flags (if cfg2 then B.config2 b else B.config1 b) in
+          let engine = A.Engine.of_config config in
+          let flow =
+            A.Engine.run engine
+              (A.Flow.request ~config (A.Flow.Ast (B.parse b)))
           in
-          let flow = A.Flow.run ~config (B.parse b) in
+          report_cache_line flow;
           Format.printf "%a" A.Report.pp_table2_header ();
           Format.printf "%a" A.Report.pp_table2_row
             (A.Report.row_of_flow ~design_name:b.B.name flow);
@@ -369,9 +538,9 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Run a bundled benchmark through the flow")
-    Term.(const run $ bench_name $ cfg2 $ dump $ jobs_arg $ diag_format)
+    Term.(const run $ bench_name $ cfg2 $ dump $ flow_flags $ diag_format)
 
 let () =
   let doc = "automatic eFPGA redaction (DAC'22 ALICE flow)" in
   let info = Cmd.info "alice" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ inspect_cmd; redact_cmd; attack_cmd; decompose_cmd; simulate_cmd; bench_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ inspect_cmd; redact_cmd; sweep_cmd; attack_cmd; decompose_cmd; simulate_cmd; bench_cmd ]))

@@ -56,4 +56,25 @@ if ! cmp -s "$tmpdir/diags1.json" "$tmpdir/diags4.json"; then
   exit 1
 fi
 
+# --- persistent cache: cold run then warm run must agree byte-for-byte --
+for run in cold warm; do
+  dune exec --no-build bin/alice_cli.exe -- redact "$tmpdir/gcd.v" \
+    --cache-dir "$tmpdir/cache" --diag-format=json -o "$tmpdir/out_$run.v" \
+    > "$tmpdir/diags_$run.json" 2> "$tmpdir/stderr_$run.txt"
+done
+if ! cmp -s "$tmpdir/out_cold.v" "$tmpdir/out_warm.v"; then
+  echo "check.sh: redacted Verilog differs between cold and warm cache" >&2
+  exit 1
+fi
+if ! cmp -s "$tmpdir/diags_cold.json" "$tmpdir/diags_warm.json"; then
+  echo "check.sh: diagnostics differ between cold and warm cache" >&2
+  exit 1
+fi
+# the warm run must hit the cache and recompute nothing
+if ! grep -Eq 'cache: [1-9][0-9]* hits, 0 computed' "$tmpdir/stderr_warm.txt"; then
+  echo "check.sh: warm run did not reuse the cache:" >&2
+  cat "$tmpdir/stderr_warm.txt" >&2
+  exit 1
+fi
+
 echo "check.sh: OK"

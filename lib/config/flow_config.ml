@@ -70,6 +70,14 @@ type t = {
           serially (no domain is spawned). Results are order-preserving
           and bit-identical across any [jobs] value. Default: the
           runtime's recommended domain count *)
+  cache : bool;
+      (** persist characterizations across runs (engine-driven
+          entrypoints only); results are identical either way, warm runs
+          are just faster. Default: [true] *)
+  cache_dir : string option;
+      (** root of the on-disk characterization store; [None] falls back
+          to [$ALICE_CACHE_DIR], [$XDG_CACHE_HOME/alice] or
+          [~/.cache/alice] *)
 }
 
 let default =
@@ -80,7 +88,8 @@ let default =
     selected_outputs = []; top = None; min_score = 1; rank_order = Highest;
     score_formula = Reward; transitive_independence = false;
     solver_budget = None; characterize_deadline_s = None;
-    jobs = Domain.recommended_domain_count () }
+    jobs = Domain.recommended_domain_count ();
+    cache = true; cache_dir = None }
 
 (** The paper's cfg1: at most 64 I/O pins per eFPGA, up to two eFPGAs. *)
 let cfg1 = { default with max_io_pins = 64; max_efpgas = 2 }
@@ -147,9 +156,34 @@ let of_yaml (doc : Yaml_lite.t) : t =
        | None | Some Yaml_lite.Null -> d.jobs
        | Some (Yaml_lite.Int n) ->
          if n < 1 then invalid_arg "jobs: must be at least 1" else n
-       | Some _ -> invalid_arg "jobs: expected an integer") }
+       | Some _ -> invalid_arg "jobs: expected an integer");
+    cache = Yaml_lite.get_bool ~default:d.cache doc "cache";
+    cache_dir =
+      (match Yaml_lite.find doc "cache_dir" with
+       | None | Some Yaml_lite.Null -> None
+       | Some (Yaml_lite.String s) -> Some s
+       | Some _ -> invalid_arg "cache_dir: expected a string") }
 
 let of_string (src : string) : t = of_yaml (Yaml_lite.parse src)
+
+(* Every field below feeds CreateEFPGA (synthesis target, fabric family,
+   permitted widths, utilization bounds) or bounds its solvers. Fields
+   that only steer later phases — selection weights, output filters,
+   ranking — are deliberately excluded so a persistent characterization
+   cache is shared across them. The [v1] prefix versions the derivation
+   itself: extending the list is a format change, not a silent rekey. *)
+let characterize_digest (c : t) : string =
+  let s =
+    Printf.sprintf
+      "v1;lut_inputs=%d;luts_per_clb=%d;ffs_per_clb=%d;gpio_per_tile=%d;\
+       min_fabric_size=%d;max_fabric_size=%d;target_utilization=%.17g;\
+       min_clb_utilization=%.17g;solver_budget=%s"
+      c.lut_inputs c.luts_per_clb c.ffs_per_clb c.gpio_per_tile
+      c.min_fabric_size c.max_fabric_size c.target_utilization
+      c.min_clb_utilization
+      (match c.solver_budget with None -> "-" | Some n -> string_of_int n)
+  in
+  Digest.to_hex (Digest.string s)
 
 let pp fmt (c : t) =
   Format.fprintf fmt

@@ -51,6 +51,14 @@ type t = {
           serially (no domain is spawned). Results are order-preserving
           and bit-identical across any [jobs] value. Default: the
           runtime's recommended domain count *)
+  cache : bool;
+      (** persist characterizations across runs (engine-driven
+          entrypoints only); results are identical either way, warm runs
+          are just faster. Default: [true] *)
+  cache_dir : string option;
+      (** root of the on-disk characterization store; [None] falls back
+          to [$ALICE_CACHE_DIR], [$XDG_CACHE_HOME/alice] or
+          [~/.cache/alice] *)
 }
 
 val default : t
@@ -66,5 +74,15 @@ val cfg2 : t
 val of_yaml : Yaml_lite.t -> t
 
 val of_string : string -> t
+
+(** Hex digest of every configuration field that can change a
+    characterization outcome (fabric family, permitted widths,
+    utilization bounds, solver budgets) — and none that cannot, so a
+    persistent cache is shared across selection-only variations. Two
+    configurations with equal digests always characterize a given
+    cluster identically; the digest is part of the cache key, so
+    configurations with different fabric parameters never share
+    entries. *)
+val characterize_digest : t -> string
 
 val pp : Format.formatter -> t -> unit

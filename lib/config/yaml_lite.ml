@@ -146,12 +146,18 @@ and parse_list lines indent : t * line list =
         loop (value :: acc) rest'
       end
       else begin
-        (* inline item; may itself be "key: value" starting a map *)
+        (* Inline item; "key: value" starts a map whose remaining keys
+           sit on the following lines, aligned with the first key's
+           column — re-inject the inline text as a virtual line at that
+           column and let [parse_map] consume the whole item. *)
         match split_key_value { l with body = item_src } with
-        | Some (key, v) when v = "" ->
-          let sub, rest' = parse_block rest (indent + 1) in
-          loop (Map [ (key, sub) ] :: acc) rest'
-        | Some (key, v) -> loop (Map [ (key, parse_flow_value num v) ] :: acc) rest
+        | Some _ ->
+          let item_indent =
+            i + (String.length body - String.length item_src)
+          in
+          let virtual_line = { num; indent = item_indent; body = item_src } in
+          let value, rest' = parse_block (virtual_line :: rest) item_indent in
+          loop (value :: acc) rest'
         | None -> loop (parse_flow_value num item_src :: acc) rest
       end
     | rest -> (List (List.rev acc), rest)
@@ -250,3 +256,20 @@ let rec to_string = function
     "{"
     ^ String.concat ", " (List.map (fun (k, v) -> k ^ ": " ^ to_string v) kvs)
     ^ "}"
+
+let rec merge (base : t) (overlay : t) : t =
+  match (base, overlay) with
+  | Map bs, Map os ->
+    (* base key order kept, overlay-only keys appended in their order *)
+    let merged =
+      List.map
+        (fun (k, bv) ->
+          match List.assoc_opt k os with
+          | Some ov -> (k, merge bv ov)
+          | None -> (k, bv))
+        bs
+    in
+    let fresh = List.filter (fun (k, _) -> not (List.mem_assoc k bs)) os in
+    Map (merged @ fresh)
+  | _, Null -> base
+  | _, overlay -> overlay

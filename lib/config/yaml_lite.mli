@@ -35,3 +35,10 @@ val get_bool : ?default:bool -> t -> string -> bool
 val get_string_list : ?default:string list -> t -> string -> string list
 
 val to_string : t -> string
+
+(** [merge base overlay] deep-merges two documents: maps are merged key
+    by key (recursively; base key order kept, overlay-only keys
+    appended), any other overlay node replaces the base node, and a
+    [Null] overlay leaves the base value untouched. Used to expand a
+    sweep entry over its base configuration. *)
+val merge : t -> t -> t

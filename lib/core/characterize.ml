@@ -5,8 +5,12 @@
     Multi-module clusters get a synthetic top that instantiates every
     member with all ports exposed, exactly the "top Verilog module that
     instantiates all independent modules" of Section 6. Results are
-    cached by the multiset of member modules: two clusters of the same
-    module mix always get the same fabric.
+    cached by the multiset of member modules, each tagged with a digest
+    of its elaborated content, plus a digest of every configuration
+    field that can change the outcome
+    ({!Alice_config.Flow_config.characterize_digest}) — so two clusters
+    of the same module mix always get the same fabric, and the key
+    stays sound when the cache outlives one run or one configuration.
 
     Characterizations are independent of each other (the paper's
     per-cluster OpenFPGA fan-out), so {!run_all} deduplicates the
@@ -91,13 +95,56 @@ let cluster_circuit (design : V.Elaborate.design) (cfg : C.Flow_config.t)
 
 type cache = (string, characterization) Memo.t
 
-let create_cache () : cache = Memo.create ~size:64 ()
+let create_cache ?load ?save () : cache = Memo.create ~size:64 ?load ?save ()
 
-(* clusters with the same module multiset map to the same fabric *)
-let cache_key (cluster : Clustering.cluster) : string =
-  cluster.Clustering.members
-  |> List.map (fun (m : V.Design.tree) -> m.module_name)
-  |> List.sort compare |> String.concat "|"
+type stats = {
+  clusters : int;
+  unique : int;
+  cache_hits : int;
+  computed : int;
+  skipped : int;
+}
+
+let empty_stats =
+  { clusters = 0; unique = 0; cache_hits = 0; computed = 0; skipped = 0 }
+
+(* A stable digest of a module's elaborated content: what the wrapper
+   top actually instantiates. [No_sharing] makes the blob a function of
+   structure alone, so the digest is identical across processes — and
+   two same-named modules with different bodies (e.g. from different
+   designs sharing one persistent store) never collide. *)
+let module_digest (em : V.Elaborate.emodule) : string =
+  Digest.to_hex (Digest.string (Marshal.to_string em [ Marshal.No_sharing ]))
+
+(** Clusters with the same member-module multiset, the same member
+    *content* and the same characterization-relevant configuration map
+    to the same fabric — that triple is the cache key. Returns a keying
+    function with the per-module digests and the config digest computed
+    once, so keying a whole candidate set stays cheap. *)
+let keyer (design : V.Elaborate.design) (cfg : C.Flow_config.t) :
+    Clustering.cluster -> string =
+  let mdigests : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let digest_of name =
+    match Hashtbl.find_opt mdigests name with
+    | Some d -> d
+    | None ->
+      let d = module_digest (V.Elaborate.find_emodule design name) in
+      Hashtbl.add mdigests name d;
+      d
+  in
+  let cfg_digest = C.Flow_config.characterize_digest cfg in
+  fun (cluster : Clustering.cluster) ->
+    let members =
+      cluster.Clustering.members
+      |> List.map (fun (m : V.Design.tree) ->
+             m.module_name ^ "@" ^ digest_of m.module_name)
+      |> List.sort compare |> String.concat "|"
+    in
+    members ^ "#" ^ cfg_digest
+
+let cache_key (design : V.Elaborate.design) (cfg : C.Flow_config.t)
+    (cluster : Clustering.cluster) : string =
+  keyer design cfg cluster
 
 (* a short human label for diagnostics: the cluster's member instances *)
 let cluster_label (cluster : Clustering.cluster) : string =
@@ -186,31 +233,37 @@ let run ?(cache : cache option) (design : V.Elaborate.design)
   | None -> compute design cfg cluster
   | Some memo ->
     retarget cluster
-      (Memo.find_or_add memo (cache_key cluster) (fun () ->
+      (Memo.find_or_add memo (cache_key design cfg cluster) (fun () ->
            compute design cfg cluster))
 
 (** Characterize every cluster; order preserved. Clusters are
     deduplicated by cache key up front — one computation per unique
-    module multiset — and the unique keys are fanned out over [jobs]
-    worker domains (serial, without spawning a domain, when [jobs] is
-    1). With [deadline_s], unique keys whose characterization has not
-    *started* when the deadline passes become [Skipped] with a [W0701]
-    diagnostic — a computation already in flight is allowed to finish.
-    Results are fanned back out to every aliasing cluster, each with
-    its diagnostics relabeled to its own instances. *)
-let run_all ?deadline_s ?(jobs = 1) (design : V.Elaborate.design)
-    (cfg : C.Flow_config.t) (clusters : Clustering.cluster list) :
-    characterization list =
-  let memo : cache = create_cache () in
+    module multiset — and the unique keys not already in [cache] are
+    fanned out over [jobs] worker domains (serial, without spawning a
+    domain, when [jobs] is 1). With [deadline_s], unique keys whose
+    characterization has not *started* when the deadline passes become
+    [Skipped] with a [W0701] diagnostic — a computation already in
+    flight is allowed to finish. Results are fanned back out to every
+    aliasing cluster, each with its diagnostics relabeled to its own
+    instances.
+
+    Only real fabric verdicts ([Implemented]/[Infeasible]) are written
+    back to [cache]: a fault or a deadline skip is an artifact of this
+    run, and caching it would make it stick across runs. *)
+let run_all_stats ?deadline_s ?(jobs = 1) ?(cache : cache option)
+    (design : V.Elaborate.design) (cfg : C.Flow_config.t)
+    (clusters : Clustering.cluster list) : characterization list * stats =
+  let memo : cache =
+    match cache with Some c -> c | None -> create_cache ()
+  in
   let t0 = Timebase.now_s () in
   let should_stop () =
     match deadline_s with
     | None -> false
     | Some limit -> Timebase.elapsed_since t0 > limit
   in
-  let keyed =
-    List.map (fun cluster -> (cache_key cluster, cluster)) clusters
-  in
+  let key_of = keyer design cfg in
+  let keyed = List.map (fun cluster -> (key_of cluster, cluster)) clusters in
   let seen = Hashtbl.create 64 in
   let uniques =
     List.filter
@@ -222,24 +275,44 @@ let run_all ?deadline_s ?(jobs = 1) (design : V.Elaborate.design)
         end)
       keyed
   in
+  (* this run's key -> characterization table, for the alias fan-out;
+     distinct from [memo], which may outlive the run and only ever
+     holds fabric verdicts *)
+  let resolved : (string, characterization) Hashtbl.t = Hashtbl.create 64 in
+  let misses =
+    List.filter
+      (fun (key, _) ->
+        match Memo.find_opt memo key with
+        | Some c ->
+          Hashtbl.replace resolved key c;
+          false
+        | None -> true)
+      uniques
+  in
+  let cache_hits = Hashtbl.length resolved in
   let pool = Pool.create ~jobs in
   let outcomes =
     Pool.map_ordered ~should_stop pool
       (fun (_key, cluster) -> compute design cfg cluster)
-      uniques
+      misses
   in
+  let computed = ref 0 and skipped = ref 0 in
   List.iter2
     (fun (key, rep) outcome ->
       let c =
         match outcome with
-        | Pool.Value c -> c
+        | Pool.Value c ->
+          incr computed;
+          c
         | Pool.Raised Out_of_memory -> raise Out_of_memory
         | Pool.Raised e ->
           (* [compute] catches everything else itself; keep a safety
              net so an unexpected escape still costs one candidate *)
+          incr computed;
           { cluster = rep; outcome = Failed (diag_of_cluster_exn rep e);
             mapped = None }
         | Pool.Skipped ->
+          incr skipped;
           { cluster = rep;
             outcome =
               Skipped
@@ -247,11 +320,22 @@ let run_all ?deadline_s ?(jobs = 1) (design : V.Elaborate.design)
                    rep);
             mapped = None }
       in
-      Memo.set memo key c)
-    uniques outcomes;
-  List.map
-    (fun (key, cluster) ->
-      match Memo.find_opt memo key with
-      | Some c -> retarget cluster c
-      | None -> assert false (* every unique key was just stored *))
-    keyed
+      Hashtbl.replace resolved key c;
+      match c.outcome with
+      | Implemented _ | Infeasible _ -> Memo.set memo key c
+      | Failed _ | Skipped _ -> ())
+    misses outcomes;
+  let results =
+    List.map
+      (fun (key, cluster) ->
+        match Hashtbl.find_opt resolved key with
+        | Some c -> retarget cluster c
+        | None -> assert false (* every unique key was just resolved *))
+      keyed
+  in
+  ( results,
+    { clusters = List.length clusters; unique = List.length uniques;
+      cache_hits; computed = !computed; skipped = !skipped } )
+
+let run_all ?deadline_s ?jobs ?cache design cfg clusters =
+  fst (run_all_stats ?deadline_s ?jobs ?cache design cfg clusters)

@@ -2,10 +2,13 @@
     cluster by actually building its eFPGA — a synthetic top
     instantiating the members with all ports exposed, synthesized,
     LUT-mapped, and passed to the minimum-fabric search. Results are
-    cached by member-module multiset; {!run_all} deduplicates by that
-    key up front and characterizes the unique keys across a
-    Domain-based worker pool, with output bit-identical to the serial
-    order for any [jobs] value. *)
+    cached by member-module multiset (content-digested) plus the
+    configuration's {!Alice_config.Flow_config.characterize_digest};
+    {!run_all} deduplicates by that key up front and characterizes the
+    unique keys across a Domain-based worker pool, with output
+    bit-identical to the serial order for any [jobs] value. The cache
+    may be supplied by the caller (see {!Engine}) so it outlives one
+    run. *)
 
 module V = Alice_verilog
 module N = Alice_netlist
@@ -37,10 +40,43 @@ val cluster_circuit :
   V.Elaborate.design -> C.Flow_config.t -> Clustering.cluster -> N.Circuit.t
 
 (** Shared characterization cache: a mutex-guarded memo table keyed by
-    member-module multiset, safe to share across worker domains. *)
+    {!cache_key}, safe to share across worker domains and across runs.
+    Optional [load]/[save] hooks back it with a persistent store (see
+    {!Alice_parallel.Memo} for the hook contract — hooks must not
+    raise). *)
 type cache
 
-val create_cache : unit -> cache
+val create_cache :
+  ?load:(string -> characterization option) ->
+  ?save:(string -> characterization -> unit) ->
+  unit ->
+  cache
+
+(** Per-{!run_all} accounting, in unique cache keys: [unique] distinct
+    keys among [clusters] requested, of which [cache_hits] came from
+    the cache (in-memory or its backing store), [computed] were
+    characterized in this run, and [skipped] fell to the deadline. *)
+type stats = {
+  clusters : int;
+  unique : int;
+  cache_hits : int;
+  computed : int;
+  skipped : int;
+}
+
+val empty_stats : stats
+
+(** The cache key of a cluster: its member-module multiset with each
+    member tagged by a digest of its elaborated content, joined with
+    the configuration's characterization digest. Sound across designs
+    and configurations: same key implies same characterization
+    outcome. {!keyer} is the batch form — per-module digests and the
+    config digest are computed once. *)
+val cache_key :
+  V.Elaborate.design -> C.Flow_config.t -> Clustering.cluster -> string
+
+val keyer :
+  V.Elaborate.design -> C.Flow_config.t -> Clustering.cluster -> string
 
 (** Characterize one cluster. Any exception escaping synthesis, LUT
     mapping or the size search (except [Out_of_memory]) becomes a
@@ -57,15 +93,29 @@ val run :
 (** Characterize every cluster; order preserved and output independent
     of [jobs] (default 1: strictly serial, no domain spawned).
     Clusters are deduplicated by cache key up front — one computation
-    per unique module multiset, fanned back out to every aliasing
-    cluster with per-cluster relabeled diagnostics. With [deadline_s],
+    per unique key, fanned back out to every aliasing cluster with
+    per-cluster relabeled diagnostics. Keys already present in [cache]
+    (default: a fresh ephemeral one) are served from it; only fabric
+    verdicts ([Implemented]/[Infeasible]) are written back, so faults
+    and deadline skips never stick across runs. With [deadline_s],
     computations not started before the wall-clock deadline come back
     [Skipped] with a [W0701] diagnostic; in-flight computations are
     allowed to finish. *)
 val run_all :
   ?deadline_s:float ->
   ?jobs:int ->
+  ?cache:cache ->
   V.Elaborate.design ->
   C.Flow_config.t ->
   Clustering.cluster list ->
   characterization list
+
+(** {!run_all} plus this run's cache accounting. *)
+val run_all_stats :
+  ?deadline_s:float ->
+  ?jobs:int ->
+  ?cache:cache ->
+  V.Elaborate.design ->
+  C.Flow_config.t ->
+  Clustering.cluster list ->
+  characterization list * stats

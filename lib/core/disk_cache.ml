@@ -1,0 +1,181 @@
+(** Versioned, content-addressed on-disk store for characterization
+    results (the persistent half of {!Engine}'s cache).
+
+    Layout: one file per cache key under [<root>/v<N>/<md5(key)>.bin].
+    Each entry is a header line
+
+    {v ALICE-CACHE <format-version> <md5-of-payload> <payload-bytes> v}
+
+    followed by the payload, a [Marshal] blob of [(key, value)]. The
+    full key is stored and re-checked on load, so a filename collision
+    can only cost a miss, never a wrong hit.
+
+    The store never fails a flow: a missing, truncated, corrupt or
+    version-mismatched entry degrades to a miss (recompute) with a
+    [W0702] warning, and an unwritable directory disables writes for the
+    rest of the process with a single [W0703] warning. Writes go through
+    a per-domain temporary file and [Sys.rename], so concurrent
+    processes and worker domains never observe a torn entry. *)
+
+module D = Alice_diag.Diag
+
+let format_version = 1
+
+type stats = {
+  disk_hits : int;     (* entries served from disk *)
+  disk_misses : int;   (* keys with no entry on disk *)
+  stores : int;        (* entries written *)
+  failures : int;      (* unreadable/corrupt entries and failed writes *)
+}
+
+type t = {
+  root : string;
+  dir : string;  (* root/v<format_version>, the actual entry directory *)
+  mu : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable failures : int;
+  mutable sink : (D.t -> unit) option;
+  mutable write_disabled : bool;
+}
+
+let default_root () =
+  match Sys.getenv_opt "ALICE_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+    match Sys.getenv_opt "XDG_CACHE_HOME" with
+    | Some d when d <> "" -> Filename.concat d "alice"
+    | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" ->
+        Filename.concat (Filename.concat h ".cache") "alice"
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "alice-cache"))
+
+let create ?root () =
+  let root = match root with Some r -> r | None -> default_root () in
+  { root;
+    dir = Filename.concat root (Printf.sprintf "v%d" format_version);
+    mu = Mutex.create ();
+    hits = 0; misses = 0; stores = 0; failures = 0;
+    sink = None; write_disabled = false }
+
+let root (t : t) = t.root
+
+let stats (t : t) : stats =
+  Mutex.protect t.mu (fun () ->
+      { disk_hits = t.hits; disk_misses = t.misses; stores = t.stores;
+        failures = t.failures })
+
+let set_sink (t : t) (sink : D.t -> unit) : unit =
+  Mutex.protect t.mu (fun () -> t.sink <- Some sink)
+
+let clear_sink (t : t) : unit =
+  Mutex.protect t.mu (fun () -> t.sink <- None)
+
+(* Counter bumps and sink emission under the store's mutex: load/store
+   run on characterization worker domains and the sink usually appends
+   to a plain (unsynchronized) collector. *)
+let warn (t : t) (d : D.t) : unit =
+  Mutex.protect t.mu (fun () ->
+      t.failures <- t.failures + 1;
+      match t.sink with Some f -> f d | None -> ())
+
+let entry_path (t : t) (key : string) : string =
+  Filename.concat t.dir (Digest.to_hex (Digest.string key) ^ ".bin")
+
+let rec mkdir_p (dir : string) : unit =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Entry validation, strict end to end: header shape, format version,
+   payload length, payload digest, then the embedded key. Everything
+   after the digest check is safe to [Marshal.from_string] — a blob
+   whose MD5 matches is the blob we wrote. *)
+let parse_entry (key : string) (raw : string) : ('v, string) result =
+  match String.index_opt raw '\n' with
+  | None -> Error "missing header"
+  | Some nl -> (
+    let header = String.sub raw 0 nl in
+    let payload = String.sub raw (nl + 1) (String.length raw - nl - 1) in
+    match
+      Scanf.sscanf header "ALICE-CACHE %d %s %d" (fun v d n -> (v, d, n))
+    with
+    | exception _ -> Error "malformed header"
+    | version, digest, len ->
+      if version <> format_version then
+        Error
+          (Printf.sprintf "format version %d (this build writes %d)" version
+             format_version)
+      else if String.length payload <> len then
+        Error
+          (Printf.sprintf "truncated payload (%d of %d bytes)"
+             (String.length payload) len)
+      else if Digest.to_hex (Digest.string payload) <> digest then
+        Error "payload checksum mismatch"
+      else
+        match Marshal.from_string payload 0 with
+        | exception _ -> Error "undecodable payload"
+        | stored_key, v ->
+          if (stored_key : string) <> key then Error "key collision" else Ok v)
+
+let load (t : t) ~(key : string) : 'v option =
+  let path = entry_path t key in
+  match read_file path with
+  | exception Sys_error _ ->
+    Mutex.protect t.mu (fun () -> t.misses <- t.misses + 1);
+    None
+  | raw -> (
+    match parse_entry key raw with
+    | Ok v ->
+      Mutex.protect t.mu (fun () -> t.hits <- t.hits + 1);
+      Some v
+    | Error reason ->
+      warn t
+        (D.warning ~code:"W0702"
+           ~context:[ ("entry", path) ]
+           "unusable cache entry (%s); recomputing" reason);
+      None)
+
+let store (t : t) ~(key : string) (v : 'a) : unit =
+  if not t.write_disabled then begin
+    let path = entry_path t key in
+    match
+      mkdir_p t.dir;
+      let payload = Marshal.to_string (key, v) [] in
+      let header =
+        Printf.sprintf "ALICE-CACHE %d %s %d\n" format_version
+          (Digest.to_hex (Digest.string payload))
+          (String.length payload)
+      in
+      let tmp =
+        Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
+      in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc header;
+          output_string oc payload);
+      Sys.rename tmp path
+    with
+    | () -> Mutex.protect t.mu (fun () -> t.stores <- t.stores + 1)
+    | exception e ->
+      (* one warning, then stop trying: an unwritable cache directory
+         must not warn once per characterization *)
+      t.write_disabled <- true;
+      warn t
+        (D.warning ~code:"W0703"
+           ~context:[ ("dir", t.dir) ]
+           "cannot write cache entry (%s); caching disabled for this run"
+           (Printexc.to_string e))
+  end

@@ -1,0 +1,68 @@
+(** Versioned, content-addressed on-disk store for characterization
+    results — the persistent half of {!Engine}'s cache.
+
+    One file per key under [<root>/v<N>/<md5(key)>.bin]: a header line
+    carrying the format version and an MD5 checksum of the payload,
+    then a [Marshal] blob of [(key, value)]. The full key is re-checked
+    on load, so a filename collision can only cost a miss, never a
+    wrong hit.
+
+    The store never fails a flow. A truncated, corrupt or
+    version-mismatched entry degrades to a miss with a [W0702] warning
+    through the registered sink; an unwritable directory disables
+    writes for the rest of the process with a single [W0703] warning.
+    Writes are atomic (per-domain temporary file + rename), loads and
+    counters are mutex-guarded, so one store may back the memo table of
+    a multi-domain characterization run and be shared by concurrent
+    processes.
+
+    Values are read back with [Marshal] at the caller's type: a store
+    (i.e. a [root] directory) must hold exactly one value type. In this
+    codebase that type is {!Characterize.characterization}, enforced by
+    {!Engine} being the only writer. *)
+
+module D = Alice_diag.Diag
+
+(** Bumped on any incompatible change to the entry encoding *or* to the
+    cache-key derivation; old entries then miss cleanly. *)
+val format_version : int
+
+type stats = {
+  disk_hits : int;    (** entries served from disk *)
+  disk_misses : int;  (** keys with no entry on disk *)
+  stores : int;       (** entries written *)
+  failures : int;     (** unreadable/corrupt entries and failed writes *)
+}
+
+type t
+
+(** [$ALICE_CACHE_DIR], else [$XDG_CACHE_HOME/alice], else
+    [~/.cache/alice], else a temp-directory fallback. *)
+val default_root : unit -> string
+
+(** [create ?root ()] opens (lazily — nothing is touched on disk until
+    the first write) the store rooted at [root], default
+    {!default_root}. *)
+val create : ?root:string -> unit -> t
+
+val root : t -> string
+
+(** Where the entry for [key] lives (exposed for tests and tooling). *)
+val entry_path : t -> string -> string
+
+(** [load t ~key] returns the stored value, or [None] for a missing or
+    unusable entry (the latter emits a [W0702] warning to the sink). *)
+val load : t -> key:string -> 'v option
+
+(** [store t ~key v] writes the entry atomically; a failure emits one
+    [W0703] warning and disables further writes in this process. *)
+val store : t -> key:string -> 'v -> unit
+
+val stats : t -> stats
+
+(** Route warnings into the caller's diagnostic collector. The sink is
+    invoked under the store's mutex, so an unsynchronized collector is
+    safe even when loads happen on worker domains. *)
+val set_sink : t -> (D.t -> unit) -> unit
+
+val clear_sink : t -> unit

@@ -1,0 +1,84 @@
+(** The reusable flow engine: a long-lived handle owning one
+    characterization cache — an in-memory, mutex-guarded memo table
+    backed (unless caching is off) by the persistent {!Disk_cache}
+    store — through which any number of flow {!Flow.request}s run.
+
+    This is what makes the realistic ALICE workload cheap: fabric
+    parameter exploration and iterative customization run the *same*
+    modules through CreateEFPGA over and over, and the dominant cost is
+    exactly those characterizations. A cold run pays them once; every
+    later run — in the same process via {!run_many}, or in a new
+    process via the on-disk store — gets them back by content-addressed
+    lookup ({!Characterize.cache_key}: member-module content digests
+    plus the configuration's characterization digest), so results are
+    identical to a cold run, just faster.
+
+    Degradation is always soft: unusable cache entries recompute with a
+    [W0702] warning on the affected run's diagnostics, an unwritable
+    store warns once ([W0703]) and stops writing. The engine never
+    changes what a flow computes — only whether CreateEFPGA has to run
+    again. *)
+
+module C = Alice_config
+module D = Alice_diag.Diag
+
+type t = {
+  memo : Characterize.cache;
+  disk : Disk_cache.t option;
+}
+
+let create ?(cache = true) ?cache_dir () : t =
+  if not cache then { memo = Characterize.create_cache (); disk = None }
+  else begin
+    let disk = Disk_cache.create ?root:cache_dir () in
+    let load key = Disk_cache.load disk ~key in
+    (* the disk layer only ever holds fabric verdicts: [run_all] already
+       refuses to cache faults and skips, and [Characterize.run]'s
+       single-cluster path goes through this same filter *)
+    let save key (c : Characterize.characterization) =
+      match c.Characterize.outcome with
+      | Characterize.Implemented _ | Characterize.Infeasible _ ->
+        Disk_cache.store disk ~key c
+      | Characterize.Failed _ | Characterize.Skipped _ -> ()
+    in
+    { memo = Characterize.create_cache ~load ~save (); disk = Some disk }
+  end
+
+(** An engine honoring the configuration's cache knobs ([cache],
+    [cache_dir]). *)
+let of_config (cfg : C.Flow_config.t) : t =
+  create ~cache:cfg.C.Flow_config.cache ?cache_dir:cfg.C.Flow_config.cache_dir
+    ()
+
+let cache (t : t) : Characterize.cache = t.memo
+
+let cache_root (t : t) : string option = Option.map Disk_cache.root t.disk
+
+let disk_stats (t : t) : Disk_cache.stats option =
+  Option.map Disk_cache.stats t.disk
+
+(** Run one request through the engine's cache. Cache-degradation
+    warnings raised while this request runs land on its diagnostics
+    (and its collector, if it carries one). Per-run cache accounting is
+    on the result's [char_stats]. *)
+let run (t : t) (req : Flow.request) : Flow.t =
+  let collector =
+    match req.Flow.diags with Some c -> c | None -> D.Collector.create ()
+  in
+  let req = { req with Flow.diags = Some collector } in
+  match t.disk with
+  | None -> Flow.run_request ~cache:t.memo req
+  | Some disk ->
+    Disk_cache.set_sink disk (D.Collector.add collector);
+    Fun.protect
+      ~finally:(fun () -> Disk_cache.clear_sink disk)
+      (fun () -> Flow.run_request ~cache:t.memo req)
+
+(** Run a batch of jobs — (design × config) pairs in whatever mix —
+    sequentially through one cache: later jobs reuse every
+    characterization any earlier job (or any earlier process, via the
+    disk store) already paid for. Parallelism lives *inside* each job
+    (the configuration's [jobs] worker domains), where the paper's
+    workload actually fans out. *)
+let run_many (t : t) (reqs : Flow.request list) : Flow.t list =
+  List.map (run t) reqs

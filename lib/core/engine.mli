@@ -1,0 +1,54 @@
+(** The reusable flow engine: a long-lived handle owning one
+    characterization cache — an in-memory, mutex-guarded memo table
+    backed (unless caching is off) by the persistent on-disk
+    {!Disk_cache} store — through which any number of flow
+    {!Flow.request}s run.
+
+    Entries are content-addressed by {!Characterize.cache_key} (member
+    module content digests plus the configuration's
+    {!Alice_config.Flow_config.characterize_digest}), loaded lazily one
+    key at a time, and survive process boundaries, so fabric-parameter
+    sweeps and repeated CLI invocations stop re-running CreateEFPGA on
+    work they have already paid for. Results are bit-identical to a
+    cold run; only the wall clock changes. Unusable entries (truncated,
+    corrupt, version-mismatched) recompute with a [W0702] warning on
+    the affected run; an unwritable store warns once ([W0703]) and
+    stops writing. *)
+
+module C = Alice_config
+
+type t
+
+(** [create ?cache ?cache_dir ()]. With [cache] (default [true]) the
+    memo table is backed by the {!Disk_cache} store rooted at
+    [cache_dir] (default {!Disk_cache.default_root}); with [~cache:false]
+    the engine is purely in-memory — still worth holding across
+    {!run_many} jobs, just not across processes. *)
+val create : ?cache:bool -> ?cache_dir:string -> unit -> t
+
+(** An engine honoring the configuration's [cache] / [cache_dir]
+    knobs. *)
+val of_config : C.Flow_config.t -> t
+
+(** Run one request through the engine's cache. Per-run cache
+    accounting is on the result's [char_stats]; cache-degradation
+    warnings land on the run's diagnostics. *)
+val run : t -> Flow.request -> Flow.t
+
+(** Run a batch of (design × config) jobs sequentially through one
+    cache: later jobs reuse every characterization an earlier job — or
+    an earlier process, via the disk store — already paid for.
+    Parallelism lives inside each job (its configuration's [jobs]
+    worker domains). *)
+val run_many : t -> Flow.request list -> Flow.t list
+
+(** The engine's shared cache, for driving {!Characterize} directly. *)
+val cache : t -> Characterize.cache
+
+(** Root directory of the persistent store; [None] when caching is
+    off. *)
+val cache_root : t -> string option
+
+(** Cumulative persistent-store counters since [create]; [None] when
+    caching is off. *)
+val disk_stats : t -> Disk_cache.stats option

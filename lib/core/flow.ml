@@ -33,7 +33,28 @@ type t = {
   selection : Selection.result;
   diags : D.t list;  (* everything recorded while the flow ran *)
   times : phase_times;
+  char_stats : Characterize.stats;  (* characterization cache accounting *)
 }
+
+(** What to run the flow on. *)
+type source =
+  | Ast of V.Ast.design  (** an already parsed design *)
+  | Text of { text : string; file : string option }
+      (** Verilog source; parsed with error recovery, each syntax error
+          an [E0102] diagnostic *)
+
+(** One flow job: the source, its configuration, and an optional
+    caller-owned diagnostic collector — the record form of what used to
+    be the [?config ?diags ?file] optional-argument sprawl across
+    {!run} and {!run_source}. Consumed by {!Engine.run}. *)
+type request = {
+  source : source;
+  config : C.Flow_config.t;
+  diags : D.Collector.t option;
+}
+
+let request ?(config = C.Flow_config.default) ?diags source =
+  { source; config; diags }
 
 (* Record the phase wall clock into [record] even when the thunk raises,
    so a faulting phase still shows up in the timing columns. *)
@@ -59,16 +80,31 @@ let elaborate_checked ?top (ast : V.Ast.design) : V.Elaborate.design =
     raise (V.Loc.Error
              (V.Loc.none, "elaboration failed: " ^ Printexc.to_string e))
 
-(** Run the flow on parsed source. Raises {!Alice_verilog.Loc.Error} on
-    malformed input; an empty candidate set (like IIR under cfg1) is not
-    an error — the result simply carries no solution. Later-phase
-    faults never raise: they are recorded into [diags] (appended to the
+(** Run a {!request}. Raises {!Alice_verilog.Loc.Error} on malformed
+    input; an empty candidate set (like IIR under cfg1) is not an
+    error — the result simply carries no solution. Later-phase faults
+    never raise: they are recorded into [diags] (appended to the
     caller's collector when one is passed) and the faulting phase
-    degrades to an empty result. *)
-let run ?(config = C.Flow_config.default) ?(diags : D.Collector.t option)
-    (ast : V.Ast.design) : t =
+    degrades to an empty result. With [cache], characterizations are
+    served from and written back to the caller's cache (how {!Engine}
+    reuses work across runs); without it every run starts cold. *)
+let run_request ?(cache : Characterize.cache option) (req : request) : t =
+  let config = req.config in
   let collector =
-    match diags with Some c -> c | None -> D.Collector.create ()
+    match req.diags with Some c -> c | None -> D.Collector.create ()
+  in
+  let ast =
+    match req.source with
+    | Ast ast -> ast
+    | Text { text; file } ->
+      (* recovering front end: one pass reports every syntax error as an
+         [E0102] diagnostic and the surviving modules continue *)
+      let ast, errors = V.Parser.parse_with_recovery ?file text in
+      List.iter
+        (fun (loc, msg) ->
+          D.Collector.add collector (D.error ~loc ~code:"E0102" "%s" msg))
+        errors;
+      ast
   in
   let design = elaborate_checked ?top:config.C.Flow_config.top ast in
   let filtering_s = ref 0.0
@@ -105,13 +141,14 @@ let run ?(config = C.Flow_config.default) ?(diags : D.Collector.t option)
           guard ~phase:"clustering" ~degraded:[] (fun () ->
               Clustering.run df config filtering))
   in
-  let characterized, selection =
+  let (characterized, char_stats), selection =
     timed (fun dt -> selection_s := dt) (fun () ->
-        let characterized =
-          guard ~phase:"characterize" ~degraded:[] (fun () ->
-              Characterize.run_all
+        let characterized, char_stats =
+          guard ~phase:"characterize"
+            ~degraded:([], Characterize.empty_stats) (fun () ->
+              Characterize.run_all_stats
                 ?deadline_s:config.C.Flow_config.characterize_deadline_s
-                ~jobs:config.C.Flow_config.jobs design config clusters)
+                ~jobs:config.C.Flow_config.jobs ?cache design config clusters)
         in
         (* per-cluster faults were captured as [Failed] outcomes and
            deadline skips as [Skipped] warnings; surface both on the
@@ -130,25 +167,27 @@ let run ?(config = C.Flow_config.default) ?(diags : D.Collector.t option)
               in
               Selection.run config characterized ~total_instances)
         in
-        (characterized, selection))
+        ((characterized, char_stats), selection))
   in
   { config; ast; design; filtering; clusters; characterized; selection;
     diags = D.Collector.list collector;
     times = { filtering_s = !filtering_s; clustering_s = !clustering_s;
-              selection_s = !selection_s } }
+              selection_s = !selection_s };
+    char_stats }
 
-(** Run on Verilog source text. The parser recovers at item and module
-    boundaries, so one pass reports every syntax error: each recovered
-    error becomes an [E0102] diagnostic and the surviving modules
-    continue through the flow. *)
+(** Run the flow on a parsed design.
+    @deprecated Build a {!request} and use {!run_request} (or
+    {!Engine.run}, which adds the persistent cache); kept as a thin
+    wrapper so existing callers compile unchanged. *)
+let run ?config ?diags (ast : V.Ast.design) : t =
+  run_request (request ?config ?diags (Ast ast))
+
+(** Run on Verilog source text.
+    @deprecated Build a {!request} with a {!Text} source and use
+    {!run_request} (or {!Engine.run}); kept as a thin wrapper so
+    existing callers compile unchanged. *)
 let run_source ?config ?diags ?file (src : string) : t =
-  let collector = match diags with Some c -> c | None -> D.Collector.create () in
-  let ast, errors = V.Parser.parse_with_recovery ?file src in
-  List.iter
-    (fun (loc, msg) ->
-      D.Collector.add collector (D.error ~loc ~code:"E0102" "%s" msg))
-    errors;
-  run ?config ~diags:collector ast
+  run_request (request ?config ?diags (Text { text = src; file }))
 
 (** Generate the redacted design for the flow's best solution. *)
 let redact ?(view = Redact.Programmed) (flow : t) : Redact.redacted option =

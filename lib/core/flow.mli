@@ -30,20 +30,59 @@ type t = {
   diags : D.t list;
       (** every diagnostic recorded while the flow ran, in order:
           parse-recovery errors, per-cluster faults and deadline skips,
-          phase faults. Deadline skips are [W0701] warnings, not errors:
-          a run whose only diagnostics are skips is not a failed run *)
+          phase faults, cache-degradation warnings. Deadline skips are
+          [W0701] warnings, not errors: a run whose only diagnostics
+          are skips is not a failed run *)
   times : phase_times;
+  char_stats : Characterize.stats;
+      (** characterization cache accounting for this run: unique keys,
+          hits, computations, deadline skips *)
 }
 
-(** Run the flow on parsed source. An empty candidate set (like IIR under
-    cfg1) is not an error — the result simply carries no solution. When
-    [diags] is given, diagnostics are appended to that collector (on top
-    of anything already in it) as well as reported on the result. *)
+(** What to run the flow on. *)
+type source =
+  | Ast of V.Ast.design  (** an already parsed design *)
+  | Text of { text : string; file : string option }
+      (** Verilog source; the parser recovers at item and module
+          boundaries, reporting every syntax error as an [E0102]
+          diagnostic while surviving modules continue through the
+          flow *)
+
+(** One flow job: the source, its configuration, and an optional
+    caller-owned diagnostic collector — the record form of what used to
+    be the [?config ?diags ?file] optional-argument sprawl across
+    {!run} and {!run_source}. Build with {!request}; consume with
+    {!run_request} or, for cross-run cache reuse and batching,
+    {!Engine.run} / {!Engine.run_many}. *)
+type request = {
+  source : source;
+  config : C.Flow_config.t;
+  diags : D.Collector.t option;
+}
+
+(** [request ?config ?diags source] — [config] defaults to
+    {!Alice_config.Flow_config.default}. *)
+val request :
+  ?config:C.Flow_config.t -> ?diags:D.Collector.t -> source -> request
+
+(** Run a {!request}. An empty candidate set (like IIR under cfg1) is
+    not an error — the result simply carries no solution. When the
+    request carries a collector, diagnostics are appended to it (on top
+    of anything already in it) as well as reported on the result. With
+    [cache], characterizations are served from and written back to the
+    caller's cache — this is how {!Engine} reuses work across runs;
+    without it every run starts cold. *)
+val run_request : ?cache:Characterize.cache -> request -> t
+
+(** Run the flow on parsed source.
+    @deprecated Thin wrapper over {!run_request} (equivalent to a
+    default ephemeral engine); prefer {!request} + {!run_request} or
+    {!Engine.run}. *)
 val run : ?config:C.Flow_config.t -> ?diags:D.Collector.t -> V.Ast.design -> t
 
-(** Run on Verilog source text; the parser recovers at item and module
-    boundaries, reporting every syntax error as an [E0102] diagnostic
-    while surviving modules continue through the flow. *)
+(** Run on Verilog source text.
+    @deprecated Thin wrapper over {!run_request}; prefer {!request}
+    with a {!Text} source, or {!Engine.run}. *)
 val run_source :
   ?config:C.Flow_config.t -> ?diags:D.Collector.t -> ?file:string -> string -> t
 

@@ -9,8 +9,9 @@
     Stable code ranges (documented in DESIGN.md):
     [E00xx] driver/IO · [E01xx] Verilog front end · [E02xx] netlist ·
     [E03xx] fabric · [E/W04xx] SAT · [E/W05xx] attacks · [E06xx]
-    configuration · [W07xx] resource budgets · [E08xx] redaction ·
-    [E09xx] internal failures. *)
+    configuration · [W07xx] resource budgets and caching ([W0701]
+    deadline skip, [W0702] unusable cache entry, [W0703] cache write
+    failure) · [E08xx] redaction · [E09xx] internal failures. *)
 
 module Loc = Alice_verilog.Loc
 

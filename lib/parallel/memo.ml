@@ -1,15 +1,42 @@
 type ('k, 'v) t = {
   mu : Mutex.t;
   tbl : ('k, 'v) Hashtbl.t;
+  load : ('k -> 'v option) option;
+  save : ('k -> 'v -> unit) option;
 }
 
-let create ?(size = 64) () = { mu = Mutex.create (); tbl = Hashtbl.create size }
+let create ?(size = 64) ?load ?save () =
+  { mu = Mutex.create (); tbl = Hashtbl.create size; load; save }
+
+(* Insert a value fetched or computed outside the lock; an entry that
+   appeared meanwhile wins so every caller observes one binding. *)
+let install (t : ('k, 'v) t) (k : 'k) (v : 'v) : 'v =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some winner -> winner
+      | None ->
+        Hashtbl.replace t.tbl k v;
+        v)
 
 let find_opt (t : ('k, 'v) t) (k : 'k) : 'v option =
-  Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.tbl k)
+  match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.tbl k) with
+  | Some v -> Some v
+  | None -> (
+    match t.load with
+    | None -> None
+    | Some load -> (
+      (* backing-store read outside the lock: a slow load never blocks
+         other keys *)
+      match load k with
+      | None -> None
+      | Some v -> Some (install t k v)))
+
+let mem (t : ('k, 'v) t) (k : 'k) : bool =
+  match find_opt t k with Some _ -> true | None -> false
 
 let set (t : ('k, 'v) t) (k : 'k) (v : 'v) : unit =
-  Mutex.protect t.mu (fun () -> Hashtbl.replace t.tbl k v)
+  Mutex.protect t.mu (fun () -> Hashtbl.replace t.tbl k v);
+  match t.save with Some save -> save k v | None -> ()
 
 let find_or_add (t : ('k, 'v) t) (k : 'k) (compute : unit -> 'v) : 'v =
   match find_opt t k with
@@ -17,12 +44,15 @@ let find_or_add (t : ('k, 'v) t) (k : 'k) (compute : unit -> 'v) : 'v =
   | None ->
     (* compute outside the lock; first writer wins a race *)
     let v = compute () in
-    Mutex.protect t.mu (fun () ->
-        match Hashtbl.find_opt t.tbl k with
-        | Some winner -> winner
-        | None ->
-          Hashtbl.replace t.tbl k v;
-          v)
+    let stored = install t k v in
+    (* only the race winner reaches the backing store *)
+    if stored == v then
+      (match t.save with Some save -> save k v | None -> ());
+    stored
+
+let bindings (t : ('k, 'v) t) : ('k * 'v) list =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
 
 let length (t : ('k, 'v) t) : int =
   Mutex.protect t.mu (fun () -> Hashtbl.length t.tbl)

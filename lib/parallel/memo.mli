@@ -6,23 +6,49 @@
     never blocks other keys; if two domains race to fill the same key,
     the first writer wins and both callers observe the winning value
     (callers must therefore be happy with either computation's result —
-    true of any pure keyed computation). *)
+    true of any pure keyed computation).
+
+    A table may be created with backing-store hooks: [load] is consulted
+    (outside the lock) on an in-memory miss and its hit is installed in
+    the table, so a persistent store is read lazily, one key at a time;
+    [save] is called (outside the lock) after each new in-memory
+    insertion. Hooks must be safe to call from any domain and must not
+    raise — a store that can fail should catch internally and degrade to
+    [None] / no-op. *)
 
 type ('k, 'v) t
 
-val create : ?size:int -> unit -> ('k, 'v) t
+(** [create ?size ?load ?save ()] — [load] backs in-memory misses,
+    [save] observes new insertions (both optional; omitting both gives a
+    plain in-memory table). *)
+val create :
+  ?size:int ->
+  ?load:('k -> 'v option) ->
+  ?save:('k -> 'v -> unit) ->
+  unit ->
+  ('k, 'v) t
 
+(** In-memory lookup, then the [load] hook on a miss (installing any
+    hit). *)
 val find_opt : ('k, 'v) t -> 'k -> 'v option
 
-(** [set t k v] binds [k] to [v], replacing any previous binding. *)
+val mem : ('k, 'v) t -> 'k -> bool
+
+(** [set t k v] binds [k] to [v], replacing any previous binding, and
+    notifies the [save] hook. *)
 val set : ('k, 'v) t -> 'k -> 'v -> unit
 
-(** [find_or_add t k compute] returns the cached value for [k], or runs
-    [compute ()] (unlocked) and installs its result. Returns the stored
-    value, which under a race may be another domain's result for the
-    same key. An exception from [compute] propagates and caches
-    nothing. *)
+(** [find_or_add t k compute] returns the cached value for [k] (from
+    memory or the [load] hook), or runs [compute ()] (unlocked) and
+    installs its result, notifying the [save] hook if this caller won
+    the installation race. Returns the stored value, which under a race
+    may be another domain's result for the same key. An exception from
+    [compute] propagates and caches nothing. *)
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 
-(** Number of distinct keys currently cached. *)
+(** Snapshot of the in-memory bindings, in no particular order (lazy
+    backing-store entries not yet loaded are absent). *)
+val bindings : ('k, 'v) t -> ('k * 'v) list
+
+(** Number of distinct keys currently cached in memory. *)
 val length : ('k, 'v) t -> int

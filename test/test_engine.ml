@@ -1,0 +1,289 @@
+(* The reusable flow engine and its persistent characterization cache:
+   memo backing-store hooks, config-digest keying, on-disk round trips,
+   corruption degradation, and warm-run reuse. *)
+
+module V = Alice_verilog
+module A = Alice
+module C = Alice_config
+module D = Alice_diag.Diag
+
+(* a fresh, not-yet-created directory for a throwaway cache root *)
+let tmp_root () =
+  let f = Filename.temp_file "alice_engine" ".cache" in
+  Sys.remove f;
+  f
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+(* every entry file of a store rooted at [root] *)
+let entry_files root =
+  let dir = Filename.concat root (Printf.sprintf "v%d" A.Disk_cache.format_version) in
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".bin")
+    |> List.map (Filename.concat dir)
+
+let demo_src = {|module f1 (input [7:0] a, output [7:0] y); assign y = a + 8'h1; endmodule
+  module f2 (input [7:0] a, output [7:0] y); assign y = a ^ 8'h55; endmodule
+  module f3 (input [7:0] a, output [7:0] y); assign y = {a[0], a[7:1]}; endmodule
+  module top (input [7:0] x, output [7:0] out1, output [7:0] out2);
+    wire [7:0] t;
+    f1 u1 (.a(x), .y(t));
+    f2 u2 (.a(t), .y(out1));
+    f3 u3 (.a(x), .y(out2));
+  endmodule|}
+
+let demo_cfg =
+  { C.Flow_config.default with
+    C.Flow_config.max_io_pins = 40; max_efpgas = 2;
+    selected_outputs = [ "out1"; "out2" ];
+    min_fabric_size = 2; max_fabric_size = 12 }
+
+let demo_request () =
+  A.Flow.request ~config:demo_cfg
+    (A.Flow.Text { text = demo_src; file = Some "demo.v" })
+
+(* ---------- memo backing-store hooks ---------- *)
+
+let test_memo_hooks () =
+  let loads = ref 0 and saved = ref [] in
+  let load k =
+    incr loads;
+    if k = "hot" then Some 42 else None
+  in
+  let save k v = saved := (k, v) :: !saved in
+  let m = Alice_parallel.Memo.create ~load ~save () in
+  (* miss in memory, hit in the store; the hit is installed *)
+  Alcotest.(check (option int)) "load hit" (Some 42)
+    (Alice_parallel.Memo.find_opt m "hot");
+  Alcotest.(check (option int)) "installed" (Some 42)
+    (Alice_parallel.Memo.find_opt m "hot");
+  Alcotest.(check int) "load consulted once" 1 !loads;
+  (* a store miss stays a miss and is re-consulted *)
+  Alcotest.(check (option int)) "store miss" None
+    (Alice_parallel.Memo.find_opt m "cold");
+  Alcotest.(check int) "miss re-consults" 2 !loads;
+  (* new insertions notify the save hook *)
+  Alice_parallel.Memo.set m "a" 1;
+  let v = Alice_parallel.Memo.find_or_add m "b" (fun () -> 2) in
+  Alcotest.(check int) "computed" 2 v;
+  (* find_or_add on a present key must not save again *)
+  let _ = Alice_parallel.Memo.find_or_add m "b" (fun () -> 99) in
+  Alcotest.(check (list (pair string int))) "saved insertions"
+    [ ("a", 1); ("b", 2) ]
+    (List.sort compare !saved)
+
+(* ---------- cache keys carry the configuration digest ---------- *)
+
+let test_config_digest_in_key () =
+  let flow = A.Flow.run_request (demo_request ()) in
+  let cluster = List.hd flow.A.Flow.clusters in
+  let cfg_a = demo_cfg in
+  let cfg_b = { demo_cfg with C.Flow_config.max_fabric_size = 8 } in
+  let cfg_c = { demo_cfg with C.Flow_config.lut_inputs = 6 } in
+  Alcotest.(check bool) "digest differs on fabric bound" true
+    (C.Flow_config.characterize_digest cfg_a
+     <> C.Flow_config.characterize_digest cfg_b);
+  let key_a = A.Characterize.cache_key flow.A.Flow.design cfg_a cluster in
+  let key_b = A.Characterize.cache_key flow.A.Flow.design cfg_b cluster in
+  let key_c = A.Characterize.cache_key flow.A.Flow.design cfg_c cluster in
+  Alcotest.(check bool) "keys differ on fabric bound" true (key_a <> key_b);
+  Alcotest.(check bool) "keys differ on lut arch" true (key_a <> key_c);
+  (* so two such configs can never share an on-disk entry *)
+  let store = A.Disk_cache.create ~root:(tmp_root ()) () in
+  Alcotest.(check bool) "distinct entry paths" true
+    (A.Disk_cache.entry_path store key_a <> A.Disk_cache.entry_path store key_b);
+  (* selection-only knobs must NOT invalidate characterizations *)
+  let cfg_sel = { demo_cfg with C.Flow_config.alpha = 9.0; max_efpgas = 1 } in
+  Alcotest.(check string) "selection knobs reuse"
+    key_a
+    (A.Characterize.cache_key flow.A.Flow.design cfg_sel cluster)
+
+(* ---------- on-disk store: round trip and degradation ---------- *)
+
+let test_disk_round_trip () =
+  let store = A.Disk_cache.create ~root:(tmp_root ()) () in
+  A.Disk_cache.store store ~key:"k1" (1, "one");
+  A.Disk_cache.store store ~key:"k2" (2, "two");
+  Alcotest.(check (option (pair int string))) "round trip" (Some (1, "one"))
+    (A.Disk_cache.load store ~key:"k1");
+  Alcotest.(check (option (pair int string))) "second entry" (Some (2, "two"))
+    (A.Disk_cache.load store ~key:"k2");
+  Alcotest.(check (option (pair int string))) "absent key" None
+    (A.Disk_cache.load store ~key:"k3");
+  let s = A.Disk_cache.stats store in
+  Alcotest.(check int) "stores" 2 s.A.Disk_cache.stores;
+  Alcotest.(check int) "hits" 2 s.A.Disk_cache.disk_hits;
+  Alcotest.(check int) "misses" 1 s.A.Disk_cache.disk_misses;
+  Alcotest.(check int) "failures" 0 s.A.Disk_cache.failures
+
+(* degrade [store]'s entry for [key] with [mangle], then expect a miss
+   plus exactly one W0702 through the sink *)
+let check_degrades name store key mangle =
+  let path = A.Disk_cache.entry_path store key in
+  write_file path (mangle (read_file path));
+  let warned = ref [] in
+  A.Disk_cache.set_sink store (fun d -> warned := d :: !warned);
+  let got : string option = A.Disk_cache.load store ~key in
+  A.Disk_cache.clear_sink store;
+  Alcotest.(check (option string)) (name ^ " misses") None got;
+  match !warned with
+  | [ d ] ->
+    Alcotest.(check string) (name ^ " code") "W0702" d.D.code;
+    Alcotest.(check bool) (name ^ " is warning") true (d.D.severity = D.Warning)
+  | ds -> Alcotest.failf "%s: expected one W0702, got %d diags" name (List.length ds)
+
+let test_unusable_entries_degrade () =
+  let fresh key =
+    let store = A.Disk_cache.create ~root:(tmp_root ()) () in
+    A.Disk_cache.store store ~key "payload";
+    store
+  in
+  (* truncated file *)
+  let s1 = fresh "k" in
+  check_degrades "truncated" s1 "k" (fun body ->
+      String.sub body 0 (String.length body / 2));
+  (* empty file *)
+  let s2 = fresh "k" in
+  check_degrades "empty" s2 "k" (fun _ -> "");
+  (* version bump: rewrite the header's version field, checksum intact *)
+  let s3 = fresh "k" in
+  check_degrades "version mismatch" s3 "k" (fun body ->
+      let nl = String.index body '\n' in
+      let header = String.sub body 0 nl in
+      let rest = String.sub body nl (String.length body - nl) in
+      match String.split_on_char ' ' header with
+      | magic :: _version :: tail ->
+        String.concat " " (magic :: "999" :: tail) ^ rest
+      | _ -> Alcotest.fail "unexpected header shape");
+  (* corrupt payload byte: checksum must catch it *)
+  let s4 = fresh "k" in
+  check_degrades "corrupt payload" s4 "k" (fun body ->
+      let b = Bytes.of_string body in
+      let i = String.length body - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+      Bytes.to_string b);
+  (* garbage that was never an entry *)
+  let s5 = fresh "k" in
+  check_degrades "garbage" s5 "k" (fun _ -> "not a cache entry at all\njunk")
+
+(* ---------- engine: cold vs warm across processes ---------- *)
+
+let test_engine_warm_identical () =
+  let root = tmp_root () in
+  (* cold: a fresh engine over an empty store *)
+  let cold_engine = A.Engine.create ~cache_dir:root () in
+  let cold = A.Engine.run cold_engine (demo_request ()) in
+  let cold_stats = cold.A.Flow.char_stats in
+  Alcotest.(check int) "cold: no hits" 0 cold_stats.A.Characterize.cache_hits;
+  Alcotest.(check int) "cold: computed all" cold_stats.A.Characterize.unique
+    cold_stats.A.Characterize.computed;
+  Alcotest.(check bool) "entries persisted" true (entry_files root <> []);
+  (* warm: a NEW engine over the same store — a second process *)
+  let warm_engine = A.Engine.create ~cache_dir:root () in
+  let warm = A.Engine.run warm_engine (demo_request ()) in
+  let warm_stats = warm.A.Flow.char_stats in
+  Alcotest.(check int) "warm: zero computed" 0 warm_stats.A.Characterize.computed;
+  Alcotest.(check int) "warm: all hits" warm_stats.A.Characterize.unique
+    warm_stats.A.Characterize.cache_hits;
+  Alcotest.(check int) "same unique count" cold_stats.A.Characterize.unique
+    warm_stats.A.Characterize.unique;
+  (* bit-identical output: the redacted Verilog is the flow's full
+     observable product *)
+  let verilog (flow : A.Flow.t) =
+    match A.Flow.redact flow with
+    | Some r -> r.A.Redact.verilog
+    | None -> Alcotest.fail "expected a redactable solution"
+  in
+  Alcotest.(check string) "redacted Verilog byte-identical" (verilog cold)
+    (verilog warm);
+  Alcotest.(check string) "diagnostics identical"
+    (D.list_to_json cold.A.Flow.diags)
+    (D.list_to_json warm.A.Flow.diags)
+
+let test_engine_survives_store_corruption () =
+  let root = tmp_root () in
+  let cold = A.Engine.run (A.Engine.create ~cache_dir:root ()) (demo_request ()) in
+  (* truncate every persisted entry *)
+  List.iter
+    (fun f ->
+      let body = read_file f in
+      write_file f (String.sub body 0 (min 10 (String.length body))))
+    (entry_files root);
+  let warm_engine = A.Engine.create ~cache_dir:root () in
+  let warm = A.Engine.run warm_engine (demo_request ()) in
+  let stats = warm.A.Flow.char_stats in
+  (* every entry was unusable: full recompute, never a crash *)
+  Alcotest.(check int) "recomputed all" stats.A.Characterize.unique
+    stats.A.Characterize.computed;
+  let w0702 =
+    List.filter (fun (d : D.t) -> d.D.code = "W0702") warm.A.Flow.diags
+  in
+  Alcotest.(check bool) "W0702 reported" true (w0702 <> []);
+  Alcotest.(check bool) "no errors" true
+    (not (List.exists D.is_error warm.A.Flow.diags));
+  (* the recomputed selection matches the cold one *)
+  Alcotest.(check (option (float 1e-9))) "same best score"
+    (Option.map (fun s -> s.A.Selection.total_score)
+       cold.A.Flow.selection.A.Selection.best)
+    (Option.map (fun s -> s.A.Selection.total_score)
+       warm.A.Flow.selection.A.Selection.best)
+
+let test_engine_no_cache () =
+  let engine = A.Engine.create ~cache:false () in
+  Alcotest.(check (option string)) "no root" None (A.Engine.cache_root engine);
+  Alcotest.(check bool) "no disk stats" true (A.Engine.disk_stats engine = None);
+  let flow = A.Engine.run engine (demo_request ()) in
+  Alcotest.(check bool) "still solves" true
+    (flow.A.Flow.selection.A.Selection.best <> None);
+  (* in-memory reuse still works within the engine's lifetime *)
+  let again = A.Engine.run engine (demo_request ()) in
+  Alcotest.(check int) "second run zero computed" 0
+    again.A.Flow.char_stats.A.Characterize.computed
+
+(* ---------- run_many on the SoC: batch reuse ---------- *)
+
+let test_run_many_soc_warm () =
+  let soc_cfg =
+    { C.Flow_config.cfg1 with
+      C.Flow_config.selected_outputs = Alice_benchmarks.Soc.selected_outputs;
+      top = Some Alice_benchmarks.Soc.top;
+      min_fabric_size = 4; max_fabric_size = 20; min_clb_utilization = 0.3 }
+  in
+  let req () =
+    A.Flow.request ~config:soc_cfg
+      (A.Flow.Text { text = Alice_benchmarks.Soc.source; file = Some "soc.v" })
+  in
+  let root = tmp_root () in
+  let engine = A.Engine.create ~cache_dir:root () in
+  (* one batch, same job twice: the second must reuse everything *)
+  (match A.Engine.run_many engine [ req (); req () ] with
+  | [ first; second ] ->
+    Alcotest.(check bool) "first computes" true
+      (first.A.Flow.char_stats.A.Characterize.computed > 0);
+    Alcotest.(check int) "second: zero recomputations" 0
+      second.A.Flow.char_stats.A.Characterize.computed;
+    Alcotest.(check int) "second: all hits"
+      second.A.Flow.char_stats.A.Characterize.unique
+      second.A.Flow.char_stats.A.Characterize.cache_hits
+  | _ -> Alcotest.fail "run_many arity");
+  (* a new engine over the same store: warm across processes too *)
+  let warm = A.Engine.run (A.Engine.create ~cache_dir:root ()) (req ()) in
+  Alcotest.(check int) "fresh engine: zero recomputations" 0
+    warm.A.Flow.char_stats.A.Characterize.computed
+
+let tests =
+  [ Alcotest.test_case "memo hooks" `Quick test_memo_hooks;
+    Alcotest.test_case "config digest in cache key" `Quick
+      test_config_digest_in_key;
+    Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;
+    Alcotest.test_case "unusable entries degrade" `Quick
+      test_unusable_entries_degrade;
+    Alcotest.test_case "warm engine bit-identical" `Quick
+      test_engine_warm_identical;
+    Alcotest.test_case "store corruption survived" `Quick
+      test_engine_survives_store_corruption;
+    Alcotest.test_case "engine without cache" `Quick test_engine_no_cache;
+    Alcotest.test_case "run_many soc warm" `Quick test_run_many_soc_warm ]

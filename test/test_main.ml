@@ -13,6 +13,7 @@ let () =
       ("parallel", Test_parallel.tests);
       ("security", Test_security.tests);
       ("flow", Test_flow.tests);
+      ("engine", Test_engine.tests);
       ("redact", Test_redact.tests);
       ("decompose", Test_decompose.tests);
       ("structural", Test_structural.tests);
