@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one section
      sections: table1 table2 figure4 security overhead soc ablation
-             parallel cache micro
+             parallel cache server micro
 
    Paper reference values are printed next to the measured ones so the
    output doubles as the data source for EXPERIMENTS.md. The [micro]
@@ -22,6 +22,11 @@ module Sec = Alice_security
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* every flow here is a one-off on a parsed design: a plain request
+   through an ephemeral cache *)
+let run_flow ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: benchmark characteristics                                  *)
@@ -90,7 +95,7 @@ let run_table2_config label config_of paper =
   let flows =
     List.map
       (fun (b : B.benchmark) ->
-        let flow = A.Flow.run ~config:(config_of b) (B.parse b) in
+        let flow = run_flow ~config:(config_of b) (B.parse b) in
         Format.printf "%a%!" A.Report.pp_table2_row
           (A.Report.row_of_flow ~design_name:b.B.name flow);
         (b, flow))
@@ -140,8 +145,8 @@ let run_figure4 () =
   section "Figure 4: physical area of the two GCD solutions (NanGate 45nm model)";
   let gcd = Option.get (B.find "GCD") in
   let ast = B.parse gcd in
-  let flow1 = A.Flow.run ~config:(B.config1 gcd) ast in
-  let flow2 = A.Flow.run ~config:(B.config2 gcd) ast in
+  let flow1 = run_flow ~config:(B.config1 gcd) ast in
+  let flow2 = run_flow ~config:(B.config2 gcd) ast in
   let a1, s1 = solution_area gcd flow1 in
   let a2, s2 = solution_area gcd flow2 in
   Format.printf "cfg1 (%s): %10.0f um^2   (paper: two 4x4, 52,629 um^2)@." s1 a1;
@@ -259,7 +264,7 @@ let run_overhead () =
   List.iter
     (fun name ->
       let b = Option.get (B.find name) in
-      analyze name (A.Flow.run ~config:(B.config1 b) (B.parse b)))
+      analyze name (run_flow ~config:(B.config1 b) (B.parse b)))
     [ "GCD"; "SASC"; "USB_PHY"; "FIR" ];
   Format.printf
     "@.Reading: for blocks this small, soft-fabric redaction costs two to@.     three orders of magnitude in area, roughly 10x in delay, and@.     several-fold in switched capacitance relative to standard cells —@.     in line with previous eFPGA-redaction studies; as the paper notes,@.     the overheads depend on the fabric, not on which modules fill it.@."
@@ -293,10 +298,10 @@ let run_ablation () =
       let ast = B.parse b in
       let base : C.Flow_config.t = cfg_of b in
       let reward =
-        A.Flow.run ~config:{ base with C.Flow_config.score_formula = C.Flow_config.Reward } ast
+        run_flow ~config:{ base with C.Flow_config.score_formula = C.Flow_config.Reward } ast
       in
       let penalty =
-        A.Flow.run ~config:{ base with C.Flow_config.score_formula = C.Flow_config.Penalty } ast
+        run_flow ~config:{ base with C.Flow_config.score_formula = C.Flow_config.Penalty } ast
       in
       Format.printf "%-10s reward: %-28s penalty: %s@." label (describe reward)
         (describe penalty))
@@ -312,7 +317,7 @@ let run_ablation () =
   List.iter
     (fun (alpha, beta) ->
       let cfg = { (B.config2 gcd) with C.Flow_config.alpha; beta } in
-      let flow = A.Flow.run ~config:cfg ast in
+      let flow = run_flow ~config:cfg ast in
       Format.printf "  alpha=%.1f beta=%.1f -> %s@." alpha beta (describe flow))
     [ (1.0, 1.0); (2.0, 1.0); (1.0, 2.0); (1.0, 0.0); (0.0, 1.0) ];
 
@@ -321,7 +326,7 @@ let run_ablation () =
   List.iter
     (fun pins ->
       let cfg = { (B.config2 gcd) with C.Flow_config.max_io_pins = pins } in
-      let flow, seconds = time (fun () -> A.Flow.run ~config:cfg ast) in
+      let flow, seconds = time (fun () -> run_flow ~config:cfg ast) in
       Format.printf "  max pins %3d: |C|=%3d valid=%3d selection %.2fs (total %.2fs)@."
         pins
         (List.length flow.A.Flow.clusters)
@@ -395,7 +400,7 @@ let run_soc () =
         min_fabric_size = 4; max_fabric_size = 20; target_utilization = 0.5;
         min_clb_utilization = 0.3 }
     in
-    let flow = A.Flow.run ~config:cfg ast in
+    let flow = run_flow ~config:cfg ast in
     match flow.A.Flow.selection.A.Selection.best with
     | None -> Format.printf "%-12s no solution@." name
     | Some best ->
@@ -557,6 +562,67 @@ let run_cache () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Redaction service: warm-cache round-trip throughput and latency     *)
+(* ------------------------------------------------------------------ *)
+
+let run_server () =
+  section "server: warm-cache request round trips (in-process daemon)";
+  let module S = Alice_server in
+  let module Y = C.Yaml_lite in
+  let gcd = Option.get (B.find "GCD") in
+  let socket = Filename.temp_file "alice_bench" ".sock" in
+  Sys.remove socket;
+  let cfg =
+    { (S.Server.default_config ~socket_path:socket) with
+      S.Server.base =
+        Y.parse "top: gcd\nselected_outputs:\n  - result\njobs: 1" }
+  in
+  let t = S.Server.start ~engine:(A.Engine.create ~cache:false ()) cfg in
+  Fun.protect
+    ~finally:(fun () -> S.Server.stop t; S.Server.wait t)
+    (fun () ->
+      let conn = S.Client.connect ~socket () in
+      Fun.protect ~finally:(fun () -> S.Client.close conn) (fun () ->
+          let redact_line =
+            S.Protocol.redact_request (S.Protocol.Inline gcd.B.source)
+          in
+          (* populate the shared engine so the measured passes are warm *)
+          ignore (S.Client.rpc conn redact_line);
+          let rounds = 50 in
+          let lat_ping = Array.make rounds 0.0
+          and lat_redact = Array.make rounds 0.0 in
+          let t0 = Unix.gettimeofday () in
+          for i = 0 to rounds - 1 do
+            let a = Unix.gettimeofday () in
+            ignore (S.Client.rpc conn (S.Protocol.ping_request ()));
+            let b = Unix.gettimeofday () in
+            ignore (S.Client.rpc conn redact_line);
+            let c = Unix.gettimeofday () in
+            lat_ping.(i) <- b -. a;
+            lat_redact.(i) <- c -. b
+          done;
+          let wall = Unix.gettimeofday () -. t0 in
+          let pctl a q =
+            Array.sort compare a;
+            a.(Int.min (Array.length a - 1)
+                 (int_of_float (q *. float (Array.length a))))
+          in
+          Format.printf
+            "  %d ping+redact round trips in %.2fs: %.0f requests/s@." rounds
+            wall (float (2 * rounds) /. wall);
+          Format.printf "  ping   p50 %6.2f ms   p95 %6.2f ms@."
+            (1e3 *. pctl lat_ping 0.50) (1e3 *. pctl lat_ping 0.95);
+          Format.printf "  redact p50 %6.2f ms   p95 %6.2f ms (warm cache)@."
+            (1e3 *. pctl lat_redact 0.50) (1e3 *. pctl lat_redact 0.95);
+          (* the server's own histogram agrees on the volume *)
+          let s = S.Metrics.snapshot (S.Server.metrics t) in
+          Format.printf
+            "  server histogram: %d completed, p95 <= %.2f ms, cache %d hits / %d computed@."
+            s.S.Metrics.completed
+            (1e3 *. S.Metrics.quantile s 0.95)
+            s.S.Metrics.cache_hits s.S.Metrics.cache_computed))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -579,9 +645,9 @@ let run_micro () =
              ignore (Alice_analysis.Iocount.summarize d)));
       (* Table 2 kernels: one full flow per configuration *)
       Test.make ~name:"table2_flow_gcd_cfg1"
-        (Staged.stage (fun () -> ignore (A.Flow.run ~config:(B.config1 gcd) gcd_ast)));
+        (Staged.stage (fun () -> ignore (run_flow ~config:(B.config1 gcd) gcd_ast)));
       Test.make ~name:"table2_flow_sasc_cfg2"
-        (Staged.stage (fun () -> ignore (A.Flow.run ~config:(B.config2 sasc) sasc_ast)));
+        (Staged.stage (fun () -> ignore (run_flow ~config:(B.config2 sasc) sasc_ast)));
       (* Figure 4 kernel: fabric area evaluation *)
       Test.make ~name:"figure4_area_model"
         (Staged.stage (fun () ->
@@ -633,6 +699,7 @@ let () =
   | "ablation" -> run_ablation ()
   | "parallel" -> run_parallel ()
   | "cache" -> run_cache ()
+  | "server" -> run_server ()
   | "micro" -> run_micro ()
   | "all" | _ ->
     run_table1 ();
@@ -644,5 +711,6 @@ let () =
     run_ablation ();
     run_parallel ();
     run_cache ();
+    run_server ();
     run_micro ());
   Format.printf "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

@@ -2,14 +2,20 @@
 
      alice inspect  design.v                 # Table-1 style characteristics
      alice redact   design.v -c flow.yaml -o out.v [--opaque]
+     alice redact   - < design.v             # same, source on stdin
      alice sweep    design.v -c sweep.yaml   # config grid over one design
      alice attack    design.v -m module      # lock a module and SAT-attack it
      alice decompose design.v -m module      # fine-grained redaction prep
      alice simulate  design.v --vcd out.vcd  # random-stimulus simulation
      alice bench     <name>                  # run a bundled benchmark
+     alice serve     --socket /run/alice.sock  # long-lived redaction daemon
+     alice client    --socket /run/alice.sock request.json  # talk to it
 
    The YAML configuration file follows the paper's Section 3; see
-   Alice_config.Flow_config for the recognized keys.
+   Alice_config.Flow_config for the recognized keys. serve/client speak
+   the newline-delimited JSON protocol of Alice_server.Protocol over a
+   Unix-domain socket, sharing one characterization cache across every
+   request.
 
    redact, bench and sweep share one flag group: --jobs (characterization
    worker domains), --cache-dir and --no-cache (the persistent
@@ -30,6 +36,8 @@ module F = Alice_fabric
 module N = Alice_netlist
 module V = Alice_verilog
 module Sec = Alice_security
+module S = Alice_server
+module J = Alice_config.Json_lite
 
 let read_file path =
   let ic = open_in_bin path in
@@ -57,12 +65,18 @@ let diag_format =
 
 (* ---------- parallelism & cache plumbing ----------
 
-   One flag group, threaded identically through redact, bench and
-   sweep: it evaluates to a configuration updater so each command
-   applies the same overrides on top of whatever configuration it
-   loaded. *)
+   One flag group, threaded identically through redact, bench, sweep
+   and serve: it evaluates to the raw override values; [apply_overrides]
+   lays them over whatever configuration a command loaded (serve also
+   reads the raw [jobs] to cap per-request parallelism). *)
 
-let flow_flags : (C.Flow_config.t -> C.Flow_config.t) Cmdliner.Term.t =
+type flow_overrides = {
+  ov_jobs : int option;
+  ov_cache_dir : string option;
+  ov_no_cache : bool;
+}
+
+let flow_flags : flow_overrides Cmdliner.Term.t =
   let jobs =
     Arg.(value & opt (some int) None
          & info [ "j"; "jobs" ] ~docv:"N"
@@ -86,21 +100,25 @@ let flow_flags : (C.Flow_config.t -> C.Flow_config.t) Cmdliner.Term.t =
              ~doc:"Disable the persistent characterization cache for \
                    this invocation (nothing is read or written).")
   in
-  let apply jobs cache_dir no_cache (cfg : C.Flow_config.t) =
-    let cfg =
-      match jobs with
-      | None -> cfg
-      | Some n when n >= 1 -> { cfg with C.Flow_config.jobs = n }
-      | Some n -> invalid_arg (Printf.sprintf "--jobs %d: must be at least 1" n)
-    in
-    let cfg =
-      match cache_dir with
-      | None -> cfg
-      | Some dir -> { cfg with C.Flow_config.cache_dir = Some dir }
-    in
-    if no_cache then { cfg with C.Flow_config.cache = false } else cfg
+  let gather jobs cache_dir no_cache =
+    { ov_jobs = jobs; ov_cache_dir = cache_dir; ov_no_cache = no_cache }
   in
-  Term.(const apply $ jobs $ cache_dir $ no_cache)
+  Term.(const gather $ jobs $ cache_dir $ no_cache)
+
+let apply_overrides (ov : flow_overrides) (cfg : C.Flow_config.t) :
+    C.Flow_config.t =
+  let cfg =
+    match ov.ov_jobs with
+    | None -> cfg
+    | Some n when n >= 1 -> { cfg with C.Flow_config.jobs = n }
+    | Some n -> invalid_arg (Printf.sprintf "--jobs %d: must be at least 1" n)
+  in
+  let cfg =
+    match ov.ov_cache_dir with
+    | None -> cfg
+    | Some dir -> { cfg with C.Flow_config.cache_dir = Some dir }
+  in
+  if ov.ov_no_cache then { cfg with C.Flow_config.cache = false } else cfg
 
 (* the per-run cache accounting, on stderr next to the tables *)
 let report_cache_line (flow : A.Flow.t) : unit =
@@ -122,6 +140,9 @@ let diag_of_cli_exn : exn -> D.t * int = function
   | V.Loc.Error (loc, msg) -> (D.error ~loc ~code:"E0100" "%s" msg, 1)
   | C.Yaml_lite.Parse_error (line, msg) ->
     (D.error ~code:"E0601" "configuration parse error at line %d: %s" line msg, 1)
+  | J.Parse_error (line, msg) ->
+    (D.error ~code:"E1000" "request parse error at line %d: %s" line msg, 1)
+  | S.Client.Connection_error msg -> (D.error ~code:"E0001" "%s" msg, 1)
   | N.Synth.Synthesis_error msg -> (D.error ~code:"E0201" "synthesis error: %s" msg, 1)
   | N.Simulate.Combinational_cycle msg ->
     (D.error ~code:"E0202" "combinational cycle: %s" msg, 1)
@@ -177,7 +198,11 @@ let inspect_cmd =
 (* ---------- redact ---------- *)
 
 let redact_cmd =
-  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DESIGN.v"
+             ~doc:"Verilog source file, or $(b,-) to read it from stdin.")
+  in
   let config =
     Arg.(value & opt (some file) None & info [ "c"; "config" ] ~docv:"FLOW.yaml")
   in
@@ -188,20 +213,23 @@ let redact_cmd =
   let run file config output opaque flags fmt =
     let collector = D.Collector.create () in
     handle_errors ~fmt ~collector (fun () ->
-        let src = read_file file in
-        let cfg = flags (load_config config) in
+        let src, src_name =
+          if file = "-" then (In_channel.input_all In_channel.stdin, "<stdin>")
+          else (read_file file, file)
+        in
+        let cfg = apply_overrides flags (load_config config) in
         let engine = A.Engine.of_config cfg in
         (* recovering front end: every syntax error lands in the
            collector and surviving modules continue through the flow *)
         let flow =
           A.Engine.run engine
             (A.Flow.request ~config:cfg ~diags:collector
-               (A.Flow.Text { text = src; file = Some file }))
+               (A.Flow.Text { text = src; file = Some src_name }))
         in
         report_cache_line flow;
         Format.eprintf "%a" A.Report.pp_table2_header ();
         Format.eprintf "%a" A.Report.pp_table2_row
-          (A.Report.row_of_flow ~design_name:(Filename.basename file) flow);
+          (A.Report.row_of_flow ~design_name:(Filename.basename src_name) flow);
         let view = if opaque then A.Redact.Opaque else A.Redact.Programmed in
         let code =
           match A.Flow.redact ~view flow with
@@ -282,7 +310,8 @@ let sweep_cmd =
                   entry "name"
               in
               let cfg =
-                flags (C.Flow_config.of_yaml (C.Yaml_lite.merge base entry))
+                apply_overrides flags
+                  (C.Flow_config.of_yaml (C.Yaml_lite.merge base entry))
               in
               (name, cfg))
             entries
@@ -290,7 +319,9 @@ let sweep_cmd =
         let ast = load_design file in
         (* cache knobs (and the engine) come from base + flags; each
            entry still carries its own full configuration *)
-        let engine = A.Engine.of_config (flags (C.Flow_config.of_yaml base)) in
+        let engine =
+          A.Engine.of_config (apply_overrides flags (C.Flow_config.of_yaml base))
+        in
         let requests =
           List.map
             (fun (_, cfg) ->
@@ -520,7 +551,9 @@ let bench_cmd =
           print_string b.B.source;
           0
         | Some b ->
-          let config = flags (if cfg2 then B.config2 b else B.config1 b) in
+          let config =
+            apply_overrides flags (if cfg2 then B.config2 b else B.config1 b)
+          in
           let engine = A.Engine.of_config config in
           let flow =
             A.Engine.run engine
@@ -540,7 +573,209 @@ let bench_cmd =
     (Cmd.info "bench" ~doc:"Run a bundled benchmark through the flow")
     Term.(const run $ bench_name $ cfg2 $ dump $ flow_flags $ diag_format)
 
+(* ---------- serve ---------- *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "s"; "socket" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let config =
+    Arg.(value & opt (some file) None
+         & info [ "c"; "config" ] ~docv:"BASE.yaml"
+             ~doc:"Base flow configuration merged under every request's \
+                   inline $(b,config) (request keys win). Its $(b,cache) / \
+                   $(b,cache_dir) keys pick the shared engine's store.")
+  in
+  let max_in_flight =
+    Arg.(value & opt int 4
+         & info [ "max-in-flight" ] ~docv:"N"
+             ~doc:"Worker threads, i.e. requests executing concurrently.")
+  in
+  let max_queue =
+    Arg.(value & opt int 16
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admitted connections that may wait for a worker; beyond \
+                   $(b,max-in-flight + max-queue) outstanding, new \
+                   connections are refused with a structured $(b,busy) \
+                   error (E1003) instead of queueing without bound.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:"Default per-request characterization deadline in seconds \
+                   (the request configuration's own \
+                   $(b,characterize_deadline_s) wins). Expensive designs \
+                   degrade to deadline-skip diagnostics instead of \
+                   monopolizing a worker.")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "idle-timeout" ] ~docv:"S"
+             ~doc:"Close a connection idle this long between requests, so \
+                   dead clients cannot pin a worker or stall the drain.")
+  in
+  let run socket config max_in_flight max_queue deadline idle_timeout flags fmt
+      =
+    handle_errors ~fmt (fun () ->
+        let base =
+          match config with
+          | None -> C.Yaml_lite.Null
+          | Some path -> C.Yaml_lite.parse (read_file path)
+        in
+        let engine =
+          A.Engine.of_config
+            (apply_overrides flags (C.Flow_config.of_yaml base))
+        in
+        let server_cfg =
+          { (S.Server.default_config ~socket_path:socket) with
+            S.Server.max_in_flight; max_queue; base;
+            jobs = flags.ov_jobs; deadline_s = deadline;
+            idle_timeout_s = idle_timeout }
+        in
+        Format.eprintf "alice: serving on %s (workers %d, queue %d%s)@."
+          socket max_in_flight max_queue
+          (match A.Engine.cache_root engine with
+          | Some root -> ", cache " ^ root
+          | None -> ", cache off");
+        S.Server.run ~engine server_cfg;
+        Format.eprintf "alice: drained, socket removed@.";
+        0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the long-lived redaction daemon: newline-delimited JSON \
+             requests over a Unix-domain socket, one shared \
+             characterization cache across all clients, bounded in-flight \
+             admission control, graceful drain on SIGTERM or a \
+             $(b,shutdown) request")
+    Term.(const run $ socket_arg $ config $ max_in_flight $ max_queue
+          $ deadline $ idle_timeout $ flow_flags $ diag_format)
+
+(* ---------- client ---------- *)
+
+let client_cmd =
+  let request_file =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"REQUEST.json"
+             ~doc:"File holding one protocol request line ($(b,-) or \
+                   omitted: read it from stdin). Ignored when $(b,--op) or \
+                   $(b,--redact) builds the request instead.")
+  in
+  let op =
+    Arg.(value & opt (some (enum [ ("ping", `Ping); ("stats", `Stats);
+                                   ("shutdown", `Shutdown) ])) None
+         & info [ "op" ] ~docv:"OP"
+             ~doc:"Build a parameterless request: $(b,ping), $(b,stats) or \
+                   $(b,shutdown).")
+  in
+  let redact_src =
+    Arg.(value & opt (some string) None
+         & info [ "redact" ] ~docv:"DESIGN.v"
+             ~doc:"Build a redact request from this Verilog file ($(b,-): \
+                   stdin); the source is sent inline.")
+  in
+  let config =
+    Arg.(value & opt (some file) None
+         & info [ "c"; "config" ] ~docv:"CONFIG.json"
+             ~doc:"JSON object of flow-configuration keys attached to a \
+                   $(b,--redact) request.")
+  in
+  let view =
+    Arg.(value & opt (some string) None
+         & info [ "view" ] ~docv:"VIEW"
+             ~doc:"Redaction view for $(b,--redact): $(b,programmed), \
+                   $(b,opaque) or $(b,structural).")
+  in
+  let extract =
+    Arg.(value & opt (some string) None
+         & info [ "extract" ] ~docv:"FIELD"
+             ~doc:"Instead of the whole response, print this top-level \
+                   string field raw (e.g. $(b,verilog)); errors if the \
+                   field is absent.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"OUT"
+             ~doc:"Write the printed result to $(docv) instead of stdout.")
+  in
+  let timeout =
+    Arg.(value & opt float 300.0
+         & info [ "timeout" ] ~docv:"S" ~doc:"Response timeout in seconds.")
+  in
+  let run socket request_file op redact_src config view extract output timeout
+      fmt =
+    handle_errors ~fmt (fun () ->
+        let request =
+          match (op, redact_src) with
+          | Some `Ping, _ -> S.Protocol.ping_request ()
+          | Some `Stats, _ -> S.Protocol.stats_request ()
+          | Some `Shutdown, _ -> S.Protocol.shutdown_request ()
+          | None, Some src ->
+            let text =
+              if src = "-" then In_channel.input_all In_channel.stdin
+              else read_file src
+            in
+            let config =
+              match config with
+              | None -> J.Null
+              | Some path -> J.parse (read_file path)
+            in
+            S.Protocol.redact_request ~config ?view (S.Protocol.Inline text)
+          | None, None ->
+            let text =
+              match request_file with
+              | None | Some "-" -> In_channel.input_all In_channel.stdin
+              | Some path -> read_file path
+            in
+            let line = String.trim text in
+            if line = "" then invalid_arg "client: empty request";
+            (* fail on malformed JSON client-side, before the round trip *)
+            ignore (J.parse line);
+            line
+        in
+        let response =
+          S.Client.one_shot ~timeout_s:timeout ~socket request
+        in
+        let doc = J.parse response in
+        let printed =
+          match extract with
+          | None -> response ^ "\n"
+          | Some field -> (
+            match J.find doc field with
+            | Some (J.String s) -> s
+            | Some _ ->
+              invalid_arg
+                (Printf.sprintf "client: response field %s is not a string"
+                   field)
+            | None ->
+              invalid_arg
+                (Printf.sprintf "client: response has no %s field (got: %s)"
+                   field
+                   (String.sub response 0 (Int.min 200 (String.length response)))))
+        in
+        (match output with
+        | None -> print_string printed
+        | Some path ->
+          let oc = open_out path in
+          output_string oc printed;
+          close_out oc);
+        match J.find doc "ok" with Some (J.Bool true) -> 0 | _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Submit one request to a running $(b,alice serve) daemon and \
+             print the response; exits 0 on an $(b,ok) response, 1 \
+             otherwise")
+    Term.(const run $ socket_arg $ request_file $ op $ redact_src $ config
+          $ view $ extract $ output $ timeout $ diag_format)
+
 let () =
   let doc = "automatic eFPGA redaction (DAC'22 ALICE flow)" in
   let info = Cmd.info "alice" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ inspect_cmd; redact_cmd; sweep_cmd; attack_cmd; decompose_cmd; simulate_cmd; bench_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ inspect_cmd; redact_cmd; sweep_cmd; attack_cmd; decompose_cmd;
+            simulate_cmd; bench_cmd; serve_cmd; client_cmd ]))

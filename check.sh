@@ -77,4 +77,91 @@ if ! grep -Eq 'cache: [1-9][0-9]* hits, 0 computed' "$tmpdir/stderr_warm.txt"; t
   exit 1
 fi
 
+# --- redaction service: 8 concurrent clients, warm stats, clean drain --
+# the daemon is exercised through the built binary directly: `dune exec`
+# serializes on the build lock, which would defeat concurrent clients
+ALICE=_build/default/bin/alice_cli.exe
+
+"$ALICE" bench SOC --dump-source > "$tmpdir/soc.v"
+cat > "$tmpdir/soc.yaml" <<'EOF'
+top: soc
+selected_outputs:
+  - resp
+fabric:
+  min_size: 4
+  max_size: 20
+  min_clb_utilization: 0.3
+EOF
+
+# single-shot reference for byte-identity
+"$ALICE" redact "$tmpdir/soc.v" -c "$tmpdir/soc.yaml" --no-cache \
+  -o "$tmpdir/ref.v" 2> /dev/null
+
+sock="$tmpdir/alice.sock"
+# --jobs 1: 8 concurrent requests each spawning the full recommended
+# domain count would oversubscribe (and can hit the OCaml domain cap)
+"$ALICE" serve --socket "$sock" -c "$tmpdir/soc.yaml" --jobs 1 \
+  --cache-dir "$tmpdir/srvcache" 2> "$tmpdir/serve.log" &
+serve_pid=$!
+
+# wait for the listener
+i=0
+until "$ALICE" client --socket "$sock" --op ping > /dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "check.sh: server did not come up; log:" >&2
+    cat "$tmpdir/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# 8 concurrent redact requests, all against the one shared engine
+client_pids=""
+for n in 1 2 3 4 5 6 7 8; do
+  "$ALICE" client --socket "$sock" --redact "$tmpdir/soc.v" \
+    --extract verilog -o "$tmpdir/srv$n.v" > /dev/null 2>&1 &
+  client_pids="$client_pids $!"
+done
+wait_failed=0
+for job in $client_pids; do
+  wait "$job" || wait_failed=1
+done
+if [ "$wait_failed" -ne 0 ]; then
+  echo "check.sh: a concurrent client request failed; server log:" >&2
+  cat "$tmpdir/serve.log" >&2
+  exit 1
+fi
+for n in 1 2 3 4 5 6 7 8; do
+  if ! cmp -s "$tmpdir/ref.v" "$tmpdir/srv$n.v"; then
+    echo "check.sh: served redaction $n differs from single-shot output" >&2
+    exit 1
+  fi
+done
+
+# a warm repeat must be served from the shared cache...
+"$ALICE" client --socket "$sock" --redact "$tmpdir/soc.v" \
+  --extract verilog -o "$tmpdir/warm.v" > /dev/null
+cmp -s "$tmpdir/ref.v" "$tmpdir/warm.v" || {
+  echo "check.sh: warm served redaction differs" >&2; exit 1; }
+# ...and stats must report nonzero cache hits
+"$ALICE" client --socket "$sock" --op stats > "$tmpdir/stats.json"
+if ! grep -q '"hits":[1-9]' "$tmpdir/stats.json"; then
+  echo "check.sh: server stats report no cache hits:" >&2
+  cat "$tmpdir/stats.json" >&2
+  exit 1
+fi
+
+# clean drain: shutdown request => daemon exits 0, socket removed
+"$ALICE" client --socket "$sock" --op shutdown > /dev/null
+if ! wait "$serve_pid"; then
+  echo "check.sh: server exited nonzero; log:" >&2
+  cat "$tmpdir/serve.log" >&2
+  exit 1
+fi
+if [ -e "$sock" ]; then
+  echo "check.sh: socket file survived shutdown" >&2
+  exit 1
+fi
+
 echo "check.sh: OK"

@@ -16,6 +16,9 @@ module C = Alice_config
 module N = Alice_netlist
 module V = Alice_verilog
 
+let flow_text ~config text =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Text { text; file = None }))
+
 let design_src =
   {|module checksum (input [7:0] a, output [7:0] y);
     assign y = ((a << 1) ^ {4'h0, a[7:4]}) + 8'h2b;
@@ -35,7 +38,7 @@ let () =
       min_fabric_size = 2; max_fabric_size = 10;
       selected_outputs = [ "cs" ] }
   in
-  let flow = A.Flow.run_source ~config design_src in
+  let flow = flow_text ~config design_src in
   let r =
     match A.Flow.redact ~view:A.Redact.Structural flow with
     | Some r -> r

@@ -13,6 +13,9 @@ module B = Alice_benchmarks.Suite
 module C = Alice_config
 module F = Alice_fabric
 
+let flow_ast ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
+
 let yaml_config =
   {|
 # ALICE flow configuration (paper Section 3)
@@ -55,7 +58,7 @@ let () =
   List.iter
     (fun pins ->
       let cfg = { base with C.Flow_config.max_io_pins = pins } in
-      let flow = A.Flow.run ~config:cfg ast in
+      let flow = flow_ast ~config:cfg ast in
       Format.printf "  %3d pins: |R|=%d |C|=%-3d -> %s@." pins
         (A.Filtering.candidate_count flow.A.Flow.filtering)
         (List.length flow.A.Flow.clusters)
@@ -66,7 +69,7 @@ let () =
   List.iter
     (fun (alpha, beta) ->
       let cfg = { base with C.Flow_config.alpha = alpha; beta } in
-      let flow = A.Flow.run ~config:cfg ast in
+      let flow = flow_ast ~config:cfg ast in
       Format.printf "  alpha=%.1f beta=%.1f -> %s@." alpha beta (describe flow))
     [ (1.0, 1.0); (2.0, 0.5); (0.5, 2.0); (1.0, 0.0); (0.0, 1.0) ];
 
@@ -74,7 +77,7 @@ let () =
   List.iter
     (fun (name, formula) ->
       let cfg = { base with C.Flow_config.score_formula = formula } in
-      let flow = A.Flow.run ~config:cfg ast in
+      let flow = flow_ast ~config:cfg ast in
       Format.printf "  %-8s -> %s@." name (describe flow))
     [ ("reward", C.Flow_config.Reward); ("penalty", C.Flow_config.Penalty) ];
   Format.printf

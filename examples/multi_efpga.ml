@@ -12,6 +12,9 @@ module A = Alice
 module B = Alice_benchmarks.Suite
 module F = Alice_fabric
 
+let flow_ast ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
+
 let describe label flow =
   Format.printf "@.=== %s ===@." label;
   Format.printf "|R|=%d  |C|=%d  valid=%d  |S|=%d@."
@@ -47,14 +50,14 @@ let () =
     (String.concat ", " des3.B.selected_outputs);
 
   let t0 = Unix.gettimeofday () in
-  let flow1 = A.Flow.run ~config:(B.config1 des3) ast in
+  let flow1 = flow_ast ~config:(B.config1 des3) ast in
   describe
     (Printf.sprintf "cfg1: 64 I/O pins, up to 2 eFPGAs (%.1fs)"
        (Unix.gettimeofday () -. t0))
     flow1;
 
   let t1 = Unix.gettimeofday () in
-  let flow2 = A.Flow.run ~config:(B.config2 des3) ast in
+  let flow2 = flow_ast ~config:(B.config2 des3) ast in
   describe
     (Printf.sprintf "cfg2: 96 I/O pins, 1 eFPGA (%.1fs)"
        (Unix.gettimeofday () -. t1))

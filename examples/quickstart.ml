@@ -13,6 +13,9 @@ module C = Alice_config
 module F = Alice_fabric
 module V = Alice_verilog
 
+let flow_ast ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
+
 let () =
   let gcd = Option.get (B.find "GCD") in
   (* the paper's cfg1: at most 64 I/O pins per eFPGA, up to two eFPGAs *)
@@ -20,7 +23,7 @@ let () =
   Format.printf "=== ALICE quickstart: %s under cfg1 ===@." gcd.B.name;
   Format.printf "flow parameters:@.  %a@.@." C.Flow_config.pp config;
 
-  let flow = A.Flow.run ~config (B.parse gcd) in
+  let flow = flow_ast ~config (B.parse gcd) in
 
   (* phase 1: module filtering *)
   Format.printf "--- module filtering (%.3fs) ---@." flow.A.Flow.times.A.Flow.filtering_s;

@@ -60,12 +60,20 @@ let gcd =
     selected_outputs = Gcd.selected_outputs;
     fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.5 ~floor:0.3 }
 
+(* the stress-test composition (GCD + ROM + peripherals), findable by
+   name for tooling but outside [all]: it is not a paper benchmark and
+   must not enter the Table 1/2 sweeps *)
+let soc =
+  { name = Soc.name; suite = "composed"; source = Soc.source; top = Soc.top;
+    selected_outputs = Soc.selected_outputs;
+    fabric_tuning = fabric ~min_size:4 ~max_size:20 ~target:0.5 ~floor:0.3 }
+
 let all : benchmark list = [ des3; fir; iir; sha256; sasc; usb_phy; gcd ]
 
 let find name =
   List.find_opt
     (fun b -> String.lowercase_ascii b.name = String.lowercase_ascii name)
-    all
+    (soc :: all)
 
 (** The two flow configurations of the paper, specialized per design. *)
 let config1 (b : benchmark) : C.Flow_config.t =

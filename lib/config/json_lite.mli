@@ -1,0 +1,52 @@
+(** A minimal JSON parser and printer — the {!Yaml_lite} sibling used by
+    the newline-delimited server protocol (see [Alice_server.Protocol]).
+
+    The full JSON grammar is supported on input (objects, arrays,
+    strings with escapes including [\uXXXX], numbers, booleans, null);
+    the printer emits compact single-line JSON (no literal newlines and
+    no trailing whitespace), so a printed document is always a valid
+    NDJSON frame. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** key order preserved *)
+
+exception Parse_error of int * string  (** line number, message *)
+
+(** Parse one JSON document. Trailing content after the document (other
+    than whitespace) is an error. Raises {!Parse_error}. *)
+val parse : string -> t
+
+(** Compact single-line rendering: UTF-8 passes through, control
+    characters and ["\\]/["\""] are escaped, [Int] prints without a
+    decimal point, non-finite floats degrade to [null]. *)
+val to_string : t -> string
+
+(** Look up a key in an [Obj] node; [None] for other nodes or absent
+    keys. *)
+val find : t -> string -> t option
+
+(** Typed accessors, mirroring {!Yaml_lite}: the value under [key], the
+    [default] when the key is absent or null, [Invalid_argument] on a
+    type mismatch (or a missing key without a default). *)
+
+val get_int : ?default:int -> t -> string -> int
+
+val get_float : ?default:float -> t -> string -> float
+
+val get_string : ?default:string -> t -> string -> string
+
+val get_bool : ?default:bool -> t -> string -> bool
+
+(** [to_yaml j] maps a JSON document onto the {!Yaml_lite} node type
+    ([Obj] becomes [Map]), so a JSON configuration payload can feed
+    {!Flow_config.of_yaml} and {!Yaml_lite.merge} unchanged. *)
+val to_yaml : t -> Yaml_lite.t
+
+(** [of_yaml y] is the inverse embedding (a [Map] becomes [Obj]). *)
+val of_yaml : Yaml_lite.t -> t

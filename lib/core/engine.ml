@@ -74,6 +74,19 @@ let run (t : t) (req : Flow.request) : Flow.t =
       ~finally:(fun () -> Disk_cache.clear_sink disk)
       (fun () -> Flow.run_request ~cache:t.memo req)
 
+(** Like [run], but without touching the disk store's warning sink, so
+    overlapping calls from several threads are safe — the sink swap in
+    [run] is the only part of the engine that is not. Cache-degradation
+    warnings raised on behalf of any concurrent request go to the
+    engine-wide sink installed with [set_warning_sink]. *)
+let run_shared (t : t) (req : Flow.request) : Flow.t =
+  Flow.run_request ~cache:t.memo req
+
+let set_warning_sink (t : t) (sink : D.t -> unit) : unit =
+  match t.disk with
+  | None -> ()
+  | Some disk -> Disk_cache.set_sink disk sink
+
 (** Run a batch of jobs — (design × config) pairs in whatever mix —
     sequentially through one cache: later jobs reuse every
     characterization any earlier job (or any earlier process, via the

@@ -16,6 +16,7 @@
     stops writing. *)
 
 module C = Alice_config
+module D = Alice_diag.Diag
 
 type t
 
@@ -32,8 +33,30 @@ val of_config : C.Flow_config.t -> t
 
 (** Run one request through the engine's cache. Per-run cache
     accounting is on the result's [char_stats]; cache-degradation
-    warnings land on the run's diagnostics. *)
+    warnings land on the run's diagnostics.
+
+    Not safe for overlapping calls from several threads: the
+    disk-store warning sink is swapped around each run, so concurrent
+    runs would misattribute (or drop) each other's warnings. Serve
+    concurrent traffic with {!run_shared} instead. *)
 val run : t -> Flow.request -> Flow.t
+
+(** Like {!run}, but the disk store's warning sink is left alone, so
+    any number of threads may run requests through one engine
+    concurrently (the memo table and disk store are mutex-guarded).
+    Cache-degradation warnings go to the engine-wide sink installed
+    with {!set_warning_sink} — attribution to a single request is
+    impossible once loads happen on behalf of whichever request reaches
+    a key first, so they become engine-level events (the server counts
+    them in its metrics). Everything else — per-request diagnostics,
+    [char_stats], results — is identical to {!run}. *)
+val run_shared : t -> Flow.request -> Flow.t
+
+(** Install a persistent engine-wide sink for cache-degradation
+    warnings ([W0702]/[W0703]) raised by {!run_shared} callers. The
+    sink must be safe to call from any domain; it replaces any
+    previously installed sink. No-op when caching is off. *)
+val set_warning_sink : t -> (D.t -> unit) -> unit
 
 (** Run a batch of (design × config) jobs sequentially through one
     cache: later jobs reuse every characterization an earlier job — or

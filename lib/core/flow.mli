@@ -79,12 +79,15 @@ val run_request : ?cache:Characterize.cache -> request -> t
     default ephemeral engine); prefer {!request} + {!run_request} or
     {!Engine.run}. *)
 val run : ?config:C.Flow_config.t -> ?diags:D.Collector.t -> V.Ast.design -> t
+  [@@deprecated "use Flow.request + Flow.run_request (or Engine.run)"]
 
 (** Run on Verilog source text.
     @deprecated Thin wrapper over {!run_request}; prefer {!request}
     with a {!Text} source, or {!Engine.run}. *)
 val run_source :
   ?config:C.Flow_config.t -> ?diags:D.Collector.t -> ?file:string -> string -> t
+  [@@deprecated
+    "use Flow.request with a Text source + Flow.run_request (or Engine.run)"]
 
 (** Generate the redacted design for the flow's best solution. *)
 val redact : ?view:Redact.view -> t -> Redact.redacted option

@@ -1,0 +1,55 @@
+(** Protocol client (see the interface). *)
+
+exception Connection_error of string
+
+type t = { ic : in_channel; oc : out_channel }
+
+let connect ?(timeout_s = 60.0) ~socket () : t =
+  (* the server may refuse-and-close before we write (admission
+     control); a later send must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  match Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    raise (Connection_error (Unix.error_message e))
+  | fd -> (
+    try
+      Unix.connect fd (Unix.ADDR_UNIX socket);
+      if timeout_s > 0.0 then
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+         with Unix.Unix_error _ -> ());
+      { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    with Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise
+        (Connection_error
+           (Printf.sprintf "cannot reach %s: %s" socket (Unix.error_message e))))
+
+let rpc (t : t) (line : string) : string =
+  (* a send failure is not yet fatal: a server that refused this
+     connection at the door wrote its error response and closed, so the
+     line we came for may still be waiting in the receive buffer *)
+  let send_error =
+    try
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      None
+    with Sys_error msg | Unix.Unix_error (_, msg, _) -> Some msg
+  in
+  match input_line t.ic with
+  | response -> response
+  | exception End_of_file -> (
+    match send_error with
+    | Some msg -> raise (Connection_error ("send failed: " ^ msg))
+    | None ->
+      raise (Connection_error "server closed the connection without a response"))
+  | exception (Sys_error msg | Unix.Unix_error (_, msg, _)) ->
+    raise (Connection_error ("receive failed: " ^ msg))
+
+(* the fd is closed once, through the out channel *)
+let close (t : t) : unit = close_out_noerr t.oc
+
+let one_shot ?timeout_s ~socket (line : string) : string =
+  let t = connect ?timeout_s ~socket () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> rpc t line)

@@ -1,0 +1,25 @@
+(** Client side of the `alice serve` protocol: connect to the daemon's
+    Unix-domain socket and exchange newline-delimited request/response
+    lines. One connection may carry any number of sequential requests
+    (the server pins it to one worker), so latency-sensitive callers
+    amortize the connect. *)
+
+(** Raised when the server closes the connection without a response
+    (e.g. it was killed mid-request) or the socket cannot be reached;
+    carries a human-readable reason. *)
+exception Connection_error of string
+
+type t
+
+(** [connect ~socket ()] opens a connection. [timeout_s] (default 60)
+    bounds each response wait. Raises {!Connection_error}. *)
+val connect : ?timeout_s:float -> socket:string -> unit -> t
+
+(** [rpc t line] sends one request line and returns the response line.
+    Raises {!Connection_error} on a dead connection or timeout. *)
+val rpc : t -> string -> string
+
+val close : t -> unit
+
+(** [one_shot ~socket line] is connect / {!rpc} / close. *)
+val one_shot : ?timeout_s:float -> socket:string -> string -> string

@@ -1,0 +1,134 @@
+(** Metrics registry (see the interface). One mutex guards every
+    mutable field; recording is a few integer bumps, so contention is
+    irrelevant next to the requests being measured. *)
+
+type op_counters = { received : int; succeeded : int; failed : int }
+
+(* log-2 bucket bounds from 1 ms up, overflow bucket last *)
+let bucket_bounds : float array =
+  Array.init 22 (fun i ->
+      if i = 21 then infinity else 0.001 *. (2.0 ** float_of_int i))
+
+type snapshot = {
+  uptime_s : float;
+  per_op : (string * op_counters) list;
+  rejected_busy : int;
+  rejected_draining : int;
+  completed : int;
+  latency_buckets : (float * int) array;
+  latency_sum_s : float;
+  latency_max_s : float;
+  cache_hits : int;
+  cache_computed : int;
+  cache_skipped : int;
+  cache_warnings : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  started_at : float;
+  per_op : (string, op_counters) Hashtbl.t;
+  buckets : int array;
+  mutable rejected_busy : int;
+  mutable rejected_draining : int;
+  mutable completed : int;
+  mutable latency_sum_s : float;
+  mutable latency_max_s : float;
+  mutable cache_hits : int;
+  mutable cache_computed : int;
+  mutable cache_skipped : int;
+  mutable cache_warnings : int;
+}
+
+let create () : t =
+  { mutex = Mutex.create (); started_at = Unix.gettimeofday ();
+    per_op = Hashtbl.create 8;
+    buckets = Array.make (Array.length bucket_bounds) 0;
+    rejected_busy = 0; rejected_draining = 0; completed = 0;
+    latency_sum_s = 0.0; latency_max_s = 0.0; cache_hits = 0;
+    cache_computed = 0; cache_skipped = 0; cache_warnings = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let counters t op =
+  match Hashtbl.find_opt t.per_op op with
+  | Some c -> c
+  | None -> { received = 0; succeeded = 0; failed = 0 }
+
+let record_received t ~op =
+  locked t (fun () ->
+      let c = counters t op in
+      Hashtbl.replace t.per_op op { c with received = c.received + 1 })
+
+let bucket_of (seconds : float) : int =
+  let rec go i =
+    if i >= Array.length bucket_bounds - 1 then i
+    else if seconds <= bucket_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let record_completed t ~op ~ok ~seconds =
+  let seconds = Float.max 0.0 seconds in
+  locked t (fun () ->
+      let c = counters t op in
+      Hashtbl.replace t.per_op op
+        (if ok then { c with succeeded = c.succeeded + 1 }
+         else { c with failed = c.failed + 1 });
+      t.completed <- t.completed + 1;
+      t.buckets.(bucket_of seconds) <- t.buckets.(bucket_of seconds) + 1;
+      t.latency_sum_s <- t.latency_sum_s +. seconds;
+      if seconds > t.latency_max_s then t.latency_max_s <- seconds)
+
+let record_rejected_busy t =
+  locked t (fun () -> t.rejected_busy <- t.rejected_busy + 1)
+
+let record_rejected_draining t =
+  locked t (fun () -> t.rejected_draining <- t.rejected_draining + 1)
+
+let record_cache_run t ~hits ~computed ~skipped =
+  locked t (fun () ->
+      t.cache_hits <- t.cache_hits + hits;
+      t.cache_computed <- t.cache_computed + computed;
+      t.cache_skipped <- t.cache_skipped + skipped)
+
+let record_cache_warning t =
+  locked t (fun () -> t.cache_warnings <- t.cache_warnings + 1)
+
+let snapshot t : snapshot =
+  locked t (fun () ->
+      { uptime_s = Unix.gettimeofday () -. t.started_at;
+        per_op =
+          List.sort compare
+            (Hashtbl.fold (fun op c acc -> (op, c) :: acc) t.per_op []);
+        rejected_busy = t.rejected_busy;
+        rejected_draining = t.rejected_draining;
+        completed = t.completed;
+        latency_buckets =
+          Array.mapi (fun i n -> (bucket_bounds.(i), n)) t.buckets;
+        latency_sum_s = t.latency_sum_s;
+        latency_max_s = t.latency_max_s;
+        cache_hits = t.cache_hits;
+        cache_computed = t.cache_computed;
+        cache_skipped = t.cache_skipped;
+        cache_warnings = t.cache_warnings })
+
+let quantile (s : snapshot) (q : float) : float =
+  if s.completed = 0 then 0.0
+  else begin
+    let rank =
+      Int.max 1
+        (int_of_float (Float.ceil (q *. float_of_int s.completed)))
+    in
+    let rec go i seen =
+      if i >= Array.length s.latency_buckets then s.latency_max_s
+      else
+        let bound, n = s.latency_buckets.(i) in
+        if seen + n >= rank then
+          if Float.is_finite bound then bound else s.latency_max_s
+        else go (i + 1) (seen + n)
+    in
+    go 0 0
+  end

@@ -1,0 +1,224 @@
+(** Wire protocol for `alice serve` (see the interface for the request
+    and response shapes). Parsing is strict about structure — unknown
+    operations and version mismatches are rejected up front with
+    structured errors — but lenient about extra fields, so clients may
+    decorate requests freely. *)
+
+module J = Alice_config.Json_lite
+module Y = Alice_config.Yaml_lite
+module D = Alice_diag.Diag
+
+let version = 1
+
+type source = Inline of string | Path of string
+
+type op =
+  | Ping
+  | Stats
+  | Shutdown
+  | Redact of { source : source; config : Y.t; view : Alice.Redact.view }
+  | Characterize of { source : source; config : Y.t }
+  | Sweep of { source : source; base : Y.t; entries : Y.t list }
+
+type request = { id : J.t; op : op }
+
+exception Bad_request of { kind : string; diag : D.t }
+
+let bad_request ~kind ~code fmt =
+  Format.kasprintf
+    (fun m ->
+      raise (Bad_request { kind; diag = D.error ~code "%s" m }))
+    fmt
+
+let op_name = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+  | Redact _ -> "redact"
+  | Characterize _ -> "characterize"
+  | Sweep _ -> "sweep"
+
+(* ---------- request parsing ---------- *)
+
+let parse_source (j : J.t) : source =
+  match (J.find j "source", J.find j "file") with
+  | Some (J.String text), None -> Inline text
+  | None, Some (J.String path) -> Path path
+  | Some _, Some _ ->
+    bad_request ~kind:"unknown_op" ~code:"E1002"
+      "request carries both `source` and `file`; give exactly one"
+  | _ ->
+    bad_request ~kind:"unknown_op" ~code:"E1002"
+      "request needs a `source` (inline Verilog text) or `file` (server-side \
+       path) field"
+
+let parse_config (j : J.t) : Y.t =
+  match J.find j "config" with
+  | None | Some J.Null -> Y.Null
+  | Some (J.Obj _ as cfg) -> J.to_yaml cfg
+  | Some _ ->
+    bad_request ~kind:"unknown_op" ~code:"E1002"
+      "`config` must be an object of flow-configuration keys"
+
+let parse_view (j : J.t) : Alice.Redact.view =
+  match J.find j "view" with
+  | None | Some J.Null -> Alice.Redact.Programmed
+  | Some (J.String "programmed") -> Alice.Redact.Programmed
+  | Some (J.String "opaque") -> Alice.Redact.Opaque
+  | Some (J.String "structural") -> Alice.Redact.Structural
+  | Some _ ->
+    bad_request ~kind:"unknown_op" ~code:"E1002"
+      "`view` must be \"programmed\", \"opaque\" or \"structural\""
+
+let parse_request (line : string) : request =
+  let j =
+    try J.parse line
+    with J.Parse_error (_, msg) ->
+      bad_request ~kind:"bad_request" ~code:"E1000" "malformed request: %s" msg
+  in
+  (match j with
+  | J.Obj _ -> ()
+  | _ ->
+    bad_request ~kind:"bad_request" ~code:"E1000"
+      "request must be a JSON object");
+  (match J.find j "v" with
+  | Some (J.Int v) when v = version -> ()
+  | Some (J.Int v) ->
+    bad_request ~kind:"unsupported_version" ~code:"E1001"
+      "unsupported protocol version %d (this server speaks %d)" v version
+  | _ ->
+    bad_request ~kind:"unsupported_version" ~code:"E1001"
+      "request carries no integer `v` protocol-version field");
+  let id = Option.value (J.find j "id") ~default:J.Null in
+  let op =
+    match J.find j "op" with
+    | Some (J.String "ping") -> Ping
+    | Some (J.String "stats") -> Stats
+    | Some (J.String "shutdown") -> Shutdown
+    | Some (J.String "redact") ->
+      Redact
+        { source = parse_source j; config = parse_config j;
+          view = parse_view j }
+    | Some (J.String "characterize") ->
+      Characterize { source = parse_source j; config = parse_config j }
+    | Some (J.String "sweep") ->
+      let base =
+        match J.find j "base" with
+        | None | Some J.Null -> Y.Null
+        | Some (J.Obj _ as b) -> J.to_yaml b
+        | Some _ ->
+          bad_request ~kind:"unknown_op" ~code:"E1002"
+            "`base` must be an object of flow-configuration keys"
+      in
+      let entries =
+        match J.find j "sweep" with
+        | Some (J.List (_ :: _ as items)) ->
+          List.map
+            (function
+              | J.Obj _ as e -> J.to_yaml e
+              | _ ->
+                bad_request ~kind:"unknown_op" ~code:"E1002"
+                  "`sweep` entries must be objects")
+            items
+        | _ ->
+          bad_request ~kind:"unknown_op" ~code:"E1002"
+            "sweep request needs a non-empty `sweep` list of configuration \
+             overlays"
+      in
+      Sweep { source = parse_source j; base; entries }
+    | Some (J.String op) ->
+      bad_request ~kind:"unknown_op" ~code:"E1002"
+        "unknown operation %S (have: ping, stats, shutdown, redact, \
+         characterize, sweep)"
+        op
+    | _ ->
+      bad_request ~kind:"unknown_op" ~code:"E1002"
+        "request carries no string `op` field"
+  in
+  { id; op }
+
+(* ---------- response building ---------- *)
+
+let json_of_diag (d : D.t) : J.t =
+  let base =
+    [ ("severity", J.String (D.severity_to_string d.D.severity));
+      ("code", J.String d.D.code);
+      ("message", J.String d.D.message) ]
+  in
+  let loc =
+    match d.D.loc with
+    | None -> []
+    | Some l ->
+      [ ("loc",
+         J.Obj
+           [ ("file", J.String l.Alice_verilog.Loc.file);
+             ("line", J.Int l.Alice_verilog.Loc.line);
+             ("col", J.Int l.Alice_verilog.Loc.col) ]) ]
+  in
+  let context =
+    match d.D.context with
+    | [] -> []
+    | kvs ->
+      [ ("context", J.Obj (List.map (fun (k, v) -> (k, J.String v)) kvs)) ]
+  in
+  J.Obj (base @ loc @ context)
+
+let base_fields ~(id : J.t) =
+  let id = match id with J.Null -> [] | id -> [ ("id", id) ] in
+  ("v", J.Int version) :: id
+
+let ok_response ~(id : J.t) ~(op : string) (fields : (string * J.t) list) :
+    string =
+  J.to_string
+    (J.Obj
+       (base_fields ~id
+       @ [ ("ok", J.Bool true); ("op", J.String op) ]
+       @ fields))
+
+let error_response ~(id : J.t) ~(kind : string) ?(op : string option)
+    ?(diags : D.t list option) (diag : D.t) : string =
+  let op = match op with None -> [] | Some o -> [ ("op", J.String o) ] in
+  let diags =
+    match diags with
+    | None | Some [] -> []
+    | Some ds -> [ ("diags", J.List (List.map json_of_diag ds)) ]
+  in
+  J.to_string
+    (J.Obj
+       (base_fields ~id
+       @ [ ("ok", J.Bool false) ]
+       @ op
+       @ [ ("error",
+            J.Obj
+              [ ("kind", J.String kind);
+                ("code", J.String diag.D.code);
+                ("message", J.String diag.D.message) ]) ]
+       @ diags))
+
+(* ---------- request building (client side) ---------- *)
+
+let simple_request ?(id = J.Null) (op : string) : string =
+  J.to_string (J.Obj (base_fields ~id @ [ ("op", J.String op) ]))
+
+let ping_request ?id () = simple_request ?id "ping"
+
+let stats_request ?id () = simple_request ?id "stats"
+
+let shutdown_request ?id () = simple_request ?id "shutdown"
+
+let redact_request ?(id = J.Null) ?(config = J.Null) ?(view : string option)
+    (source : source) : string =
+  let source_field =
+    match source with
+    | Inline text -> ("source", J.String text)
+    | Path p -> ("file", J.String p)
+  in
+  let config =
+    match config with J.Null -> [] | c -> [ ("config", c) ]
+  in
+  let view = match view with None -> [] | Some v -> [ ("view", J.String v) ] in
+  J.to_string
+    (J.Obj
+       (base_fields ~id
+       @ [ ("op", J.String "redact"); source_field ]
+       @ config @ view))

@@ -1,0 +1,95 @@
+(** The versioned `alice serve` wire protocol: newline-delimited JSON
+    over a Unix-domain socket, one request object per line, one
+    response object per line, several requests per connection.
+
+    Requests carry a protocol version ([{"v":1,...}]), an operation
+    ([op]), an optional correlation [id] echoed verbatim in the
+    response, and operation-specific fields:
+
+    {v
+    {"v":1,"id":"r1","op":"ping"}
+    {"v":1,"op":"redact","source":"module m...","config":{"max_efpgas":1}}
+    {"v":1,"op":"redact","file":"designs/gcd.v","view":"opaque"}
+    {"v":1,"op":"characterize","source":"..."}
+    {"v":1,"op":"sweep","source":"...","sweep":[{"name":"a","max_efpgas":1}]}
+    {"v":1,"op":"stats"}
+    {"v":1,"op":"shutdown"}
+    v}
+
+    Responses are [{"v":1,"id":...,"ok":true,"op":...,...}] on success
+    and [{"v":1,"id":...,"ok":false,"error":{"kind":...,"code":...,
+    "message":...},"diags":[...]}] on failure; error codes reuse the
+    {!Alice_diag.Diag} registry (flow errors keep their own codes, the
+    server adds the [E10xx] range: [E1000] malformed request, [E1001]
+    unsupported version, [E1002] unknown/invalid operation, [E1003]
+    busy — admission control rejected the connection, [E1004] shutting
+    down). *)
+
+module J = Alice_config.Json_lite
+module Y = Alice_config.Yaml_lite
+module D = Alice_diag.Diag
+
+(** Bumped on any incompatible change to request or response shapes.
+    Requests carrying any other [v] are rejected with [E1001]. *)
+val version : int
+
+(** Where a request's Verilog comes from: inline text in the request
+    itself, or a path readable by the server process. *)
+type source = Inline of string | Path of string
+
+type op =
+  | Ping
+  | Stats
+  | Shutdown
+  | Redact of { source : source; config : Y.t; view : Alice.Redact.view }
+  | Characterize of { source : source; config : Y.t }
+  | Sweep of { source : source; base : Y.t; entries : Y.t list }
+      (** [entries] are configuration overlays, each deep-merged over
+          [base] (itself merged over the server's base configuration);
+          an entry's [name] key labels its result row *)
+
+type request = {
+  id : J.t;  (** echoed in the response; [Null] when absent *)
+  op : op;
+}
+
+(** Raised by {!parse_request} on a request the server cannot execute;
+    [kind] is the machine-readable category carried in the error
+    payload ("bad_request", "unsupported_version", "unknown_op"). *)
+exception Bad_request of { kind : string; diag : D.t }
+
+val op_name : op -> string
+
+(** Parse one request line. Raises {!Bad_request}. *)
+val parse_request : string -> request
+
+(** {2 Response building} *)
+
+(** A diagnostic as a JSON object with [severity]/[code]/[message]/
+    [loc]/[context] fields, matching {!Alice_diag.Diag.to_json}. *)
+val json_of_diag : D.t -> J.t
+
+(** [ok_response ~id ~op fields] is one response line (no trailing
+    newline): [ok:true] plus the operation name and the given fields. *)
+val ok_response : id:J.t -> op:string -> (string * J.t) list -> string
+
+(** [error_response ~id ~kind ?op ?diags diag] is one [ok:false]
+    response line; the error object's [code]/[message] come from
+    [diag], and [diags], when given, carries the run's full diagnostic
+    list. *)
+val error_response :
+  id:J.t -> kind:string -> ?op:string -> ?diags:D.t list -> D.t -> string
+
+(** {2 Request building (client side)} *)
+
+(** [redact_request ?id ?config ?view source] renders a redact request
+    line; [config] is a raw JSON configuration object. [ping_request],
+    [stats_request] and [shutdown_request] likewise. *)
+val redact_request :
+  ?id:J.t -> ?config:J.t -> ?view:string -> source -> string
+
+val ping_request : ?id:J.t -> unit -> string
+
+val stats_request : ?id:J.t -> unit -> string
+
+val shutdown_request : ?id:J.t -> unit -> string

@@ -1,0 +1,585 @@
+(** Server core (see the interface for the architecture). One acceptor
+    thread owns admission control; [max_in_flight] worker threads own
+    connections; all of them share one engine, one metrics registry and
+    one mutex/condition pair around the hand-off queue.
+
+    Shutdown is signal-safe: {!stop} only flips an atomic flag and
+    pokes the listening socket with a throwaway connection, so it may
+    run inside a signal handler or on a worker thread that already
+    holds no lock; the acceptor notices the flag, marks the server
+    stopping under the lock and broadcasts the workers awake. *)
+
+module A = Alice
+module C = Alice_config
+module D = Alice_diag.Diag
+module F = Alice_fabric
+module J = Alice_config.Json_lite
+module V = Alice_verilog
+module Y = Alice_config.Yaml_lite
+module N = Alice_netlist
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  max_in_flight : int;
+  max_queue : int;
+  base : Y.t;
+  jobs : int option;
+  deadline_s : float option;
+  idle_timeout_s : float;
+}
+
+let default_config ~socket_path =
+  { socket_path; max_in_flight = 4; max_queue = 16; base = Y.Null;
+    jobs = None; deadline_s = None; idle_timeout_s = 30.0 }
+
+type t = {
+  cfg : config;
+  engine : A.Engine.t;
+  metrics : Metrics.t;
+  listen_fd : Unix.file_descr;
+  mu : Mutex.t;
+  cv : Condition.t;
+  pending : Unix.file_descr Queue.t;
+  mutable active : int;  (* workers currently handling a connection *)
+  mutable stopping : bool;  (* guarded by [mu]; set only by the acceptor *)
+  stop_requested : bool Atomic.t;  (* settable from signal handlers *)
+  mutable acceptor : Thread.t option;
+  mutable workers : Thread.t list;
+  mutable waited : bool;
+}
+
+let metrics t = t.metrics
+
+let engine t = t.engine
+
+(* ---------- request execution ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let flow_source : P.source -> A.Flow.source = function
+  | P.Inline text -> A.Flow.Text { text; file = None }
+  | P.Path path -> A.Flow.Text { text = read_file path; file = Some path }
+
+(* the request's inline config over the server's base document, plus
+   the operator overrides: a forced [jobs], and the server deadline when
+   the request sets none *)
+let effective_config t (req_cfg : Y.t) : C.Flow_config.t =
+  let cfg = C.Flow_config.of_yaml (Y.merge t.cfg.base req_cfg) in
+  let cfg =
+    match t.cfg.jobs with
+    | None -> cfg
+    | Some j -> { cfg with C.Flow_config.jobs = j }
+  in
+  match (t.cfg.deadline_s, cfg.C.Flow_config.characterize_deadline_s) with
+  | Some d, None -> { cfg with C.Flow_config.characterize_deadline_s = Some d }
+  | _ -> cfg
+
+let run_flow t (cfg : C.Flow_config.t) (source : P.source) : A.Flow.t =
+  let flow =
+    A.Engine.run_shared t.engine
+      (A.Flow.request ~config:cfg ~diags:(D.Collector.create ())
+         (flow_source source))
+  in
+  let s = flow.A.Flow.char_stats in
+  Metrics.record_cache_run t.metrics ~hits:s.A.Characterize.cache_hits
+    ~computed:s.A.Characterize.computed ~skipped:s.A.Characterize.skipped;
+  flow
+
+let diags_field (diags : D.t list) : (string * J.t) list =
+  match diags with
+  | [] -> []
+  | ds -> [ ("diags", J.List (List.map P.json_of_diag ds)) ]
+
+let char_stats_field (s : A.Characterize.stats) : string * J.t =
+  ( "char_stats",
+    J.Obj
+      [ ("clusters", J.Int s.A.Characterize.clusters);
+        ("unique", J.Int s.A.Characterize.unique);
+        ("hits", J.Int s.A.Characterize.cache_hits);
+        ("computed", J.Int s.A.Characterize.computed);
+        ("skipped", J.Int s.A.Characterize.skipped) ] )
+
+let times_field (times : A.Flow.phase_times) : string * J.t =
+  ( "times",
+    J.Obj
+      [ ("filtering_s", J.Float times.A.Flow.filtering_s);
+        ("clustering_s", J.Float times.A.Flow.clustering_s);
+        ("selection_s", J.Float times.A.Flow.selection_s) ] )
+
+let solution_fabrics (flow : A.Flow.t) : string option =
+  Option.map
+    (fun (best : A.Selection.solution) ->
+      String.concat "+"
+        (List.map
+           (fun (e : A.Selection.efpga_impl) ->
+             F.Fabric.size_label e.A.Selection.impl.F.Size_search.fabric)
+           best.A.Selection.efpgas))
+    flow.A.Flow.selection.A.Selection.best
+
+let execute_redact t ~(id : J.t) (source : P.source) (req_cfg : Y.t)
+    (view : A.Redact.view) : string * bool =
+  let cfg = effective_config t req_cfg in
+  let flow = run_flow t cfg source in
+  match A.Flow.redact ~view flow with
+  | None ->
+    ( P.error_response ~id ~kind:"infeasible" ~op:"redact"
+        ~diags:flow.A.Flow.diags
+        (D.error ~code:"E0801"
+           "no feasible redaction under this configuration"),
+      false )
+  | Some r ->
+    let sites =
+      List.map
+        (fun (s : A.Redact.efpga_site) ->
+          J.Obj
+            [ ("efpga", J.String s.A.Redact.efpga_name);
+              ("insertion_point", J.String s.A.Redact.insertion_point);
+              ("members", J.Int (List.length s.A.Redact.members));
+              ("gpio_in", J.Int s.A.Redact.gpio_in_width);
+              ("gpio_out", J.Int s.A.Redact.gpio_out_width) ])
+        r.A.Redact.sites
+    in
+    ( P.ok_response ~id ~op:"redact"
+        ([ ("verilog", J.String r.A.Redact.verilog);
+           ("sites", J.List sites);
+           ( "fabrics",
+             match solution_fabrics flow with
+             | Some s -> J.String s
+             | None -> J.Null );
+           char_stats_field flow.A.Flow.char_stats;
+           times_field flow.A.Flow.times ]
+        @ diags_field flow.A.Flow.diags),
+      true )
+
+let execute_characterize t ~(id : J.t) (source : P.source) (req_cfg : Y.t) :
+    string * bool =
+  let cfg = effective_config t req_cfg in
+  let flow = run_flow t cfg source in
+  let clusters =
+    List.map
+      (fun (c : A.Characterize.characterization) ->
+        let outcome, fabric =
+          match c.A.Characterize.outcome with
+          | A.Characterize.Implemented impl ->
+            ( "implemented",
+              J.String (F.Fabric.size_label impl.F.Size_search.fabric) )
+          | A.Characterize.Infeasible _ -> ("infeasible", J.Null)
+          | A.Characterize.Failed _ -> ("failed", J.Null)
+          | A.Characterize.Skipped _ -> ("skipped", J.Null)
+        in
+        J.Obj
+          [ ("key", J.String c.A.Characterize.cluster.A.Clustering.key);
+            ( "members",
+              J.List
+                (List.map
+                   (fun (m : V.Design.tree) ->
+                     J.String m.V.Design.module_name)
+                   c.A.Characterize.cluster.A.Clustering.members) );
+            ("io_pins", J.Int c.A.Characterize.cluster.A.Clustering.io_pins);
+            ("outcome", J.String outcome);
+            ("fabric", fabric) ])
+      flow.A.Flow.characterized
+  in
+  ( P.ok_response ~id ~op:"characterize"
+      ([ ("clusters", J.List clusters);
+         char_stats_field flow.A.Flow.char_stats;
+         times_field flow.A.Flow.times ]
+      @ diags_field flow.A.Flow.diags),
+    true )
+
+let execute_sweep t ~(id : J.t) (source : P.source) (base : Y.t)
+    (entries : Y.t list) : string * bool =
+  let named =
+    List.mapi
+      (fun i entry ->
+        let name =
+          Y.get_string ~default:(Printf.sprintf "cfg%d" (i + 1)) entry "name"
+        in
+        (name, effective_config t (Y.merge base entry)))
+      entries
+  in
+  let rows =
+    List.map
+      (fun (name, cfg) ->
+        let flow = run_flow t cfg source in
+        let s = flow.A.Flow.char_stats in
+        ( J.Obj
+            [ ("name", J.String name);
+              ( "feasible",
+                J.Bool (flow.A.Flow.selection.A.Selection.best <> None) );
+              ( "fabrics",
+                match solution_fabrics flow with
+                | Some f -> J.String f
+                | None -> J.Null );
+              ("hits", J.Int s.A.Characterize.cache_hits);
+              ("computed", J.Int s.A.Characterize.computed);
+              ("skipped", J.Int s.A.Characterize.skipped) ],
+          (name, flow.A.Flow.diags) ))
+      named
+  in
+  let tagged =
+    List.concat_map
+      (fun (_, (name, diags)) ->
+        List.map
+          (fun (d : D.t) ->
+            { d with D.context = ("config", name) :: d.D.context })
+          diags)
+      rows
+  in
+  ( P.ok_response ~id ~op:"sweep"
+      ([ ("rows", J.List (List.map fst rows)) ] @ diags_field tagged),
+    true )
+
+let execute_stats t ~(id : J.t) : string * bool =
+  let s = Metrics.snapshot t.metrics in
+  let queued, active =
+    Mutex.lock t.mu;
+    let r = (Queue.length t.pending, t.active) in
+    Mutex.unlock t.mu;
+    r
+  in
+  let ms x = J.Float (1000.0 *. x) in
+  let per_op =
+    List.map
+      (fun (op, (c : Metrics.op_counters)) ->
+        ( op,
+          J.Obj
+            [ ("received", J.Int c.Metrics.received);
+              ("succeeded", J.Int c.Metrics.succeeded);
+              ("failed", J.Int c.Metrics.failed) ] ))
+      s.Metrics.per_op
+  in
+  let buckets =
+    Array.to_list s.Metrics.latency_buckets
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (bound, n) ->
+           J.Obj
+             [ ( "le_ms",
+                 if Float.is_finite bound then J.Float (1000.0 *. bound)
+                 else J.Null );
+               ("count", J.Int n) ])
+  in
+  let cache =
+    [ ("hits", J.Int s.Metrics.cache_hits);
+      ("computed", J.Int s.Metrics.cache_computed);
+      ("skipped", J.Int s.Metrics.cache_skipped);
+      ("warnings", J.Int s.Metrics.cache_warnings) ]
+    @ (match A.Engine.disk_stats t.engine with
+      | None -> []
+      | Some d ->
+        [ ( "disk",
+            J.Obj
+              [ ("hits", J.Int d.A.Disk_cache.disk_hits);
+                ("misses", J.Int d.A.Disk_cache.disk_misses);
+                ("stores", J.Int d.A.Disk_cache.stores);
+                ("failures", J.Int d.A.Disk_cache.failures) ] ) ])
+    @
+    match A.Engine.cache_root t.engine with
+    | None -> []
+    | Some root -> [ ("root", J.String root) ]
+  in
+  ( P.ok_response ~id ~op:"stats"
+      [ ("uptime_s", J.Float s.Metrics.uptime_s);
+        ("in_flight", J.Int active);
+        ("queued", J.Int queued);
+        ("requests", J.Obj per_op);
+        ( "rejected",
+          J.Obj
+            [ ("busy", J.Int s.Metrics.rejected_busy);
+              ("draining", J.Int s.Metrics.rejected_draining) ] );
+        ( "latency",
+          J.Obj
+            [ ("completed", J.Int s.Metrics.completed);
+              ( "mean_ms",
+                if s.Metrics.completed = 0 then J.Null
+                else
+                  ms (s.Metrics.latency_sum_s
+                      /. float_of_int s.Metrics.completed) );
+              ("max_ms", ms s.Metrics.latency_max_s);
+              ("p50_ms", ms (Metrics.quantile s 0.50));
+              ("p90_ms", ms (Metrics.quantile s 0.90));
+              ("p95_ms", ms (Metrics.quantile s 0.95));
+              ("p99_ms", ms (Metrics.quantile s 0.99));
+              ("buckets", J.List buckets) ] );
+        ("cache", J.Obj cache) ],
+    true )
+
+(* Classify an exception escaping request execution, mirroring the CLI
+   classifier: recognized input problems keep their layer code, the
+   rest is internal. *)
+let diag_of_exn : exn -> D.t = function
+  | V.Loc.Error (loc, msg) -> D.error ~loc ~code:"E0100" "%s" msg
+  | Y.Parse_error (line, msg) ->
+    D.error ~code:"E0601" "configuration parse error at line %d: %s" line msg
+  | N.Synth.Synthesis_error msg -> D.error ~code:"E0201" "synthesis error: %s" msg
+  | A.Redact.Redaction_error msg -> D.error ~code:"E0800" "redaction error: %s" msg
+  | Invalid_argument msg -> D.error ~code:"E0602" "%s" msg
+  | Sys_error msg -> D.error ~code:"E0001" "%s" msg
+  | e -> D.of_exn e
+
+let execute t ~(id : J.t) (op : P.op) : string * bool * [ `Continue | `Stop ] =
+  match op with
+  | P.Ping ->
+    let s = Metrics.snapshot t.metrics in
+    ( P.ok_response ~id ~op:"ping"
+        [ ("server", J.String "alice");
+          ("protocol", J.Int P.version);
+          ("uptime_s", J.Float s.Metrics.uptime_s) ],
+      true, `Continue )
+  | P.Stats ->
+    let resp, ok = execute_stats t ~id in
+    (resp, ok, `Continue)
+  | P.Shutdown ->
+    (P.ok_response ~id ~op:"shutdown" [ ("draining", J.Bool true) ], true, `Stop)
+  | P.Redact { source; config; view } -> (
+    match execute_redact t ~id source config view with
+    | resp, ok -> (resp, ok, `Continue)
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception e ->
+      ( P.error_response ~id ~kind:"failed" ~op:"redact" (diag_of_exn e),
+        false, `Continue ))
+  | P.Characterize { source; config } -> (
+    match execute_characterize t ~id source config with
+    | resp, ok -> (resp, ok, `Continue)
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception e ->
+      ( P.error_response ~id ~kind:"failed" ~op:"characterize" (diag_of_exn e),
+        false, `Continue ))
+  | P.Sweep { source; base; entries } -> (
+    match execute_sweep t ~id source base entries with
+    | resp, ok -> (resp, ok, `Continue)
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception e ->
+      ( P.error_response ~id ~kind:"failed" ~op:"sweep" (diag_of_exn e),
+        false, `Continue ))
+
+(* ---------- connection handling ---------- *)
+
+let respond t (line : string) : string * [ `Continue | `Stop ] =
+  match P.parse_request line with
+  | exception P.Bad_request { kind; diag } ->
+    (P.error_response ~id:J.Null ~kind diag, `Continue)
+  | { P.id; op } ->
+    let name = P.op_name op in
+    Metrics.record_received t.metrics ~op:name;
+    let t0 = Unix.gettimeofday () in
+    let resp, ok, action = execute t ~id op in
+    Metrics.record_completed t.metrics ~op:name ~ok
+      ~seconds:(Unix.gettimeofday () -. t0);
+    (resp, action)
+
+(* wake the acceptor out of [Unix.accept] with a throwaway connection;
+   nothing here blocks or takes a lock, so it is signal-handler safe *)
+let poke (path : string) : unit =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception _ -> ()
+  | s ->
+    (try Unix.connect s (Unix.ADDR_UNIX path) with _ -> ());
+    (try Unix.close s with _ -> ())
+
+(* Serve one connection: requests are processed in order until EOF, an
+   idle timeout, a shutdown request, or the server starting to drain
+   (the response to the current request is always sent first). The fd
+   is closed exactly once, through the out channel. *)
+let handle_connection t (fd : Unix.file_descr) : unit =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout_s
+   with Unix.Unix_error _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let continue = ref true in
+  (try
+     while !continue do
+       match input_line ic with
+       | exception End_of_file -> continue := false
+       | line when String.trim line = "" -> ()
+       | line ->
+         let resp, action = respond t line in
+         output_string oc resp;
+         output_char oc '\n';
+         flush oc;
+         (match action with
+         | `Stop ->
+           continue := false;
+           if not (Atomic.exchange t.stop_requested true) then
+             poke t.cfg.socket_path
+         | `Continue ->
+           if Atomic.get t.stop_requested then continue := false)
+     done
+   with _ -> (* read timeout, client reset, broken pipe: drop the link *) ());
+  close_out_noerr oc
+
+(* ---------- threads ---------- *)
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.pending && not t.stopping do
+      Condition.wait t.cv t.mu
+    done;
+    if Queue.is_empty t.pending then Mutex.unlock t.mu (* draining: done *)
+    else begin
+      let fd = Queue.pop t.pending in
+      t.active <- t.active + 1;
+      Mutex.unlock t.mu;
+      (try handle_connection t fd with _ -> ());
+      Mutex.lock t.mu;
+      t.active <- t.active - 1;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Refuse a connection before reading anything from it: the error line
+   is small enough to fit any socket buffer, so this cannot block a
+   worker (it runs on the acceptor). *)
+let refuse (fd : Unix.file_descr) (response : string) : unit =
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     output_string oc response;
+     output_char oc '\n';
+     flush oc;
+     close_out_noerr oc
+   with _ -> (try Unix.close fd with Unix.Unix_error _ -> ()))
+
+let busy_response t queued =
+  P.error_response ~id:J.Null ~kind:"busy"
+    (D.error ~code:"E1003"
+       ~context:
+         [ ("in_flight", string_of_int t.cfg.max_in_flight);
+           ("queued", string_of_int queued) ]
+       "server busy: %d request(s) in flight and %d queued; retry later"
+       t.cfg.max_in_flight queued)
+
+let draining_response () =
+  P.error_response ~id:J.Null ~kind:"shutting_down"
+    (D.error ~code:"E1004" "server is shutting down")
+
+(* the drain hand-off: mark stopping under the lock and wake every
+   worker; runs on the acceptor thread only *)
+let begin_drain t =
+  Mutex.lock t.mu;
+  t.stopping <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+let acceptor_loop t () =
+  let rec loop () =
+    if Atomic.get t.stop_requested then begin_drain t
+    else
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        loop ()
+      | exception _ ->
+        (* listening socket closed or broken: drain rather than spin *)
+        begin_drain t
+      | fd, _ ->
+        if Atomic.get t.stop_requested then begin
+          Metrics.record_rejected_draining t.metrics;
+          refuse fd (draining_response ());
+          begin_drain t
+        end
+        else begin
+          Mutex.lock t.mu;
+          let outstanding = t.active + Queue.length t.pending in
+          let queued = Queue.length t.pending in
+          if outstanding >= t.cfg.max_in_flight + t.cfg.max_queue then begin
+            Mutex.unlock t.mu;
+            Metrics.record_rejected_busy t.metrics;
+            refuse fd (busy_response t queued)
+          end
+          else begin
+            Queue.push fd t.pending;
+            Condition.signal t.cv;
+            Mutex.unlock t.mu
+          end;
+          loop ()
+        end
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let bind_socket (path : string) : Unix.file_descr =
+  if String.length path > 100 then
+    invalid_arg
+      (Printf.sprintf "socket path %s exceeds the AF_UNIX length limit" path);
+  if Sys.file_exists path then begin
+    (* stale socket files (a crashed server) are removed; a live
+       listener is an error *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if alive then
+      invalid_arg
+        (Printf.sprintf "socket %s already has a server behind it" path);
+    Sys.remove path
+  end;
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let start ?engine (cfg : config) : t =
+  if cfg.max_in_flight < 1 then
+    invalid_arg "serve: max_in_flight must be at least 1";
+  if cfg.max_queue < 0 then invalid_arg "serve: max_queue must be >= 0";
+  (* a worker writing to a client that vanished must see EPIPE, not die *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with _ -> ());
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> A.Engine.of_config (C.Flow_config.of_yaml cfg.base)
+  in
+  let metrics = Metrics.create () in
+  A.Engine.set_warning_sink engine (fun _ -> Metrics.record_cache_warning metrics);
+  let listen_fd = bind_socket cfg.socket_path in
+  let t =
+    { cfg; engine; metrics; listen_fd; mu = Mutex.create ();
+      cv = Condition.create (); pending = Queue.create (); active = 0;
+      stopping = false; stop_requested = Atomic.make false; acceptor = None;
+      workers = []; waited = false }
+  in
+  t.workers <-
+    List.init cfg.max_in_flight (fun _ -> Thread.create (worker_loop t) ());
+  t.acceptor <- Some (Thread.create (acceptor_loop t) ());
+  t
+
+let stop (t : t) : unit =
+  if not (Atomic.exchange t.stop_requested true) then poke t.cfg.socket_path
+
+let wait (t : t) : unit =
+  if not t.waited then begin
+    t.waited <- true;
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    List.iter Thread.join t.workers;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ())
+  end
+
+let run ?engine (cfg : config) : unit =
+  let t = start ?engine cfg in
+  let on_signal _ = stop t in
+  let previous =
+    List.map
+      (fun s -> (s, Sys.signal s (Sys.Signal_handle on_signal)))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (s, b) -> try Sys.set_signal s b with _ -> ()) previous)
+    (fun () -> wait t)

@@ -1,0 +1,86 @@
+(** The long-lived redaction service behind `alice serve`: a
+    Unix-domain-socket daemon speaking the newline-delimited
+    {!Protocol}, executing every request against one shared
+    {!Alice.Engine} so the in-memory memo table and the persistent disk
+    cache are shared across all requests and all clients.
+
+    {2 Concurrency and admission control}
+
+    A fixed pool of [max_in_flight] worker threads serves connections;
+    characterization inside each request still fans out across the
+    configuration's [jobs] worker domains ({!Alice_parallel.Pool}), so
+    the two axes compose: connection concurrency × per-request domain
+    parallelism. An acceptor thread admits connections into a bounded
+    hand-off queue; once [active + queued] reaches
+    [max_in_flight + max_queue], new connections are refused
+    immediately with a structured [busy] error ([E1003]) instead of
+    queuing without bound — load sheds at the door, never by hanging.
+
+    {2 Deadlines and drain}
+
+    A server-wide [deadline_s] is injected as the request
+    configuration's [characterize_deadline_s] when the request does not
+    set one, so an expensive design degrades to deadline-skip
+    diagnostics ([W0701]) instead of monopolizing a worker. On SIGTERM,
+    SIGINT or a [shutdown] request the server stops accepting (new
+    connections get [E1004]), finishes every admitted request, removes
+    the socket file and returns from {!wait} — a clean drain, never a
+    dropped in-flight response.
+
+    Results are byte-identical to single-shot `alice redact` on the
+    same input: the engine only changes whether CreateEFPGA runs again,
+    never what a flow computes. *)
+
+module A = Alice
+module C = Alice_config
+module Y = Alice_config.Yaml_lite
+
+type config = {
+  socket_path : string;
+  max_in_flight : int;  (** worker threads; at least 1 *)
+  max_queue : int;  (** admitted connections awaiting a worker; >= 0 *)
+  base : Y.t;
+      (** flow-configuration document merged under every request's
+          inline [config] (request keys win) *)
+  jobs : int option;
+      (** when set, overrides every request configuration's [jobs] —
+          the operator's cap on per-request domain parallelism *)
+  deadline_s : float option;
+      (** default per-request characterization deadline; a request
+          configuration's own [characterize_deadline_s] wins *)
+  idle_timeout_s : float;
+      (** per-connection receive timeout: a connection idle this long
+          between requests is closed, so dead clients cannot pin a
+          worker or stall the shutdown drain *)
+}
+
+(** [max_in_flight = 4], [max_queue = 16], empty base, no forced jobs,
+    no deadline, 30 s idle timeout. *)
+val default_config : socket_path:string -> config
+
+type t
+
+(** Bind the socket, start the acceptor and worker threads, and return
+    immediately. [engine] defaults to {!Alice.Engine.of_config} of the
+    base document's cache knobs. A stale socket file (no listener
+    behind it) is removed; a live one raises [Invalid_argument].
+    Installs the engine's warning sink (cache-degradation events feed
+    the [stats] counters) and ignores SIGPIPE process-wide. *)
+val start : ?engine:A.Engine.t -> config -> t
+
+(** Begin a graceful drain: stop accepting, finish admitted requests.
+    Safe to call from any thread, from a signal handler, and more than
+    once. Returns without waiting — pair with {!wait}. *)
+val stop : t -> unit
+
+(** Block until the drain completes: every worker has exited and the
+    socket file is removed. Idempotent. *)
+val wait : t -> unit
+
+(** [run cfg] = {!start}, install SIGTERM/SIGINT handlers that {!stop}
+    the server, then {!wait} — the body of `alice serve`. *)
+val run : ?engine:A.Engine.t -> config -> unit
+
+val metrics : t -> Metrics.t
+
+val engine : t -> A.Engine.t

@@ -6,6 +6,9 @@ module N = Alice_netlist
 module A = Alice
 module B = Alice_benchmarks.Suite
 
+let flow_ast ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
+
 let table1_expected =
   (* design, modules, instances, io_min, io_max — the paper's Table 1 *)
   [ ("DES3", 11, 11, 12, 301);
@@ -227,7 +230,7 @@ let test_redaction_preserves_all_benchmarks () =
     (fun (name, cfg_pick) ->
       let b = Option.get (B.find name) in
       let config = match cfg_pick with `C1 -> B.config1 b | `C2 -> B.config2 b in
-      let flow = A.Flow.run ~config (B.parse b) in
+      let flow = flow_ast ~config (B.parse b) in
       match A.Flow.redact ~view:A.Redact.Programmed flow with
       | None -> Alcotest.fail (name ^ ": expected a solution")
       | Some r ->
@@ -295,7 +298,7 @@ let test_flow_columns () =
     (fun (name, cfg, r, c, valid, sizes, redacted) ->
       let b = Option.get (B.find name) in
       let config = match cfg with `C1 -> B.config1 b | `C2 -> B.config2 b in
-      let flow = A.Flow.run ~config (B.parse b) in
+      let flow = flow_ast ~config (B.parse b) in
       let row = A.Report.row_of_flow ~design_name:name flow in
       let tag fmt = Printf.sprintf "%s/%s %s" name (match cfg with `C1 -> "cfg1" | `C2 -> "cfg2") fmt in
       Alcotest.(check int) (tag "R") r row.A.Report.r_count;
@@ -338,7 +341,7 @@ let test_soc_context () =
       Alice_config.Flow_config.selected_outputs = [ "resp" ]; top = Some "soc";
       min_fabric_size = 4; max_fabric_size = 20; min_clb_utilization = 0.3 }
   in
-  let flow = A.Flow.run ~config:cfg ast in
+  let flow = flow_ast ~config:cfg ast in
   Alcotest.(check bool) "candidates found in context" true
     (A.Filtering.candidate_count flow.A.Flow.filtering > 0);
   Alcotest.(check bool) "a solution exists" true

@@ -4,6 +4,9 @@ module V = Alice_verilog
 module N = Alice_netlist
 module A = Alice
 
+let flow_ast ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
+
 let wide_src =
   {|module widecomb (input [31:0] a, input [31:0] b, output [31:0] s, output [31:0] x, output lt);
     wire [31:0] t;
@@ -60,13 +63,13 @@ let test_enables_redaction () =
       Alice_config.Flow_config.max_io_pins = 100; max_efpgas = 2;
       min_fabric_size = 2; max_fabric_size = 16; top = Some "top" }
   in
-  let before = A.Flow.run ~config:cfg design in
+  let before = flow_ast ~config:cfg design in
   Alcotest.(check int) "no candidates before" 0
     (A.Filtering.candidate_count before.A.Flow.filtering);
   let design', _ =
     A.Decompose.decompose_module design ~module_name:"widecomb" ~max_io_pins:100
   in
-  let after = A.Flow.run ~config:cfg design' in
+  let after = flow_ast ~config:cfg design' in
   Alcotest.(check bool) "candidates after split" true
     (A.Filtering.candidate_count after.A.Flow.filtering > 0);
   Alcotest.(check bool) "a solution exists" true

@@ -11,6 +11,9 @@ module N = Alice_netlist
 module S = Alice_sat
 module V = Alice_verilog
 
+let flow_text ~config text =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Text { text; file = None }))
+
 (* ---------- parser error recovery ---------- *)
 
 let test_parser_recovery () =
@@ -131,7 +134,7 @@ let isolation_cfg =
 let test_cluster_isolation () =
   (* the combinational cycle in [cyc] must cost exactly its own clusters,
      not the run: the flow completes and selects among the survivors *)
-  let flow = A.Flow.run_source ~config:isolation_cfg isolation_src in
+  let flow = flow_text ~config:isolation_cfg isolation_src in
   let failed, succeeded =
     List.partition
       (fun (c : A.Characterize.characterization) ->
@@ -176,7 +179,7 @@ let test_cache_hit_diag_names_own_cluster () =
         cyc a1 (.a(x), .y(o1));
       endmodule|}
   in
-  let flow = A.Flow.run_source ~config:isolation_cfg src in
+  let flow = flow_text ~config:isolation_cfg src in
   let failed_labels = ref [] in
   List.iter
     (fun (c : A.Characterize.characterization) ->
@@ -222,7 +225,7 @@ let test_all_failed_degrades_to_empty_selection () =
         cyc u0 (.a(x), .y(o0));
       endmodule|}
   in
-  let flow = A.Flow.run_source ~config:isolation_cfg src in
+  let flow = flow_text ~config:isolation_cfg src in
   Alcotest.(check bool) "no valid eFPGA" true
     (flow.A.Flow.selection.A.Selection.valid = []);
   Alcotest.(check bool) "no best solution" true
@@ -244,7 +247,7 @@ let test_run_source_reports_parse_errors () =
         f1 u1 (.a(x), .y(o));
       endmodule|}
   in
-  let flow = A.Flow.run_source ~config:isolation_cfg src in
+  let flow = flow_text ~config:isolation_cfg src in
   Alcotest.(check bool) "parse diagnostic recorded" true
     (List.exists (fun d -> d.D.code = "E0102") flow.A.Flow.diags)
 
@@ -276,7 +279,7 @@ let test_deadline_skips_clusters () =
   let cfg =
     { isolation_cfg with C.Flow_config.characterize_deadline_s = Some 0.0 }
   in
-  let flow = A.Flow.run_source ~config:cfg isolation_src in
+  let flow = flow_text ~config:cfg isolation_src in
   Alcotest.(check bool) "clusters were skipped" true
     (List.exists (fun d -> d.D.code = "W0701") flow.A.Flow.diags);
   Alcotest.(check bool) "run completed" true
@@ -289,7 +292,7 @@ let test_deadline_skip_is_not_a_failure () =
   let cfg =
     { isolation_cfg with C.Flow_config.characterize_deadline_s = Some 0.0 }
   in
-  let flow = A.Flow.run_source ~config:cfg isolation_src in
+  let flow = flow_text ~config:cfg isolation_src in
   Alcotest.(check bool) "clusters exist" true
     (flow.A.Flow.characterized <> []);
   List.iter
@@ -375,7 +378,7 @@ let test_fuzz_flow_never_crashes () =
       for i = 0 to variants_per_source - 1 do
         let st = Random.State.make [| 0xd1a6; s; i |] in
         let v = mutate st src in
-        match A.Flow.run_source ~config:fuzz_cfg v with
+        match flow_text ~config:fuzz_cfg v with
         | _flow -> ()  (* clean, diagnostic-bearing result *)
         | exception V.Loc.Error _ -> ()  (* the documented escape *)
         | exception e ->

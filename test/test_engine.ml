@@ -274,8 +274,57 @@ let test_run_many_soc_warm () =
   Alcotest.(check int) "fresh engine: zero recomputations" 0
     warm.A.Flow.char_stats.A.Characterize.computed
 
+(* ---------- concurrent writers, one cache dir ---------- *)
+
+(* two writers hammering the same keys in one store directory while a
+   reader polls: atomic tmp+rename means a load sees either nothing or
+   a complete entry, never a torn one (which would surface as a W0702
+   failure in the reader's stats) *)
+let test_concurrent_writers () =
+  let root = tmp_root () in
+  let keys = List.init 16 (fun i -> Printf.sprintf "shared-key-%d" i) in
+  (* payload big enough that a non-atomic write would be observably
+     partial *)
+  let value_of k = (k, String.concat "/" (List.init 200 (fun _ -> k))) in
+  let writer () =
+    let store = A.Disk_cache.create ~root () in
+    for _round = 1 to 20 do
+      List.iter (fun k -> A.Disk_cache.store store ~key:k (value_of k)) keys
+    done;
+    A.Disk_cache.stats store
+  in
+  let w1 = Domain.spawn writer and w2 = Domain.spawn writer in
+  let reader = A.Disk_cache.create ~root () in
+  A.Disk_cache.set_sink reader (fun d ->
+      Alcotest.failf "reader diagnostic: %s" (Format.asprintf "%a" D.pp d));
+  (* poll while the writers run: every successful load must be whole *)
+  for _ = 1 to 200 do
+    List.iter
+      (fun k ->
+        match A.Disk_cache.load reader ~key:k with
+        | None -> ()
+        | Some v ->
+          Alcotest.(check (pair string string))
+            "no torn read" (value_of k) v)
+      keys
+  done;
+  let s1 = Domain.join w1 and s2 = Domain.join w2 in
+  Alcotest.(check int) "writer 1 clean" 0 s1.A.Disk_cache.failures;
+  Alcotest.(check int) "writer 2 clean" 0 s2.A.Disk_cache.failures;
+  (* after the dust settles every key reads back exactly *)
+  List.iter
+    (fun k ->
+      Alcotest.(check (option (pair string string)))
+        "final value" (Some (value_of k))
+        (A.Disk_cache.load reader ~key:k))
+    keys;
+  Alcotest.(check int) "reader saw no corrupt entry" 0
+    (A.Disk_cache.stats reader).A.Disk_cache.failures
+
 let tests =
   [ Alcotest.test_case "memo hooks" `Quick test_memo_hooks;
+    Alcotest.test_case "concurrent writers same dir" `Quick
+      test_concurrent_writers;
     Alcotest.test_case "config digest in cache key" `Quick
       test_config_digest_in_key;
     Alcotest.test_case "disk round trip" `Quick test_disk_round_trip;

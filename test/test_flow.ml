@@ -5,6 +5,9 @@ module V = Alice_verilog
 module A = Alice
 module C = Alice_config
 
+let flow_text ~config text =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Text { text; file = None }))
+
 (* four candidate leaf modules under one parent; two of them directly
    connected, the others independent *)
 let demo_src =
@@ -26,7 +29,7 @@ let demo_cfg =
     selected_outputs = [ "out1"; "out2" ];
     min_fabric_size = 2; max_fabric_size = 12 }
 
-let run () = A.Flow.run_source ~config:demo_cfg demo_src
+let run () = flow_text ~config:demo_cfg demo_src
 
 let test_filtering () =
   let flow = run () in
@@ -105,7 +108,7 @@ let test_max_efpgas_respected () =
       Alcotest.(check bool) "efpga budget" true (List.length s.A.Selection.efpgas <= 2))
     flow.A.Flow.selection.A.Selection.solutions;
   let cfg1 = { demo_cfg with C.Flow_config.max_efpgas = 1 } in
-  let flow1 = A.Flow.run_source ~config:cfg1 demo_src in
+  let flow1 = flow_text ~config:cfg1 demo_src in
   List.iter
     (fun (s : A.Selection.solution) ->
       Alcotest.(check int) "single efpga" 1 (List.length s.A.Selection.efpgas))
@@ -114,7 +117,7 @@ let test_max_efpgas_respected () =
 let test_empty_candidates_flow () =
   (* a pin budget below every module: the flow stops like IIR/cfg1 *)
   let cfg = { demo_cfg with C.Flow_config.max_io_pins = 4 } in
-  let flow = A.Flow.run_source ~config:cfg demo_src in
+  let flow = flow_text ~config:cfg demo_src in
   Alcotest.(check int) "no candidates" 0
     (A.Filtering.candidate_count flow.A.Flow.filtering);
   Alcotest.(check int) "no clusters" 0 (List.length flow.A.Flow.clusters);
@@ -158,7 +161,7 @@ let cluster_invariants_prop =
     QCheck.(make Gen.(int_range 8 80))
     (fun pins ->
       let cfg = { demo_cfg with C.Flow_config.max_io_pins = pins } in
-      let flow = A.Flow.run_source ~config:cfg demo_src in
+      let flow = flow_text ~config:cfg demo_src in
       let design = flow.A.Flow.design in
       let df = Alice_analysis.Dataflow.build design in
       List.for_all
@@ -175,7 +178,7 @@ let best_is_max_prop =
       let cfg =
         { demo_cfg with C.Flow_config.max_io_pins = pins; max_efpgas = efpgas }
       in
-      let flow = A.Flow.run_source ~config:cfg demo_src in
+      let flow = flow_text ~config:cfg demo_src in
       match flow.A.Flow.selection.A.Selection.best with
       | None -> flow.A.Flow.selection.A.Selection.solutions = []
       | Some best ->

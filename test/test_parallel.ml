@@ -10,6 +10,9 @@ module F = Alice_fabric
 module P = Alice_parallel
 module V = Alice_verilog
 
+let flow_ast ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
+
 (* ---------- pool semantics ---------- *)
 
 let test_map_ordered_matches_serial () =
@@ -139,10 +142,10 @@ let test_flow_jobs_equivalence () =
       let b = Option.get (B.find name) in
       let ast = B.parse b in
       let serial =
-        A.Flow.run ~config:{ (B.config1 b) with C.Flow_config.jobs = 1 } ast
+        flow_ast ~config:{ (B.config1 b) with C.Flow_config.jobs = 1 } ast
       in
       let parallel =
-        A.Flow.run ~config:{ (B.config1 b) with C.Flow_config.jobs = 4 } ast
+        flow_ast ~config:{ (B.config1 b) with C.Flow_config.jobs = 4 } ast
       in
       Alcotest.(check bool)
         (name ^ ": jobs=4 flow output equals jobs=1")
@@ -161,7 +164,7 @@ let soc_cfg ~jobs =
 
 let test_soc_parallel_determinism () =
   let ast = V.Parser.parse ~file:"soc.v" Alice_benchmarks.Soc.source in
-  let run () = A.Flow.run ~config:(soc_cfg ~jobs:4) ast in
+  let run () = flow_ast ~config:(soc_cfg ~jobs:4) ast in
   let first = run () and second = run () in
   Alcotest.(check bool) "SoC flow is deterministic at jobs=4" true
     (flow_sig first = flow_sig second);

@@ -7,6 +7,11 @@ module N = Alice_netlist
 module A = Alice
 module C = Alice_config
 
+let flow_ast ~config ast =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Ast ast))
+let flow_text ~config text =
+  A.Flow.run_request (A.Flow.request ~config (A.Flow.Text { text; file = None }))
+
 let demo_src =
   {|module f1 (input [7:0] a, output [7:0] y); assign y = a + 8'h1; endmodule
     module f2 (input [7:0] a, output [7:0] y); assign y = a ^ 8'h55; endmodule
@@ -39,7 +44,7 @@ let equivalent (a : N.Circuit.t) (b : N.Circuit.t) : bool =
   !ok
 
 let redacted view =
-  let flow = A.Flow.run_source ~config:demo_cfg demo_src in
+  let flow = flow_text ~config:demo_cfg demo_src in
   match A.Flow.redact ~view flow with
   | Some r -> (flow, r)
   | None -> Alcotest.fail "flow found no solution"
@@ -105,7 +110,7 @@ let test_multi_member_site () =
   (* force a multi-module redaction by allowing only one eFPGA: the best
      solution under Reward scoring packs the pair cluster *)
   let cfg = { demo_cfg with C.Flow_config.max_efpgas = 1 } in
-  let flow = A.Flow.run_source ~config:cfg demo_src in
+  let flow = flow_text ~config:cfg demo_src in
   match A.Flow.redact ~view:A.Redact.Programmed flow with
   | None -> Alcotest.fail "no solution"
   | Some r ->
@@ -121,7 +126,7 @@ let test_multi_member_site () =
 let test_gcd_cross_parent () =
   let module B = Alice_benchmarks.Suite in
   let gcd = Option.get (B.find "GCD") in
-  let flow = A.Flow.run ~config:(B.config1 gcd) (B.parse gcd) in
+  let flow = flow_ast ~config:(B.config1 gcd) (B.parse gcd) in
   match A.Flow.redact ~view:A.Redact.Programmed flow with
   | None -> Alcotest.fail "no GCD solution"
   | Some r ->
@@ -169,7 +174,7 @@ let test_specialized_member () =
   let cfg =
     { demo_cfg with C.Flow_config.max_efpgas = 1; selected_outputs = [ "o2" ] }
   in
-  let flow = A.Flow.run_source ~config:cfg src in
+  let flow = flow_text ~config:cfg src in
   match A.Flow.redact ~view:A.Redact.Programmed flow with
   | None -> Alcotest.fail "no solution"
   | Some r ->

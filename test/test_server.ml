@@ -1,0 +1,334 @@
+(* The redaction service: the Json_lite codec, the NDJSON protocol, the
+   metrics registry, and an in-process end-to-end pass over a live
+   server — ping, byte-identical redaction, warm-cache stats, admission
+   control, and a clean drain. *)
+
+module A = Alice
+module C = Alice_config
+module D = Alice_diag.Diag
+module J = Alice_config.Json_lite
+module Y = Alice_config.Yaml_lite
+module S = Alice_server
+
+(* ---------- Json_lite ---------- *)
+
+let test_json_parse () =
+  let t =
+    J.parse
+      {| {"a": 1, "b": [true, null, -2.5], "s": "x\nyé😀", "o": {"k": "v"}} |}
+  in
+  Alcotest.(check int) "int" 1 (J.get_int t "a");
+  (match J.find t "b" with
+  | Some (J.List [ J.Bool true; J.Null; J.Float f ]) ->
+    Alcotest.(check (float 1e-9)) "float elem" (-2.5) f
+  | _ -> Alcotest.fail "array shape");
+  (* é is two UTF-8 bytes, the surrogate pair four *)
+  Alcotest.(check string) "escapes" "x\ny\xc3\xa9\xf0\x9f\x98\x80"
+    (J.get_string t "s");
+  (match J.find t "o" with
+  | Some o -> Alcotest.(check string) "nested" "v" (J.get_string o "k")
+  | None -> Alcotest.fail "nested object");
+  Alcotest.(check bool) "default" true (J.get_bool ~default:true t "missing")
+
+let test_json_round_trip () =
+  let doc =
+    J.Obj
+      [ ("v", J.Int 1); ("t", J.Bool true); ("n", J.Null);
+        ("f", J.Float 0.25); ("s", J.String "a\"b\\c\n\t");
+        ("l", J.List [ J.Int 0; J.String "x" ]) ]
+  in
+  let s = J.to_string doc in
+  Alcotest.(check bool) "single line" false (String.contains s '\n');
+  Alcotest.(check bool) "round trip" true (J.parse s = doc)
+
+let test_json_errors () =
+  let bad s =
+    match J.parse s with
+    | exception J.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\":}";
+  bad "[1,]";
+  bad "tru";
+  bad "\"unterminated";
+  bad "{} trailing";
+  bad "{\"a\":1} {\"b\":2}"
+
+let test_json_yaml_bridge () =
+  let j = J.parse {| {"max_efpgas": 2, "selected_outputs": ["a", "b"]} |} in
+  let y = J.to_yaml j in
+  Alcotest.(check int) "int through" 2 (Y.get_int y "max_efpgas");
+  Alcotest.(check (list string)) "list through" [ "a"; "b" ]
+    (Y.get_string_list y "selected_outputs");
+  Alcotest.(check bool) "inverse" true (J.of_yaml y = j)
+
+(* ---------- Protocol ---------- *)
+
+let test_protocol_parse () =
+  let r = S.Protocol.parse_request {|{"v":1,"id":"r1","op":"ping"}|} in
+  Alcotest.(check string) "id" "r1"
+    (match r.S.Protocol.id with J.String s -> s | _ -> "?");
+  Alcotest.(check string) "op" "ping" (S.Protocol.op_name r.S.Protocol.op);
+  let r =
+    S.Protocol.parse_request
+      {|{"v":1,"op":"redact","source":"module m; endmodule","view":"opaque","config":{"max_efpgas":1}}|}
+  in
+  (match r.S.Protocol.op with
+  | S.Protocol.Redact { source = S.Protocol.Inline src; config; view } ->
+    Alcotest.(check string) "inline source" "module m; endmodule" src;
+    Alcotest.(check int) "config key" 1 (Y.get_int config "max_efpgas");
+    Alcotest.(check bool) "view" true (view = A.Redact.Opaque)
+  | _ -> Alcotest.fail "redact shape");
+  match
+    S.Protocol.parse_request
+      {|{"v":1,"op":"sweep","file":"d.v","sweep":[{"name":"a"},{"name":"b"}]}|}
+  with
+  | { S.Protocol.op = S.Protocol.Sweep { source = S.Protocol.Path p; entries; _ }; _ } ->
+    Alcotest.(check string) "path" "d.v" p;
+    Alcotest.(check int) "entries" 2 (List.length entries)
+  | _ -> Alcotest.fail "sweep shape"
+
+let check_bad line kind code =
+  match S.Protocol.parse_request line with
+  | exception S.Protocol.Bad_request { kind = k; diag } ->
+    Alcotest.(check string) "kind" kind k;
+    Alcotest.(check string) "code" code diag.D.code
+  | _ -> Alcotest.failf "accepted %S" line
+
+let test_protocol_rejects () =
+  check_bad "not json" "bad_request" "E1000";
+  check_bad {|{"op":"ping"}|} "unsupported_version" "E1001";
+  check_bad {|{"v":99,"op":"ping"}|} "unsupported_version" "E1001";
+  check_bad {|{"v":1,"op":"teleport"}|} "unknown_op" "E1002";
+  (* structurally invalid operations share the unknown-op category *)
+  check_bad {|{"v":1,"op":"redact"}|} "unknown_op" "E1002";
+  (* both source and file is ambiguous *)
+  check_bad {|{"v":1,"op":"redact","source":"m","file":"f.v"}|} "unknown_op"
+    "E1002"
+
+let test_protocol_responses () =
+  let ok =
+    J.parse (S.Protocol.ok_response ~id:(J.String "x") ~op:"ping"
+               [ ("uptime_s", J.Float 1.0) ])
+  in
+  Alcotest.(check bool) "ok" true (J.get_bool ok "ok");
+  Alcotest.(check string) "id echoed" "x" (J.get_string ok "id");
+  Alcotest.(check string) "op" "ping" (J.get_string ok "op");
+  let diag = D.error ~code:"E1003" "server is at capacity" in
+  let err =
+    J.parse
+      (S.Protocol.error_response ~id:J.Null ~kind:"busy" ~diags:[ diag ] diag)
+  in
+  Alcotest.(check bool) "not ok" false (J.get_bool err "ok");
+  (match J.find err "error" with
+  | Some e ->
+    Alcotest.(check string) "kind" "busy" (J.get_string e "kind");
+    Alcotest.(check string) "code" "E1003" (J.get_string e "code")
+  | None -> Alcotest.fail "error object");
+  match J.find err "diags" with
+  | Some (J.List [ d ]) ->
+    Alcotest.(check string) "diag code" "E1003" (J.get_string d "code")
+  | _ -> Alcotest.fail "diags list"
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics () =
+  let m = S.Metrics.create () in
+  S.Metrics.record_received m ~op:"redact";
+  S.Metrics.record_completed m ~op:"redact" ~ok:true ~seconds:0.004;
+  S.Metrics.record_received m ~op:"redact";
+  S.Metrics.record_completed m ~op:"redact" ~ok:false ~seconds:0.1;
+  S.Metrics.record_received m ~op:"ping";
+  S.Metrics.record_completed m ~op:"ping" ~ok:true ~seconds:0.0005;
+  S.Metrics.record_rejected_busy m;
+  S.Metrics.record_cache_run m ~hits:3 ~computed:2 ~skipped:1;
+  let s = S.Metrics.snapshot m in
+  let redact = List.assoc "redact" s.S.Metrics.per_op in
+  Alcotest.(check int) "received" 2 redact.S.Metrics.received;
+  Alcotest.(check int) "succeeded" 1 redact.S.Metrics.succeeded;
+  Alcotest.(check int) "failed" 1 redact.S.Metrics.failed;
+  Alcotest.(check int) "completed" 3 s.S.Metrics.completed;
+  Alcotest.(check int) "busy" 1 s.S.Metrics.rejected_busy;
+  Alcotest.(check int) "cache hits" 3 s.S.Metrics.cache_hits;
+  Alcotest.(check int) "cache computed" 2 s.S.Metrics.cache_computed;
+  Alcotest.(check (float 1e-9)) "max" 0.1 s.S.Metrics.latency_max_s;
+  (* histogram totals match, quantiles are monotone upper bounds *)
+  Alcotest.(check int) "bucket mass" 3
+    (Array.fold_left (fun acc (_, c) -> acc + c) 0 s.S.Metrics.latency_buckets);
+  let p50 = S.Metrics.quantile s 0.5 and p95 = S.Metrics.quantile s 0.95 in
+  Alcotest.(check bool) "p50 covers median" true (p50 >= 0.004);
+  Alcotest.(check bool) "monotone" true (p95 >= p50);
+  Alcotest.(check bool) "p95 bounded by max bucket" true (p95 >= 0.1)
+
+(* ---------- end to end, in process ---------- *)
+
+let demo_src =
+  {|module f1 (input [7:0] a, output [7:0] y); assign y = a + 8'h1; endmodule
+    module f2 (input [7:0] a, output [7:0] y); assign y = a ^ 8'h55; endmodule
+    module f3 (input [7:0] a, output [7:0] y); assign y = {a[0], a[7:1]}; endmodule
+    module top (input [7:0] x, output [7:0] out1, output [7:0] out2);
+      wire [7:0] t;
+      f1 u1 (.a(x), .y(t));
+      f2 u2 (.a(t), .y(out1));
+      f3 u3 (.a(x), .y(out2));
+    endmodule|}
+
+let base_yaml =
+  Y.parse
+    {|max_io_pins: 40
+max_efpgas: 2
+selected_outputs:
+  - out1
+  - out2
+fabric:
+  min_size: 2
+  max_size: 12
+jobs: 1|}
+
+let tmp_socket () =
+  let f = Filename.temp_file "alice_srv" ".sock" in
+  Sys.remove f;
+  f
+
+let with_server ?(max_in_flight = 2) ?(max_queue = 4) f =
+  let cfg =
+    { (S.Server.default_config ~socket_path:(tmp_socket ())) with
+      S.Server.max_in_flight; max_queue; base = base_yaml;
+      idle_timeout_s = 20.0 }
+  in
+  let t = S.Server.start ~engine:(A.Engine.create ~cache:false ()) cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      S.Server.stop t;
+      S.Server.wait t)
+    (fun () -> f cfg t)
+
+let rpc cfg line = S.Client.one_shot ~socket:cfg.S.Server.socket_path line
+
+let test_server_ping_and_redact () =
+  with_server (fun cfg t ->
+      let pong = J.parse (rpc cfg (S.Protocol.ping_request ())) in
+      Alcotest.(check bool) "pong ok" true (J.get_bool pong "ok");
+      Alcotest.(check string) "pong op" "ping" (J.get_string pong "op");
+      (* the service must answer byte-for-byte what the library computes *)
+      let reference =
+        let config = C.Flow_config.of_yaml base_yaml in
+        let flow =
+          A.Flow.run_request
+            (A.Flow.request ~config
+               (A.Flow.Text { text = demo_src; file = None }))
+        in
+        match A.Flow.redact flow with
+        | Some r -> r.A.Redact.verilog
+        | None -> Alcotest.fail "reference flow infeasible"
+      in
+      let ask () =
+        let resp =
+          J.parse
+            (rpc cfg
+               (S.Protocol.redact_request ~id:(J.String "rq")
+                  (S.Protocol.Inline demo_src)))
+        in
+        Alcotest.(check bool) "redact ok" true (J.get_bool resp "ok");
+        Alcotest.(check string) "id echoed" "rq" (J.get_string resp "id");
+        Alcotest.(check string) "byte-identical verilog" reference
+          (J.get_string resp "verilog")
+      in
+      ask ();
+      ask ();
+      (* the second pass hit the shared engine: stats must say so *)
+      let stats = J.parse (rpc cfg (S.Protocol.stats_request ())) in
+      Alcotest.(check bool) "stats ok" true (J.get_bool stats "ok");
+      (match J.find stats "cache" with
+      | Some cache ->
+        Alcotest.(check bool) "warm hits" true (J.get_int cache "hits" > 0)
+      | None -> Alcotest.fail "no cache block");
+      (match J.find stats "requests" with
+      | Some reqs -> (
+        match J.find reqs "redact" with
+        | Some r -> Alcotest.(check int) "redacts counted" 2
+                      (J.get_int r "succeeded")
+        | None -> Alcotest.fail "no redact counters")
+      | None -> Alcotest.fail "no requests block");
+      ignore (S.Server.metrics t))
+
+let test_server_error_paths () =
+  with_server (fun cfg _t ->
+      let err = J.parse (rpc cfg "this is not json") in
+      Alcotest.(check bool) "malformed rejected" false (J.get_bool err "ok");
+      (match J.find err "error" with
+      | Some e -> Alcotest.(check string) "E1000" "E1000" (J.get_string e "code")
+      | None -> Alcotest.fail "no error object");
+      (* a parse-clean request over a missing file fails structurally,
+         and the connection survives to serve the next request *)
+      let conn = S.Client.connect ~socket:cfg.S.Server.socket_path () in
+      Fun.protect ~finally:(fun () -> S.Client.close conn) (fun () ->
+          let e =
+            J.parse
+              (S.Client.rpc conn
+                 {|{"v":1,"op":"redact","file":"/nonexistent/x.v"}|})
+          in
+          Alcotest.(check bool) "missing file fails" false (J.get_bool e "ok");
+          let pong = J.parse (S.Client.rpc conn (S.Protocol.ping_request ())) in
+          Alcotest.(check bool) "connection survives" true
+            (J.get_bool pong "ok")))
+
+let test_server_busy_rejection () =
+  with_server ~max_in_flight:1 ~max_queue:0 (fun cfg _t ->
+      (* pin the single worker: an open connection counts as active from
+         admission until its line is served, so a half-sent request
+         holds the slot deterministically *)
+      let pin = S.Client.connect ~socket:cfg.S.Server.socket_path () in
+      Fun.protect ~finally:(fun () -> S.Client.close pin) (fun () ->
+          (* wait for the worker to pick the pinned connection up *)
+          Unix.sleepf 0.2;
+          let resp = J.parse (rpc cfg (S.Protocol.ping_request ())) in
+          Alcotest.(check bool) "refused" false (J.get_bool resp "ok");
+          match J.find resp "error" with
+          | Some e ->
+            Alcotest.(check string) "busy kind" "busy" (J.get_string e "kind");
+            Alcotest.(check string) "busy code" "E1003" (J.get_string e "code")
+          | None -> Alcotest.fail "no error object");
+      (* slot released: the server recovers *)
+      let rec retry n =
+        match J.parse (rpc cfg (S.Protocol.ping_request ())) with
+        | pong when J.get_bool pong "ok" -> ()
+        | _ when n > 0 -> Unix.sleepf 0.1; retry (n - 1)
+        | _ -> Alcotest.fail "server did not recover after busy"
+        | exception S.Client.Connection_error _ when n > 0 ->
+          Unix.sleepf 0.1; retry (n - 1)
+      in
+      retry 20)
+
+let test_server_shutdown_drain () =
+  let cfg =
+    { (S.Server.default_config ~socket_path:(tmp_socket ())) with
+      S.Server.base = base_yaml; idle_timeout_s = 20.0 }
+  in
+  let t = S.Server.start ~engine:(A.Engine.create ~cache:false ()) cfg in
+  let resp = J.parse (rpc cfg (S.Protocol.shutdown_request ())) in
+  Alcotest.(check bool) "shutdown acknowledged" true (J.get_bool resp "ok");
+  Alcotest.(check bool) "draining" true (J.get_bool resp "draining");
+  S.Server.wait t;
+  Alcotest.(check bool) "socket removed" false
+    (Sys.file_exists cfg.S.Server.socket_path);
+  (* double stop/wait stay no-ops *)
+  S.Server.stop t;
+  S.Server.wait t
+
+let tests =
+  [ Alcotest.test_case "json parse" `Quick test_json_parse;
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json-yaml bridge" `Quick test_json_yaml_bridge;
+    Alcotest.test_case "protocol parse" `Quick test_protocol_parse;
+    Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
+    Alcotest.test_case "protocol responses" `Quick test_protocol_responses;
+    Alcotest.test_case "metrics registry" `Quick test_metrics;
+    Alcotest.test_case "ping, redact, warm stats" `Quick
+      test_server_ping_and_redact;
+    Alcotest.test_case "error paths" `Quick test_server_error_paths;
+    Alcotest.test_case "busy rejection" `Quick test_server_busy_rejection;
+    Alcotest.test_case "shutdown drain" `Quick test_server_shutdown_drain ]

@@ -7,6 +7,10 @@ module V = Alice_verilog
 module N = Alice_netlist
 module F = Alice_fabric
 
+let flow_text ~config text =
+  Alice.Flow.run_request
+    (Alice.Flow.request ~config (Alice.Flow.Text { text; file = None }))
+
 let arch = F.Arch.default
 
 let build_fabric src =
@@ -214,7 +218,7 @@ let test_redacted_structural_system () =
       CFG.Flow_config.max_io_pins = 40; max_efpgas = 2;
       min_fabric_size = 2; max_fabric_size = 12 }
   in
-  let flow = A.Flow.run_source ~config:cfg demo_src in
+  let flow = flow_text ~config:cfg demo_src in
   match A.Flow.redact ~view:A.Redact.Structural flow with
   | None -> Alcotest.fail "no solution"
   | Some r ->
