@@ -10,7 +10,13 @@
    Paper reference values are printed next to the measured ones so the
    output doubles as the data source for EXPERIMENTS.md. The [micro]
    section registers one Bechamel Test.make per table/figure and reports
-   monotonic-clock estimates for the underlying kernels. *)
+   monotonic-clock estimates for the underlying kernels.
+
+   Besides the console report, every run writes BENCH_<rev>.json into
+   the working directory (rev = `git rev-parse --short HEAD`, or "dev"
+   outside a checkout): per-section wall times plus each section's key
+   scalars (request throughput, cache hit rates, speedups), so a
+   snapshot per revision can be committed and diffed. *)
 
 module A = Alice
 module B = Alice_benchmarks.Suite
@@ -19,9 +25,51 @@ module F = Alice_fabric
 module N = Alice_netlist
 module V = Alice_verilog
 module Sec = Alice_security
+module Jl = Alice_config.Json_lite
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ---- machine-readable results, accumulated across sections ---- *)
+
+(* key scalars noted by the currently running section *)
+let section_notes : (string * Jl.t) list ref = ref []
+
+let note key v = section_notes := !section_notes @ [ (key, v) ]
+let note_f key v = note key (Jl.Float v)
+let note_i key v = note key (Jl.Int v)
+
+(* (section, seconds + notes) rows in run order *)
+let recorded : (string * Jl.t) list ref = ref []
+
+let record_section name seconds =
+  recorded :=
+    !recorded @ [ (name, Jl.Obj (("seconds", Jl.Float seconds) :: !section_notes)) ];
+  section_notes := []
+
+let git_rev () =
+  match Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" with
+  | exception _ -> "dev"
+  | ic ->
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    let status = try Unix.close_process_in ic with _ -> Unix.WEXITED 1 in
+    (match (status, line) with
+    | Unix.WEXITED 0, rev when rev <> "" -> rev
+    | _ -> "dev")
+
+let write_snapshot ~wall_s =
+  let rev = git_rev () in
+  let path = Printf.sprintf "BENCH_%s.json" rev in
+  let doc =
+    Jl.Obj
+      [ ("rev", Jl.String rev);
+        ("wall_s", Jl.Float wall_s);
+        ("sections", Jl.Obj !recorded) ]
+  in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Jl.to_string doc);
+      Out_channel.output_char oc '\n');
+  Format.printf "snapshot: %s@." path
 
 (* every flow here is a one-off on a parsed design: a plain request
    through an ephemeral cache *)
@@ -549,6 +597,15 @@ let run_cache () =
     (t_cold /. Float.max 1e-9 t_disk);
   Format.printf "  warm runs recomputed nothing: %b@."
     (memo.A.Characterize.computed = 0 && disk.A.Characterize.computed = 0);
+  note_f "cold_s" t_cold;
+  note_f "warm_memory_s" t_memo;
+  note_f "warm_disk_s" t_disk;
+  note_f "speedup_memory" (t_cold /. Float.max 1e-9 t_memo);
+  note_f "speedup_disk" (t_cold /. Float.max 1e-9 t_disk);
+  note_i "unique_characterizations" disk.A.Characterize.unique;
+  note_f "warm_disk_hit_rate"
+    (float disk.A.Characterize.cache_hits
+    /. Float.max 1.0 (float disk.A.Characterize.unique));
   let score (f : A.Flow.t) =
     Option.map (fun s -> s.A.Selection.total_score)
       f.A.Flow.selection.A.Selection.best
@@ -620,7 +677,19 @@ let run_server () =
             "  server histogram: %d completed, p95 <= %.2f ms, cache %d hits / %d computed@."
             s.S.Metrics.completed
             (1e3 *. S.Metrics.quantile s 0.95)
-            s.S.Metrics.cache_hits s.S.Metrics.cache_computed))
+            s.S.Metrics.cache_hits s.S.Metrics.cache_computed;
+          note_f "requests_per_s" (float (2 * rounds) /. wall);
+          note_f "ping_p50_ms" (1e3 *. pctl lat_ping 0.50);
+          note_f "ping_p95_ms" (1e3 *. pctl lat_ping 0.95);
+          note_f "redact_p50_ms" (1e3 *. pctl lat_redact 0.50);
+          note_f "redact_p95_ms" (1e3 *. pctl lat_redact 0.95);
+          note_i "completed" s.S.Metrics.completed;
+          note_i "cache_hits" s.S.Metrics.cache_hits;
+          note_i "cache_computed" s.S.Metrics.cache_computed;
+          note_f "cache_hit_rate"
+            (float s.S.Metrics.cache_hits
+            /. Float.max 1.0
+                 (float (s.S.Metrics.cache_hits + s.S.Metrics.cache_computed)))))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
@@ -686,31 +755,30 @@ let run_micro () =
 
 (* ------------------------------------------------------------------ *)
 
+let all_sections =
+  [ ("table1", run_table1);
+    ("table2", fun () -> ignore (run_table2 ()));
+    ("figure4", run_figure4);
+    ("security", run_security);
+    ("overhead", run_overhead);
+    ("soc", run_soc);
+    ("ablation", run_ablation);
+    ("parallel", run_parallel);
+    ("cache", run_cache);
+    ("server", run_server);
+    ("micro", run_micro) ]
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let t0 = Unix.gettimeofday () in
-  (match what with
-  | "table1" -> run_table1 ()
-  | "table2" -> ignore (run_table2 ())
-  | "figure4" -> run_figure4 ()
-  | "security" -> run_security ()
-  | "overhead" -> run_overhead ()
-  | "soc" -> run_soc ()
-  | "ablation" -> run_ablation ()
-  | "parallel" -> run_parallel ()
-  | "cache" -> run_cache ()
-  | "server" -> run_server ()
-  | "micro" -> run_micro ()
-  | "all" | _ ->
-    run_table1 ();
-    ignore (run_table2 ());
-    run_figure4 ();
-    run_security ();
-    run_overhead ();
-    run_soc ();
-    run_ablation ();
-    run_parallel ();
-    run_cache ();
-    run_server ();
-    run_micro ());
-  Format.printf "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)
+  let timed (name, f) =
+    let s0 = Unix.gettimeofday () in
+    f ();
+    record_section name (Unix.gettimeofday () -. s0)
+  in
+  (match (what, List.assoc_opt what all_sections) with
+  | _, Some f -> timed (what, f)
+  | ("all" | _), None -> List.iter timed all_sections);
+  let wall_s = Unix.gettimeofday () -. t0 in
+  write_snapshot ~wall_s;
+  Format.printf "@.bench done in %.1fs@." wall_s

@@ -289,7 +289,14 @@ let sweep_cmd =
                    configuration map and a $(b,sweep) list of \
                    configuration overlays, one flow run per entry.")
   in
-  let run file config flags fmt =
+  let no_resume =
+    Arg.(value & flag
+         & info [ "no-resume" ]
+             ~doc:"Recompute every entry instead of serving entries \
+                   already checkpointed by an earlier (possibly killed) \
+                   run of the same sweep. Checkpoints are still written.")
+  in
+  let run file config no_resume flags fmt =
     handle_errors ~fmt (fun () ->
         let doc = C.Yaml_lite.parse (read_file config) in
         let base =
@@ -301,7 +308,13 @@ let sweep_cmd =
           | Some _ -> invalid_arg "sweep: expected a non-empty list of maps"
           | None -> invalid_arg "sweep: missing `sweep` list"
         in
-        let named =
+        let ast = load_design file in
+        (* cache knobs (and the engine) come from base + flags; each
+           entry still carries its own full configuration *)
+        let engine =
+          A.Engine.of_config (apply_overrides flags (C.Flow_config.of_yaml base))
+        in
+        let points =
           List.mapi
             (fun i entry ->
               let name =
@@ -313,47 +326,37 @@ let sweep_cmd =
                 apply_overrides flags
                   (C.Flow_config.of_yaml (C.Yaml_lite.merge base entry))
               in
-              (name, cfg))
+              ( name,
+                A.Flow.request ~config:cfg
+                  ~diags:(D.Collector.create ())
+                  (A.Flow.Ast ast) ))
             entries
         in
-        let ast = load_design file in
-        (* cache knobs (and the engine) come from base + flags; each
-           entry still carries its own full configuration *)
-        let engine =
-          A.Engine.of_config (apply_overrides flags (C.Flow_config.of_yaml base))
-        in
-        let requests =
-          List.map
-            (fun (_, cfg) ->
-              A.Flow.request ~config:cfg
-                ~diags:(D.Collector.create ())
-                (A.Flow.Ast ast))
-            named
-        in
-        let flows = A.Engine.run_many engine requests in
-        Format.printf "%-16s %-8s %-16s %9s %9s %9s %6s %9s %8s@." "config"
+        let results = A.Engine.run_sweep ~resume:(not no_resume) engine points in
+        Format.printf "%-16s %-8s %-16s %9s %9s %9s %6s %9s %8s %8s@." "config"
           "feasible" "best eFPGA(s)" "filter(s)" "cluster(s)" "select(s)"
-          "hits" "computed" "skipped";
-        List.iter2
-          (fun (name, _) (flow : A.Flow.t) ->
-            let feasible, sizes =
-              match flow.A.Flow.selection.A.Selection.best with
-              | None -> ("no", "-")
-              | Some best ->
-                ( "yes",
-                  String.concat "+"
-                    (List.map
-                       (fun (e : A.Selection.efpga_impl) ->
-                         F.Fabric.size_label e.A.Selection.impl.F.Size_search.fabric)
-                       best.A.Selection.efpgas) )
-            in
-            let s = flow.A.Flow.char_stats in
-            let t = flow.A.Flow.times in
-            Format.printf "%-16s %-8s %-16s %9.2f %9.2f %9.2f %6d %9d %8d@."
-              name feasible sizes t.A.Flow.filtering_s t.A.Flow.clustering_s
-              t.A.Flow.selection_s s.A.Characterize.cache_hits
-              s.A.Characterize.computed s.A.Characterize.skipped)
-          named flows;
+          "hits" "computed" "skipped" "resumed";
+        List.iter
+          (fun (sp : A.Engine.sweep_point) ->
+            let feasible = if sp.A.Engine.sp_feasible then "yes" else "no" in
+            let sizes = Option.value sp.A.Engine.sp_fabrics ~default:"-" in
+            let t = sp.A.Engine.sp_times in
+            Format.printf
+              "%-16s %-8s %-16s %9.2f %9.2f %9.2f %6d %9d %8d %8s@."
+              sp.A.Engine.sp_name feasible sizes t.A.Flow.filtering_s
+              t.A.Flow.clustering_s t.A.Flow.selection_s sp.A.Engine.sp_hits
+              sp.A.Engine.sp_computed sp.A.Engine.sp_skipped
+              (if sp.A.Engine.sp_resumed then "yes" else "no"))
+          results;
+        let resumed =
+          List.length
+            (List.filter (fun sp -> sp.A.Engine.sp_resumed) results)
+        in
+        if resumed > 0 then
+          Format.eprintf
+            "sweep: %d of %d entries resumed from checkpoints (use \
+             --no-resume to recompute)@."
+            resumed (List.length results);
         (match A.Engine.disk_stats engine with
         | None -> ()
         | Some ds ->
@@ -364,12 +367,13 @@ let sweep_cmd =
         (* diagnostics, each tagged with its entry's name *)
         let tagged =
           List.concat_map
-            (fun ((name, _), (flow : A.Flow.t)) ->
+            (fun (sp : A.Engine.sweep_point) ->
               List.map
                 (fun (d : D.t) ->
-                  { d with D.context = ("config", name) :: d.D.context })
-                flow.A.Flow.diags)
-            (List.combine named flows)
+                  { d with
+                    D.context = ("config", sp.A.Engine.sp_name) :: d.D.context })
+                sp.A.Engine.sp_diags)
+            results
         in
         render_diags fmt tagged;
         if List.exists D.is_error tagged then 1 else 0)
@@ -377,8 +381,10 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a YAML-described configuration grid over one design, \
-             reusing characterizations across entries and runs")
-    Term.(const run $ file $ config $ flow_flags $ diag_format)
+             reusing characterizations across entries and runs; completed \
+             entries are checkpointed, so a killed sweep resumes where it \
+             died")
+    Term.(const run $ file $ config $ no_resume $ flow_flags $ diag_format)
 
 (* ---------- attack ---------- *)
 
@@ -665,10 +671,11 @@ let client_cmd =
   in
   let op =
     Arg.(value & opt (some (enum [ ("ping", `Ping); ("stats", `Stats);
-                                   ("shutdown", `Shutdown) ])) None
+                                   ("shutdown", `Shutdown);
+                                   ("cache-gc", `CacheGc) ])) None
          & info [ "op" ] ~docv:"OP"
-             ~doc:"Build a parameterless request: $(b,ping), $(b,stats) or \
-                   $(b,shutdown).")
+             ~doc:"Build a parameterless request: $(b,ping), $(b,stats), \
+                   $(b,shutdown) or $(b,cache-gc).")
   in
   let redact_src =
     Arg.(value & opt (some string) None
@@ -704,14 +711,36 @@ let client_cmd =
     Arg.(value & opt float 300.0
          & info [ "timeout" ] ~docv:"S" ~doc:"Response timeout in seconds.")
   in
+  let retry_attempts =
+    Arg.(value & opt int 1
+         & info [ "retry" ] ~docv:"N"
+             ~doc:"Total attempts (including the first) on connection \
+                   failures and $(b,busy)/$(b,draining) refusals, with \
+                   exponential backoff and deterministic jitter between \
+                   them. $(b,1) (the default) never retries; this is what \
+                   makes the client safe to script in loops against a \
+                   loaded or restarting server.")
+  in
+  let retry_base =
+    Arg.(value & opt float 0.05
+         & info [ "retry-base" ] ~docv:"S"
+             ~doc:"Base (and floor) backoff delay in seconds.")
+  in
+  let retry_deadline =
+    Arg.(value & opt (some float) None
+         & info [ "retry-deadline" ] ~docv:"S"
+             ~doc:"Total wall-clock cap across all attempts: a retry whose \
+                   backoff sleep would cross it is not made.")
+  in
   let run socket request_file op redact_src config view extract output timeout
-      fmt =
+      retry_attempts retry_base retry_deadline fmt =
     handle_errors ~fmt (fun () ->
         let request =
           match (op, redact_src) with
           | Some `Ping, _ -> S.Protocol.ping_request ()
           | Some `Stats, _ -> S.Protocol.stats_request ()
           | Some `Shutdown, _ -> S.Protocol.shutdown_request ()
+          | Some `CacheGc, _ -> S.Protocol.cache_gc_request ()
           | None, Some src ->
             let text =
               if src = "-" then In_channel.input_all In_channel.stdin
@@ -735,8 +764,19 @@ let client_cmd =
             ignore (J.parse line);
             line
         in
+        let retry =
+          if retry_attempts <= 1 then None
+          else if retry_base < 0.0 then
+            invalid_arg "client: --retry-base must be non-negative"
+          else
+            Some
+              { S.Client.default_retry with
+                S.Client.attempts = retry_attempts;
+                base_delay_s = retry_base;
+                deadline_s = retry_deadline }
+        in
         let response =
-          S.Client.one_shot ~timeout_s:timeout ~socket request
+          S.Client.one_shot ~timeout_s:timeout ?retry ~socket request
         in
         let doc = J.parse response in
         let printed =
@@ -769,7 +809,69 @@ let client_cmd =
              print the response; exits 0 on an $(b,ok) response, 1 \
              otherwise")
     Term.(const run $ socket_arg $ request_file $ op $ redact_src $ config
-          $ view $ extract $ output $ timeout $ diag_format)
+          $ view $ extract $ output $ timeout $ retry_attempts $ retry_base
+          $ retry_deadline $ diag_format)
+
+(* ---------- cache maintenance ---------- *)
+
+let cache_cmd =
+  let gc_cmd =
+    let socket =
+      Arg.(value & opt (some string) None
+           & info [ "socket" ] ~docv:"PATH"
+               ~doc:"GC the cache of the running $(b,alice serve) daemon \
+                     listening on $(docv) (the $(b,cache-gc) operation) \
+                     instead of a local store; the server also re-enables \
+                     writes it disabled after a write failure (W0703).")
+    in
+    let max_bytes =
+      Arg.(value & opt (some int) None
+           & info [ "max-bytes" ] ~docv:"N"
+               ~doc:"Evict least-recently-used entries until the store \
+                     fits $(docv) bytes. Omitted, a local gc only \
+                     validates and quarantines; a server gc falls back \
+                     to the server's configured budget.")
+    in
+    let run socket max_bytes flags fmt =
+      handle_errors ~fmt (fun () ->
+          match socket with
+          | Some sock ->
+            let response =
+              S.Client.one_shot ~socket:sock
+                (S.Protocol.cache_gc_request ?max_bytes ())
+            in
+            print_endline response;
+            (match J.find (J.parse response) "ok" with
+            | Some (J.Bool true) -> 0
+            | _ -> 1)
+          | None ->
+            let root =
+              match flags.ov_cache_dir with
+              | Some dir -> dir
+              | None -> A.Disk_cache.default_root ()
+            in
+            let store = A.Disk_cache.create ~root () in
+            let g = A.Disk_cache.gc ?max_bytes store in
+            Format.printf
+              "cache gc (%s): %d examined, %d quarantined, %d evicted, %d \
+               bytes freed, %d bytes live@."
+              root g.A.Disk_cache.gc_examined g.A.Disk_cache.gc_quarantined
+              g.A.Disk_cache.gc_evicted g.A.Disk_cache.gc_freed_bytes
+              g.A.Disk_cache.gc_live_bytes;
+            0)
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Validate the persistent characterization cache (corrupt \
+               entries are quarantined for recompute-on-demand), evict \
+               least-recently-used entries to a byte budget, and — on a \
+               running server — re-enable writes disabled by an earlier \
+               write failure")
+      Term.(const run $ socket $ max_bytes $ flow_flags $ diag_format)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Persistent characterization cache maintenance")
+    [ gc_cmd ]
 
 let () =
   let doc = "automatic eFPGA redaction (DAC'22 ALICE flow)" in
@@ -778,4 +880,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ inspect_cmd; redact_cmd; sweep_cmd; attack_cmd; decompose_cmd;
-            simulate_cmd; bench_cmd; serve_cmd; client_cmd ]))
+            simulate_cmd; bench_cmd; serve_cmd; client_cmd; cache_cmd ]))

@@ -9,7 +9,14 @@ dune runtest
 
 # --- diagnostics smoke test -------------------------------------------
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+serve_pid=""
+fault_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2> /dev/null || true
+  [ -n "$fault_pid" ] && kill "$fault_pid" 2> /dev/null || true
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
 
 # deliberately broken: a syntax error inside one module
 cat > "$tmpdir/broken.v" <<'EOF'
@@ -101,7 +108,7 @@ sock="$tmpdir/alice.sock"
 # --jobs 1: 8 concurrent requests each spawning the full recommended
 # domain count would oversubscribe (and can hit the OCaml domain cap)
 "$ALICE" serve --socket "$sock" -c "$tmpdir/soc.yaml" --jobs 1 \
-  --cache-dir "$tmpdir/srvcache" 2> "$tmpdir/serve.log" &
+  --cache-dir "$tmpdir/srvcache" > /dev/null 2> "$tmpdir/serve.log" &
 serve_pid=$!
 
 # wait for the listener
@@ -163,5 +170,100 @@ if [ -e "$sock" ]; then
   echo "check.sh: socket file survived shutdown" >&2
   exit 1
 fi
+serve_pid=""
+
+# --- fault smoke: the service self-heals under an injected plan -------
+# one worker is killed mid-request and one cache write is torn; the
+# clients retry with backoff and every response must still be
+# byte-identical to the single-shot reference
+fsock="$tmpdir/alice_fault.sock"
+ALICE_FAULT_PLAN='server.worker=kill@3;cache.write=torn@2' \
+  "$ALICE" serve --socket "$fsock" -c "$tmpdir/soc.yaml" --jobs 1 \
+  --cache-dir "$tmpdir/faultcache" > /dev/null 2> "$tmpdir/serve_fault.log" &
+fault_pid=$!
+
+i=0
+until "$ALICE" client --socket "$fsock" --op ping --retry 6 > /dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 50 ]; then
+    echo "check.sh: fault-plan server did not come up; log:" >&2
+    cat "$tmpdir/serve_fault.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+client_pids=""
+for n in 1 2 3 4 5 6 7 8; do
+  "$ALICE" client --socket "$fsock" --redact "$tmpdir/soc.v" --retry 6 \
+    --extract verilog -o "$tmpdir/flt$n.v" > /dev/null 2>&1 &
+  client_pids="$client_pids $!"
+done
+wait_failed=0
+for job in $client_pids; do
+  wait "$job" || wait_failed=1
+done
+if [ "$wait_failed" -ne 0 ]; then
+  echo "check.sh: a client failed under the fault plan; server log:" >&2
+  cat "$tmpdir/serve_fault.log" >&2
+  exit 1
+fi
+for n in 1 2 3 4 5 6 7 8; do
+  if ! cmp -s "$tmpdir/ref.v" "$tmpdir/flt$n.v"; then
+    echo "check.sh: redaction $n differs under the fault plan" >&2
+    exit 1
+  fi
+done
+
+# the worker kill was contained, counted, and the slot respawned
+"$ALICE" client --socket "$fsock" --op stats --retry 6 \
+  > "$tmpdir/stats_fault.json"
+if ! grep -q '"crashed":[1-9]' "$tmpdir/stats_fault.json"; then
+  echo "check.sh: fault-plan stats report no contained worker crash:" >&2
+  cat "$tmpdir/stats_fault.json" >&2
+  exit 1
+fi
+if ! grep -q '\[E1005\]' "$tmpdir/serve_fault.log"; then
+  echo "check.sh: worker crash was not logged as E1005" >&2
+  cat "$tmpdir/serve_fault.log" >&2
+  exit 1
+fi
+# the torn cache write fired and was contained (counted, not fatal)
+if ! grep -q '"cache.write":[1-9]' "$tmpdir/stats_fault.json"; then
+  echo "check.sh: torn cache write was not injected/recorded:" >&2
+  cat "$tmpdir/stats_fault.json" >&2
+  exit 1
+fi
+
+# cache-gc quarantines an entry corrupted at rest, and the server keeps
+# serving (the torn *write* above was already repaired on first read, so
+# rot a stored entry directly to exercise the gc validation pass)
+victim=$(find "$tmpdir/faultcache" -name '*.bin' \
+  -not -path '*/quarantine/*' | head -n 1)
+if [ -z "$victim" ]; then
+  echo "check.sh: fault-plan server wrote no cache entries" >&2
+  exit 1
+fi
+printf 'rotted' > "$victim"
+"$ALICE" client --socket "$fsock" --op cache-gc --retry 6 \
+  > "$tmpdir/gc_fault.json"
+if ! grep -q '"quarantined":[1-9]' "$tmpdir/gc_fault.json"; then
+  echo "check.sh: cache-gc did not quarantine the corrupted entry:" >&2
+  cat "$tmpdir/gc_fault.json" >&2
+  exit 1
+fi
+"$ALICE" client --socket "$fsock" --redact "$tmpdir/soc.v" --retry 6 \
+  --extract verilog -o "$tmpdir/flt_after_gc.v" > /dev/null
+cmp -s "$tmpdir/ref.v" "$tmpdir/flt_after_gc.v" || {
+  echo "check.sh: redaction differs after cache-gc" >&2; exit 1; }
+
+# clean drain under the fault plan too
+"$ALICE" client --socket "$fsock" --op shutdown --retry 6 > /dev/null
+if ! wait "$fault_pid"; then
+  echo "check.sh: fault-plan server exited nonzero; log:" >&2
+  cat "$tmpdir/serve_fault.log" >&2
+  exit 1
+fi
+fault_pid=""
 
 echo "check.sh: OK"

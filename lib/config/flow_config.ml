@@ -78,6 +78,23 @@ type t = {
       (** root of the on-disk characterization store; [None] falls back
           to [$ALICE_CACHE_DIR], [$XDG_CACHE_HOME/alice] or
           [~/.cache/alice] *)
+  cache_max_bytes : int option;
+      (** byte budget for the on-disk store; exceeded, least-recently
+          used entries are evicted. [None] leaves the store unbounded *)
+  fault_plan : string option;
+      (** fault-injection plan spec (test machinery — see
+          {!Alice_fault.Fault.parse}); [None] falls back to
+          [$ALICE_FAULT_PLAN] *)
+  (* client retry policy (alice client / scripted loops) *)
+  retry_attempts : int;
+      (** RPC attempts before giving up on E1003 busy / E1004 draining /
+          transient connection errors; [1] never retries *)
+  retry_base_delay_s : float;
+      (** first backoff delay; later delays grow exponentially with
+          decorrelated jitter, capped at 32x this value *)
+  retry_deadline_s : float option;
+      (** total wall-clock cap across all attempts; [None] lets the
+          attempt budget alone bound the wait *)
 }
 
 let default =
@@ -89,7 +106,8 @@ let default =
     score_formula = Reward; transitive_independence = false;
     solver_budget = None; characterize_deadline_s = None;
     jobs = Domain.recommended_domain_count ();
-    cache = true; cache_dir = None }
+    cache = true; cache_dir = None; cache_max_bytes = None; fault_plan = None;
+    retry_attempts = 1; retry_base_delay_s = 0.05; retry_deadline_s = None }
 
 (** The paper's cfg1: at most 64 I/O pins per eFPGA, up to two eFPGAs. *)
 let cfg1 = { default with max_io_pins = 64; max_efpgas = 2 }
@@ -162,7 +180,43 @@ let of_yaml (doc : Yaml_lite.t) : t =
       (match Yaml_lite.find doc "cache_dir" with
        | None | Some Yaml_lite.Null -> None
        | Some (Yaml_lite.String s) -> Some s
-       | Some _ -> invalid_arg "cache_dir: expected a string") }
+       | Some _ -> invalid_arg "cache_dir: expected a string");
+    cache_max_bytes =
+      (match Yaml_lite.find doc "cache_max_bytes" with
+       | None | Some Yaml_lite.Null -> None
+       | Some (Yaml_lite.Int n) ->
+         if n < 0 then invalid_arg "cache_max_bytes: must be non-negative"
+         else Some n
+       | Some _ -> invalid_arg "cache_max_bytes: expected an integer");
+    fault_plan =
+      (match Yaml_lite.find doc "fault_plan" with
+       | None | Some Yaml_lite.Null -> None
+       | Some (Yaml_lite.String s) -> Some s
+       | Some _ -> invalid_arg "fault_plan: expected a string");
+    retry_attempts =
+      (match Yaml_lite.find doc "retry_attempts" with
+       | None | Some Yaml_lite.Null -> d.retry_attempts
+       | Some (Yaml_lite.Int n) ->
+         if n < 1 then invalid_arg "retry_attempts: must be at least 1"
+         else n
+       | Some _ -> invalid_arg "retry_attempts: expected an integer");
+    retry_base_delay_s =
+      (let v =
+         Yaml_lite.get_float ~default:d.retry_base_delay_s doc
+           "retry_base_delay_s"
+       in
+       if v < 0.0 then invalid_arg "retry_base_delay_s: must be non-negative"
+       else v);
+    retry_deadline_s =
+      (match Yaml_lite.find doc "retry_deadline_s" with
+       | None | Some Yaml_lite.Null -> None
+       | Some (Yaml_lite.Int n) ->
+         if n <= 0 then invalid_arg "retry_deadline_s: must be positive"
+         else Some (float_of_int n)
+       | Some (Yaml_lite.Float f) ->
+         if f <= 0.0 then invalid_arg "retry_deadline_s: must be positive"
+         else Some f
+       | Some _ -> invalid_arg "retry_deadline_s: expected a number") }
 
 let of_string (src : string) : t = of_yaml (Yaml_lite.parse src)
 

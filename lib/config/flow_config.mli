@@ -59,6 +59,22 @@ type t = {
       (** root of the on-disk characterization store; [None] falls back
           to [$ALICE_CACHE_DIR], [$XDG_CACHE_HOME/alice] or
           [~/.cache/alice] *)
+  cache_max_bytes : int option;
+      (** byte budget for the on-disk store; exceeded, least-recently
+          used entries are evicted. [None] leaves the store unbounded *)
+  fault_plan : string option;
+      (** fault-injection plan spec (test machinery — see
+          {!Alice_fault.Fault.parse}); [None] falls back to
+          [$ALICE_FAULT_PLAN] *)
+  retry_attempts : int;
+      (** RPC attempts before giving up on E1003 busy / E1004 draining /
+          transient connection errors; [1] never retries *)
+  retry_base_delay_s : float;
+      (** first backoff delay; later delays grow exponentially with
+          decorrelated jitter, capped at 32x this value *)
+  retry_deadline_s : float option;
+      (** total wall-clock cap across all attempts; [None] lets the
+          attempt budget alone bound the wait *)
 }
 
 val default : t

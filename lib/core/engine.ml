@@ -21,16 +21,26 @@
 
 module C = Alice_config
 module D = Alice_diag.Diag
+module F = Alice_fabric
+module Fi = Alice_fault.Fault
 
 type t = {
   memo : Characterize.cache;
   disk : Disk_cache.t option;
+  sweep_store : Disk_cache.t option;
+      (* per-point sweep checkpoints, a separate store (one value type
+         per store) under <root>/sweep; never byte-bounded — summaries
+         are tiny and evicting one silently costs a recomputation *)
+  faults : Fi.t;
 }
 
-let create ?(cache = true) ?cache_dir () : t =
-  if not cache then { memo = Characterize.create_cache (); disk = None }
+let create ?(cache = true) ?cache_dir ?max_bytes ?faults () : t =
+  let faults = match faults with Some f -> f | None -> Fi.global () in
+  if not cache then
+    { memo = Characterize.create_cache (); disk = None; sweep_store = None;
+      faults }
   else begin
-    let disk = Disk_cache.create ?root:cache_dir () in
+    let disk = Disk_cache.create ?root:cache_dir ?max_bytes ~faults () in
     let load key = Disk_cache.load disk ~key in
     (* the disk layer only ever holds fabric verdicts: [run_all] already
        refuses to cache faults and skips, and [Characterize.run]'s
@@ -41,14 +51,25 @@ let create ?(cache = true) ?cache_dir () : t =
         Disk_cache.store disk ~key c
       | Characterize.Failed _ | Characterize.Skipped _ -> ()
     in
-    { memo = Characterize.create_cache ~load ~save (); disk = Some disk }
+    let sweep_store =
+      Disk_cache.create
+        ~root:(Filename.concat (Disk_cache.root disk) "sweep")
+        ~faults ()
+    in
+    { memo = Characterize.create_cache ~load ~save (); disk = Some disk;
+      sweep_store = Some sweep_store; faults }
   end
 
 (** An engine honoring the configuration's cache knobs ([cache],
-    [cache_dir]). *)
+    [cache_dir], [cache_max_bytes]) and fault plan. *)
 let of_config (cfg : C.Flow_config.t) : t =
+  let faults =
+    match cfg.C.Flow_config.fault_plan with
+    | Some spec -> Fi.parse spec
+    | None -> Fi.global ()
+  in
   create ~cache:cfg.C.Flow_config.cache ?cache_dir:cfg.C.Flow_config.cache_dir
-    ()
+    ?max_bytes:cfg.C.Flow_config.cache_max_bytes ~faults ()
 
 let cache (t : t) : Characterize.cache = t.memo
 
@@ -95,3 +116,91 @@ let set_warning_sink (t : t) (sink : D.t -> unit) : unit =
     workload actually fans out. *)
 let run_many (t : t) (reqs : Flow.request list) : Flow.t list =
   List.map (run t) reqs
+
+let enable_cache_writes (t : t) : unit =
+  Option.iter Disk_cache.enable_writes t.disk;
+  Option.iter Disk_cache.enable_writes t.sweep_store
+
+let gc ?max_bytes (t : t) : Disk_cache.gc_stats option =
+  match t.disk with
+  | None -> None
+  | Some disk ->
+    let stats = Disk_cache.gc ?max_bytes disk in
+    (* freed space un-wedges the checkpoint store too *)
+    Option.iter Disk_cache.enable_writes t.sweep_store;
+    Some stats
+
+(* ---------- resumable sweeps ---------- *)
+
+type sweep_point = {
+  sp_name : string;
+  sp_feasible : bool;
+  sp_fabrics : string option;
+  sp_hits : int;
+  sp_computed : int;
+  sp_skipped : int;
+  sp_times : Flow.phase_times;
+  sp_diags : D.t list;
+  sp_resumed : bool;
+}
+
+let solution_fabrics (flow : Flow.t) : string option =
+  match flow.Flow.selection.Selection.best with
+  | None -> None
+  | Some best ->
+    Some
+      (String.concat "+"
+         (List.map
+            (fun (e : Selection.efpga_impl) ->
+              F.Fabric.size_label e.Selection.impl.F.Size_search.fabric)
+            best.Selection.efpgas))
+
+let summarize (name : string) (flow : Flow.t) : sweep_point =
+  let s = flow.Flow.char_stats in
+  { sp_name = name;
+    sp_feasible = flow.Flow.selection.Selection.best <> None;
+    sp_fabrics = solution_fabrics flow;
+    sp_hits = s.Characterize.cache_hits;
+    sp_computed = s.Characterize.computed;
+    sp_skipped = s.Characterize.skipped;
+    sp_times = flow.Flow.times;
+    sp_diags = flow.Flow.diags;
+    sp_resumed = false }
+
+(* A point's identity is everything that can change its result: the
+   name keys the row, the (config, source) marshal digests the work.
+   The [v1] prefix versions the summary encoding itself — widening
+   [sweep_point] is a format change, not a silently garbled resume. *)
+let point_key (name : string) (req : Flow.request) : string =
+  Printf.sprintf "sweep-point v1 %s %s" name
+    (Digest.to_hex
+       (Digest.string
+          (Marshal.to_string (req.Flow.config, req.Flow.source) [])))
+
+(** Run a sweep with per-point checkpointing: each completed point's
+    summary is written to the checkpoint store as soon as it finishes,
+    and (with [resume], the default) points already checkpointed — by a
+    previous process, however it died — are served back with
+    [sp_resumed = true] and zero recomputation. Fault site
+    ["engine.sweep_point"] is hit before each computed point. *)
+let run_sweep ?(shared = false) ?(resume = true) (t : t)
+    (points : (string * Flow.request) list) : sweep_point list =
+  let runner = if shared then run_shared else run in
+  List.map
+    (fun (name, req) ->
+      let key = point_key name req in
+      let checkpointed =
+        if resume then
+          Option.bind t.sweep_store (fun store -> Disk_cache.load store ~key)
+        else None
+      in
+      match checkpointed with
+      | Some sp -> { sp with sp_resumed = true }
+      | None ->
+        Fi.hit t.faults "engine.sweep_point";
+        let sp = summarize name (runner t req) in
+        Option.iter
+          (fun store -> Disk_cache.store store ~key sp)
+          t.sweep_store;
+        sp)
+    points

@@ -20,15 +20,20 @@ module D = Alice_diag.Diag
 
 type t
 
-(** [create ?cache ?cache_dir ()]. With [cache] (default [true]) the
-    memo table is backed by the {!Disk_cache} store rooted at
-    [cache_dir] (default {!Disk_cache.default_root}); with [~cache:false]
-    the engine is purely in-memory — still worth holding across
-    {!run_many} jobs, just not across processes. *)
-val create : ?cache:bool -> ?cache_dir:string -> unit -> t
+(** [create ?cache ?cache_dir ?max_bytes ?faults ()]. With [cache]
+    (default [true]) the memo table is backed by the {!Disk_cache} store
+    rooted at [cache_dir] (default {!Disk_cache.default_root}), bounded
+    to [max_bytes] with LRU eviction when given; with [~cache:false] the
+    engine is purely in-memory — still worth holding across {!run_many}
+    jobs, just not across processes. [faults] (default
+    {!Alice_fault.Fault.global}) threads the fault-injection plan into
+    the store and the engine's own sweep checkpointing. *)
+val create :
+  ?cache:bool -> ?cache_dir:string -> ?max_bytes:int ->
+  ?faults:Alice_fault.Fault.t -> unit -> t
 
-(** An engine honoring the configuration's [cache] / [cache_dir]
-    knobs. *)
+(** An engine honoring the configuration's [cache] / [cache_dir] /
+    [cache_max_bytes] knobs and [fault_plan]. *)
 val of_config : C.Flow_config.t -> t
 
 (** Run one request through the engine's cache. Per-run cache
@@ -75,3 +80,50 @@ val cache_root : t -> string option
 (** Cumulative persistent-store counters since [create]; [None] when
     caching is off. *)
 val disk_stats : t -> Disk_cache.stats option
+
+(** Re-enable disk writes after a [W0703] write-disable (both the
+    characterization store and the sweep checkpoint store); no-op when
+    caching is off. {!gc} does this automatically. *)
+val enable_cache_writes : t -> unit
+
+(** Garbage-collect the persistent store: validate every entry,
+    quarantine corruption, evict least-recently-used entries to
+    [max_bytes] (default: the engine's configured budget), and
+    re-enable writes. [None] when caching is off. Safe to call on a
+    live engine — concurrent loads degrade to misses at worst. *)
+val gc : ?max_bytes:int -> t -> Disk_cache.gc_stats option
+
+(** One sweep row: the marshalable summary of a completed flow that the
+    checkpoint store persists — everything the sweep table and server
+    sweep response report, but not the full {!Flow.t}. *)
+type sweep_point = {
+  sp_name : string;          (** the sweep entry's label *)
+  sp_feasible : bool;        (** a best solution exists *)
+  sp_fabrics : string option;(** "+"-joined fabric size labels of best *)
+  sp_hits : int;             (** characterization cache hits *)
+  sp_computed : int;
+  sp_skipped : int;          (** deadline skips *)
+  sp_times : Flow.phase_times;
+  sp_diags : D.t list;
+  sp_resumed : bool;         (** served from a checkpoint, not computed *)
+}
+
+(** The fabric label {!sweep_point.sp_fabrics} reports, for callers
+    holding a full {!Flow.t}. *)
+val solution_fabrics : Flow.t -> string option
+
+(** [run_sweep t points] runs named requests sequentially through the
+    engine's cache like {!run_many}, but checkpoints each point's
+    summary into the persistent store the moment it completes: a sweep
+    killed after [k] of [n] points (even with SIGKILL) resumes on rerun
+    by serving those [k] summaries back — marked [sp_resumed] — and
+    computing exactly the remaining [n - k]. A point's checkpoint key
+    digests its name, configuration and source, so editing the sweep
+    never reuses a stale row. [~resume:false] recomputes everything
+    (checkpoints are still written). [~shared] selects {!run_shared}
+    semantics for the underlying runs (servers); the default is {!run}.
+    With caching off there are no checkpoints and this degrades to
+    {!run_many} plus summarization. *)
+val run_sweep :
+  ?shared:bool -> ?resume:bool -> t -> (string * Flow.request) list ->
+  sweep_point list

@@ -1,0 +1,189 @@
+(** Deterministic fault injection (see the interface). One mutex guards
+    the per-site hit and injection counters; a hit on a plan with no
+    rules (the common production case) touches nothing but an
+    immutable empty table. *)
+
+type action =
+  | Fail
+  | Torn
+  | Enospc
+  | Eintr
+  | Eagain
+  | Kill
+  | Delay of float
+
+type trigger =
+  | Nth of int
+  | After of int
+  | Every of int
+
+type rule = { site : string; action : action; trigger : trigger }
+
+exception Injected of { site : string; action : action }
+
+type site_state = {
+  mutable hits : int;
+  mutable fired : int;
+  site_rules : rule list;  (* rules for this site, in plan order *)
+}
+
+type t = {
+  plan_rules : rule list;
+  mu : Mutex.t;
+  sites : (string, site_state) Hashtbl.t;
+}
+
+let make_sites rules =
+  let sites = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt sites r.site with
+      | Some s ->
+        Hashtbl.replace sites r.site
+          { s with site_rules = s.site_rules @ [ r ] }
+      | None ->
+        Hashtbl.add sites r.site { hits = 0; fired = 0; site_rules = [ r ] })
+    rules;
+  sites
+
+let create rules = { plan_rules = rules; mu = Mutex.create (); sites = make_sites rules }
+
+let none = create []
+
+let is_none t = t.plan_rules = []
+
+let rules t = t.plan_rules
+
+let reset t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.iter (fun _ s -> s.hits <- 0; s.fired <- 0) t.sites)
+
+(* ---------- spec syntax ---------- *)
+
+let action_of_string (s : string) : action =
+  match String.lowercase_ascii s with
+  | "fail" -> Fail
+  | "torn" -> Torn
+  | "enospc" -> Enospc
+  | "eintr" -> Eintr
+  | "eagain" -> Eagain
+  | "kill" -> Kill
+  | s when String.length s > 6 && String.sub s 0 6 = "delay:" -> (
+    let ms = String.sub s 6 (String.length s - 6) in
+    match float_of_string_opt ms with
+    | Some ms when ms >= 0.0 -> Delay (ms /. 1000.0)
+    | _ -> invalid_arg (Printf.sprintf "fault plan: bad delay %S (want ms)" ms))
+  | other -> invalid_arg (Printf.sprintf "fault plan: unknown action %S" other)
+
+let action_to_string = function
+  | Fail -> "fail"
+  | Torn -> "torn"
+  | Enospc -> "enospc"
+  | Eintr -> "eintr"
+  | Eagain -> "eagain"
+  | Kill -> "kill"
+  | Delay s -> Printf.sprintf "delay:%g" (s *. 1000.0)
+
+let trigger_of_string (s : string) : trigger =
+  let n_of body =
+    match int_of_string_opt body with
+    | Some n when n >= 1 -> n
+    | _ -> invalid_arg (Printf.sprintf "fault plan: bad trigger %S" s)
+  in
+  let len = String.length s in
+  if len = 0 then invalid_arg "fault plan: empty trigger"
+  else
+    match s.[len - 1] with
+    | '+' -> After (n_of (String.sub s 0 (len - 1)))
+    | '%' -> Every (n_of (String.sub s 0 (len - 1)))
+    | _ -> Nth (n_of s)
+
+let trigger_to_string = function
+  | Nth n -> string_of_int n
+  | After n -> Printf.sprintf "%d+" n
+  | Every n -> Printf.sprintf "%d%%" n
+
+let parse_rule (spec : string) : rule =
+  match String.index_opt spec '=' with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "fault plan: rule %S is not site=action@trigger" spec)
+  | Some eq -> (
+    let site = String.trim (String.sub spec 0 eq) in
+    let rest = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    if site = "" then invalid_arg "fault plan: empty site";
+    match String.rindex_opt rest '@' with
+    | None ->
+      { site; action = action_of_string (String.trim rest); trigger = Nth 1 }
+    | Some at ->
+      { site;
+        action = action_of_string (String.trim (String.sub rest 0 at));
+        trigger =
+          trigger_of_string
+            (String.trim (String.sub rest (at + 1) (String.length rest - at - 1)))
+      })
+
+let parse (spec : string) : t =
+  let parts =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  match parts with [] -> none | parts -> create (List.map parse_rule parts)
+
+let rule_to_string r =
+  Printf.sprintf "%s=%s@%s" r.site (action_to_string r.action)
+    (trigger_to_string r.trigger)
+
+let to_string t = String.concat ";" (List.map rule_to_string t.plan_rules)
+
+let global_plan = lazy (
+  match Sys.getenv_opt "ALICE_FAULT_PLAN" with
+  | None | Some "" -> none
+  | Some spec -> parse spec)
+
+let global () = Lazy.force global_plan
+
+(* ---------- hits ---------- *)
+
+let fires (tr : trigger) (hit : int) : bool =
+  match tr with
+  | Nth n -> hit = n
+  | After n -> hit >= n
+  | Every n -> hit mod n = 0
+
+let check (t : t) (site : string) : action option =
+  if t.plan_rules = [] then None
+  else
+    Mutex.protect t.mu (fun () ->
+        match Hashtbl.find_opt t.sites site with
+        | None -> None
+        | Some s ->
+          s.hits <- s.hits + 1;
+          match
+            List.find_opt (fun r -> fires r.trigger s.hits) s.site_rules
+          with
+          | None -> None
+          | Some r ->
+            s.fired <- s.fired + 1;
+            Some r.action)
+
+let apply (site : string) : action -> unit = function
+  | Fail | Kill | Torn as action -> raise (Injected { site; action })
+  | Enospc -> raise (Unix.Unix_error (Unix.ENOSPC, site, "injected"))
+  | Eintr -> raise (Unix.Unix_error (Unix.EINTR, site, "injected"))
+  | Eagain -> raise (Unix.Unix_error (Unix.EAGAIN, site, "injected"))
+  | Delay s -> Unix.sleepf s
+
+let hit (t : t) (site : string) : unit =
+  match check t site with None -> () | Some a -> apply site a
+
+let injected (t : t) : (string * int) list =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold
+        (fun site s acc -> if s.fired > 0 then (site, s.fired) :: acc else acc)
+        t.sites [])
+  |> List.sort compare
+
+let total_injected (t : t) : int =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (injected t)

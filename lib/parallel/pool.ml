@@ -8,6 +8,8 @@
     slot [i] always holds task [i]'s outcome — which is what lets the
     flow keep its serial output byte-identical under parallelism. *)
 
+module Fi = Alice_fault.Fault
+
 type t = { jobs : int }
 
 let create ~jobs = { jobs = max 1 jobs }
@@ -21,21 +23,46 @@ type 'a outcome =
   | Raised of exn
   | Skipped
 
-let run_task (f : 'a -> 'b) (x : 'a) : 'b outcome =
-  match f x with v -> Value v | exception e -> Raised e
+let run_task ~(faults : Fi.t) (f : 'a -> 'b) (x : 'a) : 'b outcome =
+  match
+    Fi.hit faults "pool.task";
+    f x
+  with
+  | v -> Value v
+  | exception e -> Raised e
 
-let map_ordered ?(should_stop = fun () -> false) (pool : t) (f : 'a -> 'b)
-    (xs : 'a list) : 'b outcome list =
+(* The injected "this worker dies between tasks" fault: the claimed
+   slot is charged before the exception escapes [loop], so the task is
+   accounted Raised, not silently Skipped. *)
+let check_worker_alive ~(faults : Fi.t) (results : 'b outcome array)
+    (i : int) : unit =
+  match Fi.check faults "pool.worker" with
+  | None | Some (Fi.Delay _) -> ()
+  | Some action ->
+    let e = Fi.Injected { site = "pool.worker"; action } in
+    results.(i) <- Raised e;
+    raise e
+
+let map_ordered ?(should_stop = fun () -> false) ?faults (pool : t)
+    (f : 'a -> 'b) (xs : 'a list) : 'b outcome list =
+  let faults = match faults with Some fp -> fp | None -> Fi.global () in
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
   if n = 0 then []
-  else if pool.jobs = 1 then
+  else if pool.jobs = 1 then begin
     (* serial bypass: no domain is spawned; semantics are exactly the
-       historical serial loop (stop check before each task) *)
-    Array.to_list
-      (Array.map
-         (fun x -> if should_stop () then Skipped else run_task f x)
-         tasks)
+       historical serial loop (stop check before each task), with
+       injected worker death contained per-slot like a parallel run *)
+    let results = Array.make n Skipped in
+    Array.iteri
+      (fun i x ->
+        if not (should_stop ()) then
+          match check_worker_alive ~faults results i with
+          | () -> results.(i) <- run_task ~faults f x
+          | exception Fi.Injected _ -> ())
+      tasks;
+    Array.to_list results
+  end
   else begin
     let results = Array.make n Skipped in
     let next = Atomic.make 0 in
@@ -49,12 +76,21 @@ let map_ordered ?(should_stop = fun () -> false) (pool : t) (f : 'a -> 'b)
               (* index [i] stays Skipped: it was claimed but never
                  dispatched; siblings already past the check finish *)
             else begin
-              results.(i) <- run_task f tasks.(i);
+              check_worker_alive ~faults results i;
+              results.(i) <- run_task ~faults f tasks.(i);
               loop ()
             end
         end
       in
-      loop ()
+      (* supervision: anything escaping the claim/dispatch loop — an
+         injected worker death, a raising [should_stop] — costs at most
+         the one claimed slot (already marked Raised), never the pool:
+         the worker re-enters its loop and keeps draining tasks, and
+         [Domain.join] below can no longer re-raise into the caller. *)
+      let rec supervise () =
+        match loop () with () -> () | exception _ -> supervise ()
+      in
+      supervise ()
     in
     let workers =
       Array.init (min pool.jobs n) (fun _ -> Domain.spawn worker)

@@ -7,9 +7,18 @@
 
     Fault isolation survives parallelism: an exception raised by one
     task is captured as its own {!outcome} and never kills a sibling
-    task or the pool. A cooperative stop predicate, checked at dispatch
-    time, supports deadline semantics — tasks already in flight finish,
-    tasks not yet dispatched come back {!Skipped}. *)
+    task or the pool — and so is a crash of the worker {e between}
+    tasks (exercised by fault injection): the worker re-enters its
+    claim loop, so a dying worker costs at most one task slot, never
+    the batch. A cooperative stop predicate, checked at dispatch time,
+    supports deadline semantics — tasks already in flight finish, tasks
+    not yet dispatched come back {!Skipped}.
+
+    Fault-injection sites: ["pool.task"] (hit inside each task's
+    containment — an injected failure is that task's [Raised]) and
+    ["pool.worker"] (hit between claim and dispatch, {e outside} the
+    per-task containment — an injected [Kill] exercises the worker
+    supervision above; the claimed slot comes back [Raised]). *)
 
 type t
 
@@ -30,15 +39,18 @@ type 'a outcome =
   | Raised of exn      (** the task raised; siblings were unaffected *)
   | Skipped            (** never dispatched: [should_stop] was true *)
 
-(** [map_ordered ?should_stop pool f xs] applies [f] to every element of
-    [xs] across the pool's workers and returns the outcomes in the order
-    of [xs].
+(** [map_ordered ?should_stop ?faults pool f xs] applies [f] to every
+    element of [xs] across the pool's workers and returns the outcomes
+    in the order of [xs].
 
     [should_stop] is polled immediately before each task is dispatched;
     once it returns [true], no further task starts (in-flight tasks
     finish) and every undispatched task's outcome is [Skipped]. With
     [jobs = 1] no domain is spawned and the tasks run sequentially in
     the calling domain — byte-identical to a serial [List.map] with the
-    same dispatch-time stop check. *)
+    same dispatch-time stop check. [faults] (default
+    {!Alice_fault.Fault.global}) arms the ["pool.task"] and
+    ["pool.worker"] injection sites. *)
 val map_ordered :
-  ?should_stop:(unit -> bool) -> t -> ('a -> 'b) -> 'a list -> 'b outcome list
+  ?should_stop:(unit -> bool) -> ?faults:Alice_fault.Fault.t -> t ->
+  ('a -> 'b) -> 'a list -> 'b outcome list

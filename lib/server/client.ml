@@ -1,10 +1,18 @@
 (** Protocol client (see the interface). *)
 
+module J = Alice_config.Json_lite
+module Fi = Alice_fault.Fault
+
 exception Connection_error of string
 
-type t = { ic : in_channel; oc : out_channel }
+type t = { ic : in_channel; oc : out_channel; faults : Fi.t }
 
-let connect ?(timeout_s = 60.0) ~socket () : t =
+let connect ?(timeout_s = 60.0) ?faults ~socket () : t =
+  let faults = match faults with Some f -> f | None -> Fi.global () in
+  (match Fi.check faults "sock.connect" with
+  | None -> ()
+  | Some (Fi.Delay s) -> Unix.sleepf s
+  | Some _ -> raise (Connection_error "injected connect failure"));
   (* the server may refuse-and-close before we write (admission
      control); a later send must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -18,14 +26,26 @@ let connect ?(timeout_s = 60.0) ~socket () : t =
       if timeout_s > 0.0 then
         (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
          with Unix.Unix_error _ -> ());
-      { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
-    with Unix.Unix_error (e, _, _) ->
+      { ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+        faults }
+    with
+    | Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise
         (Connection_error
-           (Printf.sprintf "cannot reach %s: %s" socket (Unix.error_message e))))
+           (Printf.sprintf "cannot reach %s: %s" socket (Unix.error_message e)))
+    | e ->
+      (* anything else between socket() and the channel wrap (injected
+         or not) must not leak the descriptor either *)
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e)
 
 let rpc (t : t) (line : string) : string =
+  (match Fi.check t.faults "client.rpc" with
+  | None -> ()
+  | Some (Fi.Delay s) -> Unix.sleepf s
+  | Some _ -> raise (Connection_error "injected rpc failure"));
   (* a send failure is not yet fatal: a server that refused this
      connection at the door wrote its error response and closed, so the
      line we came for may still be waiting in the receive buffer *)
@@ -50,6 +70,95 @@ let rpc (t : t) (line : string) : string =
 (* the fd is closed once, through the out channel *)
 let close (t : t) : unit = close_out_noerr t.oc
 
-let one_shot ?timeout_s ~socket (line : string) : string =
-  let t = connect ?timeout_s ~socket () in
-  Fun.protect ~finally:(fun () -> close t) (fun () -> rpc t line)
+(* ---------- retry policy ---------- *)
+
+type retry = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  deadline_s : float option;
+  seed : int;
+}
+
+let default_retry =
+  { attempts = 5; base_delay_s = 0.05; max_delay_s = 1.6; deadline_s = None;
+    seed = 0 }
+
+(* Uniform-looking jitter in [0,1] from a seeded hash — pure, so the
+   whole backoff schedule is a function of (policy, seed): same seed,
+   same delays, which is what makes retry timing testable. *)
+let jitter ~(seed : int) ~(attempt : int) : float =
+  let h = Digest.string (Printf.sprintf "alice-retry %d %d" seed attempt) in
+  let hi = Char.code h.[0] and lo = Char.code h.[1] in
+  float_of_int ((hi lsl 8) lor lo) /. 65535.0
+
+let delays (r : retry) : float list =
+  (* decorrelated-jitter backoff: each delay is drawn between the base
+     and min(cap, 3 * previous delay), so consecutive retries neither
+     march in lockstep (thundering herd) nor grow without bound *)
+  let rec go attempt prev acc =
+    if attempt >= r.attempts - 1 then List.rev acc
+    else
+      let hi = Float.max r.base_delay_s (Float.min r.max_delay_s (3.0 *. prev)) in
+      let d =
+        r.base_delay_s
+        +. (jitter ~seed:r.seed ~attempt *. (hi -. r.base_delay_s))
+      in
+      go (attempt + 1) d (d :: acc)
+  in
+  go 0 r.base_delay_s []
+
+(* Retry exactly the failures that mean "later is different": admission
+   refusals and drain refusals. Anything else — flow errors, bad
+   requests — would fail identically on every attempt. *)
+let retryable_response (resp : string) : bool =
+  match J.parse resp with
+  | exception _ -> false
+  | j -> (
+    match J.find j "ok" with
+    | Some (J.Bool false) -> (
+      match J.find j "error" with
+      | Some err -> (
+        match J.find err "code" with
+        | Some (J.String ("E1003" | "E1004")) -> true
+        | _ -> false)
+      | None -> false)
+    | _ -> false)
+
+let one_shot ?timeout_s ?retry ?faults ~socket (line : string) : string =
+  let attempt_once () =
+    let t = connect ?timeout_s ?faults ~socket () in
+    Fun.protect ~finally:(fun () -> close t) (fun () -> rpc t line)
+  in
+  match retry with
+  | None -> attempt_once ()
+  | Some r ->
+    let started = Unix.gettimeofday () in
+    let give_up = function
+      | `Resp resp -> resp
+      | `Err msg -> raise (Connection_error msg)
+    in
+    let rec attempt pending_delays =
+      let outcome =
+        match attempt_once () with
+        | resp -> if retryable_response resp then `Retry (`Resp resp) else `Ok resp
+        | exception Connection_error msg -> `Retry (`Err msg)
+      in
+      match outcome with
+      | `Ok resp -> resp
+      | `Retry last -> (
+        match pending_delays with
+        | [] -> give_up last
+        | d :: rest ->
+          let blows_deadline =
+            match r.deadline_s with
+            | None -> false
+            | Some cap -> Unix.gettimeofday () -. started +. d > cap
+          in
+          if blows_deadline then give_up last
+          else begin
+            Unix.sleepf d;
+            attempt rest
+          end)
+    in
+    attempt (delays r)

@@ -2,7 +2,18 @@
     Unix-domain socket and exchange newline-delimited request/response
     lines. One connection may carry any number of sequential requests
     (the server pins it to one worker), so latency-sensitive callers
-    amortize the connect. *)
+    amortize the connect.
+
+    {!one_shot} optionally retries with exponential backoff and
+    deterministic decorrelated jitter — on connection failures and on
+    the two refusals that mean "later is different" ([E1003] busy,
+    [E1004] draining) — which is what makes `alice client` safe to
+    script in loops against a loaded or restarting server.
+
+    Fault-injection sites: ["sock.connect"] (a firing rule fails
+    {!connect} with {!Connection_error}) and ["client.rpc"] (likewise
+    for {!rpc}); both are retried by a retry policy like any genuine
+    connection failure. *)
 
 (** Raised when the server closes the connection without a response
     (e.g. it was killed mid-request) or the socket cannot be reached;
@@ -12,8 +23,10 @@ exception Connection_error of string
 type t
 
 (** [connect ~socket ()] opens a connection. [timeout_s] (default 60)
-    bounds each response wait. Raises {!Connection_error}. *)
-val connect : ?timeout_s:float -> socket:string -> unit -> t
+    bounds each response wait. [faults] defaults to
+    {!Alice_fault.Fault.global}. Raises {!Connection_error}. *)
+val connect :
+  ?timeout_s:float -> ?faults:Alice_fault.Fault.t -> socket:string -> unit -> t
 
 (** [rpc t line] sends one request line and returns the response line.
     Raises {!Connection_error} on a dead connection or timeout. *)
@@ -21,5 +34,31 @@ val rpc : t -> string -> string
 
 val close : t -> unit
 
-(** [one_shot ~socket line] is connect / {!rpc} / close. *)
-val one_shot : ?timeout_s:float -> socket:string -> string -> string
+(** Retry policy for {!one_shot}. *)
+type retry = {
+  attempts : int;         (** total tries, including the first; >= 1 *)
+  base_delay_s : float;   (** floor of every backoff delay *)
+  max_delay_s : float;    (** cap on any single delay *)
+  deadline_s : float option;
+      (** total wall-clock cap: an attempt whose preceding sleep would
+          cross it is not made, and the last failure is returned *)
+  seed : int;  (** jitter seed: same seed, same schedule *)
+}
+
+(** 5 attempts, 50 ms base, 1.6 s cap, no deadline, seed 0. *)
+val default_retry : retry
+
+(** The backoff schedule a policy produces: [attempts - 1] delays in
+    seconds, deterministic in [seed] (decorrelated jitter — each delay
+    drawn between the base and thrice the previous one, capped).
+    Exposed so tests can assert the schedule instead of sleeping. *)
+val delays : retry -> float list
+
+(** [one_shot ~socket line] is connect / {!rpc} / close. With [retry],
+    connection errors and [E1003]/[E1004] refusals are retried on the
+    policy's backoff schedule; the first conclusive response is
+    returned, and when every attempt fails the last refusal is returned
+    (or the last {!Connection_error} re-raised). *)
+val one_shot :
+  ?timeout_s:float -> ?retry:retry -> ?faults:Alice_fault.Fault.t ->
+  socket:string -> string -> string

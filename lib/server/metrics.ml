@@ -22,6 +22,7 @@ type snapshot = {
   cache_computed : int;
   cache_skipped : int;
   cache_warnings : int;
+  worker_crashes : int;
 }
 
 type t = {
@@ -38,6 +39,7 @@ type t = {
   mutable cache_computed : int;
   mutable cache_skipped : int;
   mutable cache_warnings : int;
+  mutable worker_crashes : int;
 }
 
 let create () : t =
@@ -46,7 +48,8 @@ let create () : t =
     buckets = Array.make (Array.length bucket_bounds) 0;
     rejected_busy = 0; rejected_draining = 0; completed = 0;
     latency_sum_s = 0.0; latency_max_s = 0.0; cache_hits = 0;
-    cache_computed = 0; cache_skipped = 0; cache_warnings = 0 }
+    cache_computed = 0; cache_skipped = 0; cache_warnings = 0;
+    worker_crashes = 0 }
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -97,6 +100,9 @@ let record_cache_run t ~hits ~computed ~skipped =
 let record_cache_warning t =
   locked t (fun () -> t.cache_warnings <- t.cache_warnings + 1)
 
+let record_worker_crash t =
+  locked t (fun () -> t.worker_crashes <- t.worker_crashes + 1)
+
 let snapshot t : snapshot =
   locked t (fun () ->
       { uptime_s = Unix.gettimeofday () -. t.started_at;
@@ -113,7 +119,8 @@ let snapshot t : snapshot =
         cache_hits = t.cache_hits;
         cache_computed = t.cache_computed;
         cache_skipped = t.cache_skipped;
-        cache_warnings = t.cache_warnings })
+        cache_warnings = t.cache_warnings;
+        worker_crashes = t.worker_crashes })
 
 let quantile (s : snapshot) (q : float) : float =
   if s.completed = 0 then 0.0

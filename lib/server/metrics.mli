@@ -27,6 +27,9 @@ type snapshot = {
   cache_computed : int;
   cache_skipped : int;
   cache_warnings : int;  (** engine-wide [W0702]/[W0703] events *)
+  worker_crashes : int;
+      (** [E1005] events: connections whose worker crashed (the crash
+          was contained and the worker slot respawned) *)
 }
 
 type t
@@ -47,6 +50,9 @@ val record_rejected_draining : t -> unit
 val record_cache_run : t -> hits:int -> computed:int -> skipped:int -> unit
 
 val record_cache_warning : t -> unit
+
+(** Count one contained worker crash ([E1005]). *)
+val record_worker_crash : t -> unit
 
 val snapshot : t -> snapshot
 

@@ -19,6 +19,7 @@ type op =
   | Redact of { source : source; config : Y.t; view : Alice.Redact.view }
   | Characterize of { source : source; config : Y.t }
   | Sweep of { source : source; base : Y.t; entries : Y.t list }
+  | CacheGc of { max_bytes : int option }
 
 type request = { id : J.t; op : op }
 
@@ -37,6 +38,7 @@ let op_name = function
   | Redact _ -> "redact"
   | Characterize _ -> "characterize"
   | Sweep _ -> "sweep"
+  | CacheGc _ -> "cache-gc"
 
 (* ---------- request parsing ---------- *)
 
@@ -126,10 +128,19 @@ let parse_request (line : string) : request =
              overlays"
       in
       Sweep { source = parse_source j; base; entries }
+    | Some (J.String "cache-gc") ->
+      CacheGc
+        { max_bytes =
+            (match J.find j "max_bytes" with
+            | None | Some J.Null -> None
+            | Some (J.Int n) when n >= 0 -> Some n
+            | Some _ ->
+              bad_request ~kind:"unknown_op" ~code:"E1002"
+                "`max_bytes` must be a non-negative integer") }
     | Some (J.String op) ->
       bad_request ~kind:"unknown_op" ~code:"E1002"
         "unknown operation %S (have: ping, stats, shutdown, redact, \
-         characterize, sweep)"
+         characterize, sweep, cache-gc)"
         op
     | _ ->
       bad_request ~kind:"unknown_op" ~code:"E1002"
@@ -205,6 +216,13 @@ let ping_request ?id () = simple_request ?id "ping"
 let stats_request ?id () = simple_request ?id "stats"
 
 let shutdown_request ?id () = simple_request ?id "shutdown"
+
+let cache_gc_request ?(id = J.Null) ?max_bytes () =
+  let mb =
+    match max_bytes with None -> [] | Some n -> [ ("max_bytes", J.Int n) ]
+  in
+  J.to_string
+    (J.Obj (base_fields ~id @ [ ("op", J.String "cache-gc") ] @ mb))
 
 let redact_request ?(id = J.Null) ?(config = J.Null) ?(view : string option)
     (source : source) : string =

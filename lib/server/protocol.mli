@@ -13,6 +13,7 @@
     {"v":1,"op":"characterize","source":"..."}
     {"v":1,"op":"sweep","source":"...","sweep":[{"name":"a","max_efpgas":1}]}
     {"v":1,"op":"stats"}
+    {"v":1,"op":"cache-gc","max_bytes":1048576}
     {"v":1,"op":"shutdown"}
     v}
 
@@ -23,7 +24,8 @@
     server adds the [E10xx] range: [E1000] malformed request, [E1001]
     unsupported version, [E1002] unknown/invalid operation, [E1003]
     busy — admission control rejected the connection, [E1004] shutting
-    down). *)
+    down, [E1005] worker crash — logged and counted server-side, never
+    sent as a response, [E1006] cache-gc on a cache-less server). *)
 
 module J = Alice_config.Json_lite
 module Y = Alice_config.Yaml_lite
@@ -47,6 +49,10 @@ type op =
       (** [entries] are configuration overlays, each deep-merged over
           [base] (itself merged over the server's base configuration);
           an entry's [name] key labels its result row *)
+  | CacheGc of { max_bytes : int option }
+      (** validate/quarantine/evict the server's persistent cache and
+          re-enable writes; [max_bytes] overrides the configured byte
+          budget for this pass *)
 
 type request = {
   id : J.t;  (** echoed in the response; [Null] when absent *)
@@ -93,3 +99,5 @@ val ping_request : ?id:J.t -> unit -> string
 val stats_request : ?id:J.t -> unit -> string
 
 val shutdown_request : ?id:J.t -> unit -> string
+
+val cache_gc_request : ?id:J.t -> ?max_bytes:int -> unit -> string

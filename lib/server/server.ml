@@ -18,6 +18,7 @@ module V = Alice_verilog
 module Y = Alice_config.Yaml_lite
 module N = Alice_netlist
 module P = Protocol
+module Fi = Alice_fault.Fault
 
 type config = {
   socket_path : string;
@@ -27,11 +28,13 @@ type config = {
   jobs : int option;
   deadline_s : float option;
   idle_timeout_s : float;
+  faults : Fi.t;
 }
 
 let default_config ~socket_path =
   { socket_path; max_in_flight = 4; max_queue = 16; base = Y.Null;
-    jobs = None; deadline_s = None; idle_timeout_s = 30.0 }
+    jobs = None; deadline_s = None; idle_timeout_s = 30.0;
+    faults = Fi.global () }
 
 type t = {
   cfg : config;
@@ -194,46 +197,71 @@ let execute_characterize t ~(id : J.t) (source : P.source) (req_cfg : Y.t) :
 
 let execute_sweep t ~(id : J.t) (source : P.source) (base : Y.t)
     (entries : Y.t list) : string * bool =
-  let named =
+  let src = flow_source source in
+  let points =
     List.mapi
       (fun i entry ->
         let name =
           Y.get_string ~default:(Printf.sprintf "cfg%d" (i + 1)) entry "name"
         in
-        (name, effective_config t (Y.merge base entry)))
+        let cfg = effective_config t (Y.merge base entry) in
+        (name, A.Flow.request ~config:cfg ~diags:(D.Collector.create ()) src))
       entries
   in
+  let results = A.Engine.run_sweep ~shared:true t.engine points in
+  List.iter
+    (fun (sp : A.Engine.sweep_point) ->
+      (* a checkpointed point did no cache work in this process *)
+      if not sp.A.Engine.sp_resumed then
+        Metrics.record_cache_run t.metrics ~hits:sp.A.Engine.sp_hits
+          ~computed:sp.A.Engine.sp_computed ~skipped:sp.A.Engine.sp_skipped)
+    results;
   let rows =
     List.map
-      (fun (name, cfg) ->
-        let flow = run_flow t cfg source in
-        let s = flow.A.Flow.char_stats in
-        ( J.Obj
-            [ ("name", J.String name);
-              ( "feasible",
-                J.Bool (flow.A.Flow.selection.A.Selection.best <> None) );
-              ( "fabrics",
-                match solution_fabrics flow with
-                | Some f -> J.String f
-                | None -> J.Null );
-              ("hits", J.Int s.A.Characterize.cache_hits);
-              ("computed", J.Int s.A.Characterize.computed);
-              ("skipped", J.Int s.A.Characterize.skipped) ],
-          (name, flow.A.Flow.diags) ))
-      named
+      (fun (sp : A.Engine.sweep_point) ->
+        J.Obj
+          [ ("name", J.String sp.A.Engine.sp_name);
+            ("feasible", J.Bool sp.A.Engine.sp_feasible);
+            ( "fabrics",
+              match sp.A.Engine.sp_fabrics with
+              | Some f -> J.String f
+              | None -> J.Null );
+            ("hits", J.Int sp.A.Engine.sp_hits);
+            ("computed", J.Int sp.A.Engine.sp_computed);
+            ("skipped", J.Int sp.A.Engine.sp_skipped);
+            ("resumed", J.Bool sp.A.Engine.sp_resumed) ])
+      results
   in
   let tagged =
     List.concat_map
-      (fun (_, (name, diags)) ->
+      (fun (sp : A.Engine.sweep_point) ->
         List.map
           (fun (d : D.t) ->
-            { d with D.context = ("config", name) :: d.D.context })
-          diags)
-      rows
+            { d with
+              D.context = ("config", sp.A.Engine.sp_name) :: d.D.context })
+          sp.A.Engine.sp_diags)
+      results
   in
   ( P.ok_response ~id ~op:"sweep"
-      ([ ("rows", J.List (List.map fst rows)) ] @ diags_field tagged),
+      ([ ("rows", J.List rows) ] @ diags_field tagged),
     true )
+
+let execute_cache_gc t ~(id : J.t) (max_bytes : int option) : string * bool =
+  match A.Engine.gc ?max_bytes t.engine with
+  | None ->
+    ( P.error_response ~id ~kind:"no_cache" ~op:"cache-gc"
+        (D.error ~code:"E1006"
+           "cache-gc: this server runs with caching disabled"),
+      false )
+  | Some g ->
+    ( P.ok_response ~id ~op:"cache-gc"
+        [ ("examined", J.Int g.A.Disk_cache.gc_examined);
+          ("quarantined", J.Int g.A.Disk_cache.gc_quarantined);
+          ("evicted", J.Int g.A.Disk_cache.gc_evicted);
+          ("freed_bytes", J.Int g.A.Disk_cache.gc_freed_bytes);
+          ("live_bytes", J.Int g.A.Disk_cache.gc_live_bytes);
+          ("writes_reenabled", J.Bool g.A.Disk_cache.gc_writes_reenabled) ],
+      true )
 
 let execute_stats t ~(id : J.t) : string * bool =
   let s = Metrics.snapshot t.metrics in
@@ -277,16 +305,34 @@ let execute_stats t ~(id : J.t) : string * bool =
               [ ("hits", J.Int d.A.Disk_cache.disk_hits);
                 ("misses", J.Int d.A.Disk_cache.disk_misses);
                 ("stores", J.Int d.A.Disk_cache.stores);
-                ("failures", J.Int d.A.Disk_cache.failures) ] ) ])
+                ("failures", J.Int d.A.Disk_cache.failures);
+                ("quarantined", J.Int d.A.Disk_cache.quarantined);
+                ("evicted", J.Int d.A.Disk_cache.evicted) ] ) ])
     @
     match A.Engine.cache_root t.engine with
     | None -> []
     | Some root -> [ ("root", J.String root) ]
   in
+  let faults =
+    if Fi.is_none t.cfg.faults then []
+    else
+      [ ( "faults",
+          J.Obj
+            [ ("plan", J.String (Fi.to_string t.cfg.faults));
+              ( "injected",
+                J.Obj
+                  (List.map
+                     (fun (site, n) -> (site, J.Int n))
+                     (Fi.injected t.cfg.faults)) ) ] ) ]
+  in
   ( P.ok_response ~id ~op:"stats"
-      [ ("uptime_s", J.Float s.Metrics.uptime_s);
+      ([ ("uptime_s", J.Float s.Metrics.uptime_s);
         ("in_flight", J.Int active);
         ("queued", J.Int queued);
+        ( "workers",
+          J.Obj
+            [ ("configured", J.Int t.cfg.max_in_flight);
+              ("crashed", J.Int s.Metrics.worker_crashes) ] );
         ("requests", J.Obj per_op);
         ( "rejected",
           J.Obj
@@ -306,7 +352,8 @@ let execute_stats t ~(id : J.t) : string * bool =
               ("p95_ms", ms (Metrics.quantile s 0.95));
               ("p99_ms", ms (Metrics.quantile s 0.99));
               ("buckets", J.List buckets) ] );
-        ("cache", J.Obj cache) ],
+        ("cache", J.Obj cache) ]
+      @ faults),
     true )
 
 (* Classify an exception escaping request execution, mirroring the CLI
@@ -357,6 +404,13 @@ let execute t ~(id : J.t) (op : P.op) : string * bool * [ `Continue | `Stop ] =
     | exception e ->
       ( P.error_response ~id ~kind:"failed" ~op:"sweep" (diag_of_exn e),
         false, `Continue ))
+  | P.CacheGc { max_bytes } -> (
+    match execute_cache_gc t ~id max_bytes with
+    | resp, ok -> (resp, ok, `Continue)
+    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception e ->
+      ( P.error_response ~id ~kind:"failed" ~op:"cache-gc" (diag_of_exn e),
+        false, `Continue ))
 
 (* ---------- connection handling ---------- *)
 
@@ -382,40 +436,78 @@ let poke (path : string) : unit =
     (try Unix.connect s (Unix.ADDR_UNIX path) with _ -> ());
     (try Unix.close s with _ -> ())
 
+(* [input_line] with a bounded retry on transient interruptions
+   (EINTR/EAGAIN, injected or real): the read is re-armed instead of
+   the connection being dropped. [None] is EOF (or an injected hard
+   read failure, which behaves as a dead link). *)
+let read_request_line ~(faults : Fi.t) (ic : in_channel) : string option =
+  let rec go attempts =
+    match
+      (match Fi.check faults "sock.read" with
+      | Some Fi.Eintr -> raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+      | Some Fi.Eagain -> raise (Unix.Unix_error (Unix.EAGAIN, "read", ""))
+      | Some (Fi.Delay s) -> Unix.sleepf s
+      | Some _ -> raise End_of_file
+      | None -> ());
+      input_line ic
+    with
+    | line -> Some line
+    | exception End_of_file -> None
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _)
+      when attempts < 5 ->
+      go (attempts + 1)
+  in
+  go 0
+
 (* Serve one connection: requests are processed in order until EOF, an
    idle timeout, a shutdown request, or the server starting to drain
    (the response to the current request is always sent first). The fd
-   is closed exactly once, through the out channel. *)
+   is closed exactly once, through the out channel, on every path out —
+   including a crash escaping to the worker supervision below. Ordinary
+   connection trouble (timeout, client reset, broken pipe) is absorbed
+   here; an injected worker kill and runaway resource exhaustion escape
+   on purpose, to exercise (or reach) the supervisor. *)
 let handle_connection t (fd : Unix.file_descr) : unit =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout_s
    with Unix.Unix_error _ -> ());
+  let faults = t.cfg.faults in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   let continue = ref true in
-  (try
-     while !continue do
-       match input_line ic with
-       | exception End_of_file -> continue := false
-       | line when String.trim line = "" -> ()
-       | line ->
-         let resp, action = respond t line in
-         output_string oc resp;
-         output_char oc '\n';
-         flush oc;
-         (match action with
-         | `Stop ->
-           continue := false;
-           if not (Atomic.exchange t.stop_requested true) then
-             poke t.cfg.socket_path
-         | `Continue ->
-           if Atomic.get t.stop_requested then continue := false)
-     done
-   with _ -> (* read timeout, client reset, broken pipe: drop the link *) ());
-  close_out_noerr oc
+  try
+    while !continue do
+      match read_request_line ~faults ic with
+      | None -> continue := false
+      | Some line when String.trim line = "" -> ()
+      | Some line ->
+        Fi.hit faults "server.worker";
+        let resp, action = respond t line in
+        (match Fi.check faults "sock.write" with
+        | Some (Fi.Delay s) -> Unix.sleepf s
+        | Some _ ->
+          (* injected send failure: the response is lost and the link
+             dropped — recovery belongs to the client's retry policy *)
+          raise Exit
+        | None -> ());
+        output_string oc resp;
+        output_char oc '\n';
+        flush oc;
+        (match action with
+        | `Stop ->
+          continue := false;
+          if not (Atomic.exchange t.stop_requested true) then
+            poke t.cfg.socket_path
+        | `Continue ->
+          if Atomic.get t.stop_requested then continue := false)
+    done
+  with
+  | (Fi.Injected _ | Out_of_memory | Stack_overflow) as e -> raise e
+  | _ -> (* read timeout, client reset, broken pipe: drop the link *) ()
 
 (* ---------- threads ---------- *)
 
-let worker_loop t () =
+let rec worker_loop t () =
   let rec loop () =
     Mutex.lock t.mu;
     while Queue.is_empty t.pending && not t.stopping do
@@ -426,11 +518,34 @@ let worker_loop t () =
       let fd = Queue.pop t.pending in
       t.active <- t.active + 1;
       Mutex.unlock t.mu;
-      (try handle_connection t fd with _ -> ());
+      let crash =
+        match handle_connection t fd with
+        | () -> None
+        | exception e -> Some e
+      in
+      (* the fd is already closed (handle_connection's protection) and
+         [active] is balanced on every path, so a crash can never leak
+         a descriptor or a slot of admission-control budget *)
       Mutex.lock t.mu;
       t.active <- t.active - 1;
       Mutex.unlock t.mu;
-      loop ()
+      match crash with
+      | None -> loop ()
+      | Some e ->
+        (* Worker supervision: whatever escaped handle_connection's
+           containment poisoned this thread's trustworthiness, so the
+           slot is retired and a fresh worker hired in its place (the
+           connection died with its fd; the client sees a dropped link
+           and retries). During a drain the slot is simply retired. *)
+        Metrics.record_worker_crash t.metrics;
+        Format.eprintf
+          "alice-serve: [E1005] worker crashed handling a connection: %s; \
+           respawning slot@."
+          (Printexc.to_string e);
+        Mutex.lock t.mu;
+        if not t.stopping then
+          t.workers <- Thread.create (worker_loop t) () :: t.workers;
+        Mutex.unlock t.mu
     end
   in
   loop ()
@@ -472,8 +587,21 @@ let acceptor_loop t () =
   let rec loop () =
     if Atomic.get t.stop_requested then begin_drain t
     else
+      (* bounded wait before accepting: a stop request must be noticed
+         even when the wake-up poke cannot connect (the socket file may
+         have been removed underneath us) *)
+      match Unix.select [ t.listen_fd ] [] [] 0.5 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception _ -> begin_drain t
+      | [], _, _ -> loop ()
+      | _ ->
       match Unix.accept ~cloexec:true t.listen_fd with
       | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        loop ()
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+        (* descriptor exhaustion is transient — workers are busy closing
+           fds — so back off briefly instead of draining the server *)
+        Unix.sleepf 0.05;
         loop ()
       | exception _ ->
         (* listening socket closed or broken: drain rather than spin *)
@@ -566,7 +694,33 @@ let wait (t : t) : unit =
   if not t.waited then begin
     t.waited <- true;
     (match t.acceptor with Some th -> Thread.join th | None -> ());
-    List.iter Thread.join t.workers;
+    (* crashing workers hire replacements concurrently with this join,
+       so join to a fixpoint over snapshots of the roster; it terminates
+       because no replacement is hired once [stopping] is set (which the
+       acceptor did before we got here) *)
+    let joined = Hashtbl.create 8 in
+    let rec drain_workers () =
+      let remaining =
+        Mutex.lock t.mu;
+        let r =
+          List.filter
+            (fun th -> not (Hashtbl.mem joined (Thread.id th)))
+            t.workers
+        in
+        Mutex.unlock t.mu;
+        r
+      in
+      match remaining with
+      | [] -> ()
+      | ths ->
+        List.iter
+          (fun th ->
+            Thread.join th;
+            Hashtbl.replace joined (Thread.id th) ())
+          ths;
+        drain_workers ()
+    in
+    drain_workers ();
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (try Sys.remove t.cfg.socket_path with Sys_error _ -> ())
   end

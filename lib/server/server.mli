@@ -52,10 +52,18 @@ type config = {
       (** per-connection receive timeout: a connection idle this long
           between requests is closed, so dead clients cannot pin a
           worker or stall the shutdown drain *)
+  faults : Alice_fault.Fault.t;
+      (** fault-injection plan armed at the server's IO boundaries
+          (sites ["server.worker"], ["sock.read"], ["sock.write"]);
+          {!Alice_fault.Fault.none} in production. A crash escaping a
+          connection — injected or real — is contained: the fd is
+          closed, the event is logged as [E1005] and counted in
+          {!Metrics}, and the worker slot respawns instead of wedging *)
 }
 
 (** [max_in_flight = 4], [max_queue = 16], empty base, no forced jobs,
-    no deadline, 30 s idle timeout. *)
+    no deadline, 30 s idle timeout, the [$ALICE_FAULT_PLAN] fault
+    plan. *)
 val default_config : socket_path:string -> config
 
 type t

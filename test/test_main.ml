@@ -11,6 +11,7 @@ let () =
       ("sat", Test_sat.tests);
       ("diag", Test_diag.tests);
       ("parallel", Test_parallel.tests);
+      ("fault", Test_fault.tests);
       ("security", Test_security.tests);
       ("flow", Test_flow.tests);
       ("engine", Test_engine.tests);
