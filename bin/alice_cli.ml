@@ -581,12 +581,28 @@ let bench_cmd =
 
 (* ---------- serve ---------- *)
 
-let socket_arg =
+let connect_arg =
   Arg.(required & opt (some string) None
-       & info [ "s"; "socket" ] ~docv:"PATH"
-           ~doc:"Unix-domain socket the daemon listens on.")
+       & info [ "s"; "socket"; "connect" ] ~docv:"ENDPOINT"
+           ~doc:"Endpoint of the daemon: $(b,unix:PATH), $(b,tcp:HOST:PORT), \
+                 or a bare Unix-socket path.")
 
 let serve_cmd =
+  let listen =
+    Arg.(value & opt_all string []
+         & info [ "l"; "listen" ] ~docv:"ENDPOINT"
+             ~doc:"Listen on $(docv): $(b,unix:PATH) or $(b,tcp:HOST:PORT) \
+                   ($(b,PORT) $(b,0) picks an ephemeral port, printed on \
+                   startup). Repeatable; one acceptor multiplexes every \
+                   endpoint and the protocol is byte-identical over both \
+                   transports.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "s"; "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket the daemon listens on (shorthand for \
+                   $(b,--listen unix:PATH)).")
+  in
   let config =
     Arg.(value & opt (some file) None
          & info [ "c"; "config" ] ~docv:"BASE.yaml"
@@ -622,9 +638,19 @@ let serve_cmd =
              ~doc:"Close a connection idle this long between requests, so \
                    dead clients cannot pin a worker or stall the drain.")
   in
-  let run socket config max_in_flight max_queue deadline idle_timeout flags fmt
-      =
+  let run listen socket config max_in_flight max_queue deadline idle_timeout
+      flags fmt =
     handle_errors ~fmt (fun () ->
+        let listen =
+          (match socket with
+          | Some path -> [ S.Endpoint.Unix_path path ]
+          | None -> [])
+          @ List.map S.Endpoint.parse listen
+        in
+        if listen = [] then
+          invalid_arg
+            "serve: nowhere to listen; give --listen ENDPOINT (or --socket \
+             PATH)";
         let base =
           match config with
           | None -> C.Yaml_lite.Null
@@ -635,28 +661,35 @@ let serve_cmd =
             (apply_overrides flags (C.Flow_config.of_yaml base))
         in
         let server_cfg =
-          { (S.Server.default_config ~socket_path:socket) with
-            S.Server.max_in_flight; max_queue; base;
+          { (S.Server.default_config ~socket_path:"/unused") with
+            S.Server.listen; max_in_flight; max_queue; base;
             jobs = flags.ov_jobs; deadline_s = deadline;
             idle_timeout_s = idle_timeout }
         in
-        Format.eprintf "alice: serving on %s (workers %d, queue %d%s)@."
-          socket max_in_flight max_queue
-          (match A.Engine.cache_root engine with
-          | Some root -> ", cache " ^ root
-          | None -> ", cache off");
-        S.Server.run ~engine server_cfg;
-        Format.eprintf "alice: drained, socket removed@.";
+        (* the effective endpoints come from the live server, so a
+           tcp:HOST:0 line carries the kernel-chosen port *)
+        let on_ready t =
+          List.iter
+            (fun ep ->
+              Format.eprintf "alice: serving on %s (workers %d, queue %d%s)@."
+                (S.Endpoint.to_string ep) max_in_flight max_queue
+                (match A.Engine.cache_root engine with
+                | Some root -> ", cache " ^ root
+                | None -> ", cache off"))
+            (S.Server.endpoints t)
+        in
+        S.Server.run ~engine ~on_ready server_cfg;
+        Format.eprintf "alice: drained, sockets closed@.";
         0)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the long-lived redaction daemon: newline-delimited JSON \
-             requests over a Unix-domain socket, one shared \
+             requests over Unix-domain sockets and/or TCP, one shared \
              characterization cache across all clients, bounded in-flight \
-             admission control, graceful drain on SIGTERM or a \
-             $(b,shutdown) request")
-    Term.(const run $ socket_arg $ config $ max_in_flight $ max_queue
+             admission control with a cheap lane reserved for health \
+             checks, graceful drain on SIGTERM or a $(b,shutdown) request")
+    Term.(const run $ listen $ socket $ config $ max_in_flight $ max_queue
           $ deadline $ idle_timeout $ flow_flags $ diag_format)
 
 (* ---------- client ---------- *)
@@ -724,7 +757,19 @@ let client_cmd =
   let retry_base =
     Arg.(value & opt float 0.05
          & info [ "retry-base" ] ~docv:"S"
-             ~doc:"Base (and floor) backoff delay in seconds.")
+             ~doc:"Base (and floor) backoff delay in seconds; must be \
+                   positive (a zero base would retry in a hot loop \
+                   against a server that refused us for being loaded).")
+  in
+  let stream =
+    Arg.(value & flag
+         & info [ "stream" ]
+             ~doc:"Ask for a streaming response (sweep requests): adds \
+                   $(b,stream:true) and the protocol minor version to the \
+                   request, and prints every $(b,event:\"row\") frame to \
+                   stdout the moment it arrives; $(b,--extract) and exit \
+                   status apply to the terminal frame. Against an older \
+                   server the response simply comes back buffered.")
   in
   let retry_deadline =
     Arg.(value & opt (some float) None
@@ -733,7 +778,7 @@ let client_cmd =
                    backoff sleep would cross it is not made.")
   in
   let run socket request_file op redact_src config view extract output timeout
-      retry_attempts retry_base retry_deadline fmt =
+      retry_attempts retry_base retry_deadline stream fmt =
     handle_errors ~fmt (fun () ->
         let request =
           match (op, redact_src) with
@@ -764,10 +809,27 @@ let client_cmd =
             ignore (J.parse line);
             line
         in
+        let request =
+          if not stream then request
+          else
+            (* opt the request into streaming: set stream:true and
+               announce our minor version so the server may send rows *)
+            match J.parse request with
+            | J.Obj fields ->
+              let fields =
+                List.filter (fun (k, _) -> k <> "stream" && k <> "mv") fields
+              in
+              J.to_string
+                (J.Obj
+                   (fields
+                   @ [ ("mv", J.Int S.Protocol.minor);
+                       ("stream", J.Bool true) ]))
+            | _ -> invalid_arg "client: --stream needs a JSON object request"
+        in
         let retry =
           if retry_attempts <= 1 then None
-          else if retry_base < 0.0 then
-            invalid_arg "client: --retry-base must be non-negative"
+          else if retry_base <= 0.0 then
+            invalid_arg "client: --retry-base must be positive"
           else
             Some
               { S.Client.default_retry with
@@ -775,8 +837,17 @@ let client_cmd =
                 base_delay_s = retry_base;
                 deadline_s = retry_deadline }
         in
+        let on_event =
+          if stream then
+            Some
+              (fun line ->
+                print_endline line;
+                flush stdout)
+          else None
+        in
         let response =
-          S.Client.one_shot ~timeout_s:timeout ?retry ~socket request
+          S.Client.one_shot ~timeout_s:timeout ?retry ?on_event ~socket
+            request
         in
         let doc = J.parse response in
         let printed =
@@ -805,12 +876,12 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Submit one request to a running $(b,alice serve) daemon and \
-             print the response; exits 0 on an $(b,ok) response, 1 \
-             otherwise")
-    Term.(const run $ socket_arg $ request_file $ op $ redact_src $ config
+       ~doc:"Submit one request to a running $(b,alice serve) daemon — over \
+             a Unix socket or TCP — and print the response; exits 0 on an \
+             $(b,ok) response, 1 otherwise")
+    Term.(const run $ connect_arg $ request_file $ op $ redact_src $ config
           $ view $ extract $ output $ timeout $ retry_attempts $ retry_base
-          $ retry_deadline $ diag_format)
+          $ retry_deadline $ stream $ diag_format)
 
 (* ---------- cache maintenance ---------- *)
 
@@ -818,11 +889,12 @@ let cache_cmd =
   let gc_cmd =
     let socket =
       Arg.(value & opt (some string) None
-           & info [ "socket" ] ~docv:"PATH"
-               ~doc:"GC the cache of the running $(b,alice serve) daemon \
-                     listening on $(docv) (the $(b,cache-gc) operation) \
-                     instead of a local store; the server also re-enables \
-                     writes it disabled after a write failure (W0703).")
+           & info [ "socket"; "connect" ] ~docv:"ENDPOINT"
+               ~doc:"GC the cache of the running $(b,alice serve) daemon at \
+                     $(docv) — $(b,unix:PATH), $(b,tcp:HOST:PORT) or a bare \
+                     socket path (the $(b,cache-gc) operation) instead of a \
+                     local store; the server also re-enables writes it \
+                     disabled after a write failure (W0703).")
     in
     let max_bytes =
       Arg.(value & opt (some int) None

@@ -84,7 +84,8 @@ if ! grep -Eq 'cache: [1-9][0-9]* hits, 0 computed' "$tmpdir/stderr_warm.txt"; t
   exit 1
 fi
 
-# --- redaction service: 8 concurrent clients, warm stats, clean drain --
+# --- redaction service: 8 concurrent clients, warm stats, streaming ---
+# --- sweep, clean drain — once per transport (unix + tcp) -------------
 # the daemon is exercised through the built binary directly: `dune exec`
 # serializes on the build lock, which would defeat concurrent clients
 ALICE=_build/default/bin/alice_cli.exe
@@ -104,73 +105,144 @@ EOF
 "$ALICE" redact "$tmpdir/soc.v" -c "$tmpdir/soc.yaml" --no-cache \
   -o "$tmpdir/ref.v" 2> /dev/null
 
+# a two-point sweep request for the streaming check (file path is read
+# by the server process, which runs from this directory)
+printf '{"v":1,"op":"sweep","file":"%s","sweep":[{"name":"one","max_efpgas":1},{"name":"two","max_efpgas":2}]}\n' \
+  "$tmpdir/soc.v" > "$tmpdir/sweep_req.json"
+
+server_smoke() {
+  # $1: label; $2: --listen endpoint. tcp:127.0.0.1:0 binds an
+  # ephemeral port, so the effective endpoint is read back from the
+  # serve log rather than assumed.
+  label=$1
+  listen=$2
+  log="$tmpdir/serve_$label.log"
+  # --jobs 1: 8 concurrent requests each spawning the full recommended
+  # domain count would oversubscribe (and can hit the OCaml domain cap)
+  "$ALICE" serve --listen "$listen" -c "$tmpdir/soc.yaml" --jobs 1 \
+    --cache-dir "$tmpdir/srvcache_$label" > /dev/null 2> "$log" &
+  serve_pid=$!
+
+  # effective endpoint + live listener
+  i=0
+  ep=""
+  while [ -z "$ep" ]; do
+    ep=$(sed -n 's/^alice: serving on \([^ ]*\) .*/\1/p' "$log" | head -n 1)
+    if [ -z "$ep" ]; then
+      i=$((i + 1))
+      if [ "$i" -ge 50 ]; then
+        echo "check.sh: $label server printed no endpoint; log:" >&2
+        cat "$log" >&2
+        exit 1
+      fi
+      sleep 0.1
+    fi
+  done
+  i=0
+  until "$ALICE" client --connect "$ep" --op ping > /dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+      echo "check.sh: $label server did not come up; log:" >&2
+      cat "$log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+
+  # 8 concurrent redact requests, all against the one shared engine
+  client_pids=""
+  for n in 1 2 3 4 5 6 7 8; do
+    "$ALICE" client --connect "$ep" --redact "$tmpdir/soc.v" \
+      --extract verilog -o "$tmpdir/srv_$label$n.v" > /dev/null 2>&1 &
+    client_pids="$client_pids $!"
+  done
+  wait_failed=0
+  for job in $client_pids; do
+    wait "$job" || wait_failed=1
+  done
+  if [ "$wait_failed" -ne 0 ]; then
+    echo "check.sh: a concurrent $label client request failed; log:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  for n in 1 2 3 4 5 6 7 8; do
+    if ! cmp -s "$tmpdir/ref.v" "$tmpdir/srv_$label$n.v"; then
+      echo "check.sh: served $label redaction $n differs from single-shot" >&2
+      exit 1
+    fi
+  done
+
+  # a warm repeat must be served from the shared cache...
+  "$ALICE" client --connect "$ep" --redact "$tmpdir/soc.v" \
+    --extract verilog -o "$tmpdir/warm_$label.v" > /dev/null
+  cmp -s "$tmpdir/ref.v" "$tmpdir/warm_$label.v" || {
+    echo "check.sh: warm served $label redaction differs" >&2; exit 1; }
+  # ...and stats must report nonzero cache hits
+  "$ALICE" client --connect "$ep" --op stats > "$tmpdir/stats_$label.json"
+  if ! grep -q '"hits":[1-9]' "$tmpdir/stats_$label.json"; then
+    echo "check.sh: $label server stats report no cache hits:" >&2
+    cat "$tmpdir/stats_$label.json" >&2
+    exit 1
+  fi
+
+  # streaming sweep: each point arrives as its own row frame before the
+  # terminal done frame
+  "$ALICE" client --connect "$ep" --stream "$tmpdir/sweep_req.json" \
+    > "$tmpdir/sweep_$label.json"
+  rows=$(grep -c '"event":"row"' "$tmpdir/sweep_$label.json" || true)
+  if [ "$rows" -ne 2 ]; then
+    echo "check.sh: $label streaming sweep sent $rows row frames, want 2:" >&2
+    cat "$tmpdir/sweep_$label.json" >&2
+    exit 1
+  fi
+  if ! grep -q '"event":"done"' "$tmpdir/sweep_$label.json"; then
+    echo "check.sh: $label streaming sweep sent no terminal frame" >&2
+    cat "$tmpdir/sweep_$label.json" >&2
+    exit 1
+  fi
+
+  # clean drain: shutdown request => daemon exits 0
+  "$ALICE" client --connect "$ep" --op shutdown > /dev/null
+  if ! wait "$serve_pid"; then
+    echo "check.sh: $label server exited nonzero; log:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+  serve_pid=""
+}
+
 sock="$tmpdir/alice.sock"
-# --jobs 1: 8 concurrent requests each spawning the full recommended
-# domain count would oversubscribe (and can hit the OCaml domain cap)
-"$ALICE" serve --socket "$sock" -c "$tmpdir/soc.yaml" --jobs 1 \
-  --cache-dir "$tmpdir/srvcache" > /dev/null 2> "$tmpdir/serve.log" &
-serve_pid=$!
-
-# wait for the listener
-i=0
-until "$ALICE" client --socket "$sock" --op ping > /dev/null 2>&1; do
-  i=$((i + 1))
-  if [ "$i" -ge 50 ]; then
-    echo "check.sh: server did not come up; log:" >&2
-    cat "$tmpdir/serve.log" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-
-# 8 concurrent redact requests, all against the one shared engine
-client_pids=""
-for n in 1 2 3 4 5 6 7 8; do
-  "$ALICE" client --socket "$sock" --redact "$tmpdir/soc.v" \
-    --extract verilog -o "$tmpdir/srv$n.v" > /dev/null 2>&1 &
-  client_pids="$client_pids $!"
-done
-wait_failed=0
-for job in $client_pids; do
-  wait "$job" || wait_failed=1
-done
-if [ "$wait_failed" -ne 0 ]; then
-  echo "check.sh: a concurrent client request failed; server log:" >&2
-  cat "$tmpdir/serve.log" >&2
-  exit 1
-fi
-for n in 1 2 3 4 5 6 7 8; do
-  if ! cmp -s "$tmpdir/ref.v" "$tmpdir/srv$n.v"; then
-    echo "check.sh: served redaction $n differs from single-shot output" >&2
-    exit 1
-  fi
-done
-
-# a warm repeat must be served from the shared cache...
-"$ALICE" client --socket "$sock" --redact "$tmpdir/soc.v" \
-  --extract verilog -o "$tmpdir/warm.v" > /dev/null
-cmp -s "$tmpdir/ref.v" "$tmpdir/warm.v" || {
-  echo "check.sh: warm served redaction differs" >&2; exit 1; }
-# ...and stats must report nonzero cache hits
-"$ALICE" client --socket "$sock" --op stats > "$tmpdir/stats.json"
-if ! grep -q '"hits":[1-9]' "$tmpdir/stats.json"; then
-  echo "check.sh: server stats report no cache hits:" >&2
-  cat "$tmpdir/stats.json" >&2
-  exit 1
-fi
-
-# clean drain: shutdown request => daemon exits 0, socket removed
-"$ALICE" client --socket "$sock" --op shutdown > /dev/null
-if ! wait "$serve_pid"; then
-  echo "check.sh: server exited nonzero; log:" >&2
-  cat "$tmpdir/serve.log" >&2
-  exit 1
-fi
+server_smoke unix "unix:$sock"
 if [ -e "$sock" ]; then
   echo "check.sh: socket file survived shutdown" >&2
   exit 1
 fi
-serve_pid=""
+server_smoke tcp "tcp:127.0.0.1:0"
+
+# --- mixed-load bench: cheap ops must stay fast under saturation ------
+# run from $tmpdir so the snapshot this writes does not clobber a
+# committed BENCH_<rev>.json at the repo root
+( cd "$tmpdir" && "$OLDPWD/_build/default/bench/main.exe" mixed \
+  > "$tmpdir/bench_mixed.log" 2>&1 )
+bench_json=$(find "$tmpdir" -maxdepth 1 -name 'BENCH_*.json' | head -n 1)
+if [ -z "$bench_json" ]; then
+  echo "check.sh: bench mixed wrote no snapshot; log:" >&2
+  cat "$tmpdir/bench_mixed.log" >&2
+  exit 1
+fi
+# ping p95 under heavy saturation stayed within 10x of idle, on both
+# transports, and the server's histogram never reported a quantile
+# above its own observed maximum
+if ! grep -q '"cheap_p95_bound_ok":true' "$bench_json"; then
+  echo "check.sh: cheap-op p95 exceeded 10x idle under saturation:" >&2
+  cat "$tmpdir/bench_mixed.log" >&2
+  exit 1
+fi
+if ! grep -q '"quantile_le_max_ok":true' "$bench_json"; then
+  echo "check.sh: server histogram reported a quantile above max:" >&2
+  cat "$tmpdir/bench_mixed.log" >&2
+  exit 1
+fi
 
 # --- fault smoke: the service self-heals under an injected plan -------
 # one worker is killed mid-request and one cache write is torn; the

@@ -183,7 +183,8 @@ let point_key (name : string) (req : Flow.request) : string =
     previous process, however it died — are served back with
     [sp_resumed = true] and zero recomputation. Fault site
     ["engine.sweep_point"] is hit before each computed point. *)
-let run_sweep ?(shared = false) ?(resume = true) (t : t)
+let run_sweep ?(shared = false) ?(resume = true)
+    ?(on_point : (sweep_point -> unit) option) (t : t)
     (points : (string * Flow.request) list) : sweep_point list =
   let runner = if shared then run_shared else run in
   List.map
@@ -194,13 +195,20 @@ let run_sweep ?(shared = false) ?(resume = true) (t : t)
           Option.bind t.sweep_store (fun store -> Disk_cache.load store ~key)
         else None
       in
-      match checkpointed with
-      | Some sp -> { sp with sp_resumed = true }
-      | None ->
-        Fi.hit t.faults "engine.sweep_point";
-        let sp = summarize name (runner t req) in
-        Option.iter
-          (fun store -> Disk_cache.store store ~key sp)
-          t.sweep_store;
-        sp)
+      let sp =
+        match checkpointed with
+        | Some sp -> { sp with sp_resumed = true }
+        | None ->
+          Fi.hit t.faults "engine.sweep_point";
+          let sp = summarize name (runner t req) in
+          Option.iter
+            (fun store -> Disk_cache.store store ~key sp)
+            t.sweep_store;
+          sp
+      in
+      (* deliberately after the checkpoint write: if the observer
+         raises (a streaming client hung up), the completed point is
+         already durable and a rerun resumes it for free *)
+      Option.iter (fun f -> f sp) on_point;
+      sp)
     points

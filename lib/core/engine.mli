@@ -123,7 +123,11 @@ val solution_fabrics : Flow.t -> string option
     (checkpoints are still written). [~shared] selects {!run_shared}
     semantics for the underlying runs (servers); the default is {!run}.
     With caching off there are no checkpoints and this degrades to
-    {!run_many} plus summarization. *)
+    {!run_many} plus summarization. [~on_point] observes each point
+    (resumed or computed) the moment it is available — after its
+    checkpoint is written, so an observer that raises (a streaming
+    client that hung up) aborts the remaining points while every
+    completed one stays resumable. *)
 val run_sweep :
-  ?shared:bool -> ?resume:bool -> t -> (string * Flow.request) list ->
-  sweep_point list
+  ?shared:bool -> ?resume:bool -> ?on_point:(sweep_point -> unit) -> t ->
+  (string * Flow.request) list -> sweep_point list

@@ -16,9 +16,10 @@
     Sites currently wired (see DESIGN.md "Failure model"):
     ["cache.read"], ["cache.write"] ({!Disk_cache}); ["pool.task"],
     ["pool.worker"] ({!Alice_parallel.Pool}); ["server.worker"],
-    ["sock.read"], ["sock.write"] (the server); ["sock.connect"],
-    ["client.rpc"] (the client); ["engine.sweep_point"]
-    ({!Engine.run_sweep}). *)
+    ["sock.read"], ["sock.write"], ["sock.stream"] (a streamed sweep-row
+    write), ["tcp.accept"] (the server's TCP front door);
+    ["sock.connect"], ["client.rpc"] (the client);
+    ["engine.sweep_point"] ({!Engine.run_sweep}). *)
 
 (** What an armed rule does at its site. How an action manifests is the
     site's decision (documented per component); the default {!hit}

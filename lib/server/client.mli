@@ -1,8 +1,8 @@
-(** Client side of the `alice serve` protocol: connect to the daemon's
-    Unix-domain socket and exchange newline-delimited request/response
-    lines. One connection may carry any number of sequential requests
-    (the server pins it to one worker), so latency-sensitive callers
-    amortize the connect.
+(** Client side of the `alice serve` protocol: connect to the daemon —
+    a Unix-domain socket or a TCP endpoint, in {!Endpoint} grammar —
+    and exchange newline-delimited request/response lines. One
+    connection may carry any number of sequential requests, so
+    latency-sensitive callers amortize the connect.
 
     {!one_shot} optionally retries with exponential backoff and
     deterministic decorrelated jitter — on connection failures and on
@@ -22,15 +22,27 @@ exception Connection_error of string
 
 type t
 
-(** [connect ~socket ()] opens a connection. [timeout_s] (default 60)
-    bounds each response wait. [faults] defaults to
-    {!Alice_fault.Fault.global}. Raises {!Connection_error}. *)
+(** [connect ~socket ()] opens a connection. [socket] is an endpoint
+    in {!Endpoint.parse} grammar ([unix:/path], [tcp:HOST:PORT], or a
+    bare Unix-socket path). [timeout_s] (default 60) bounds each
+    response wait. TCP connections get [TCP_NODELAY]. [faults]
+    defaults to {!Alice_fault.Fault.global}. Raises
+    {!Connection_error} (including on a malformed endpoint). *)
 val connect :
   ?timeout_s:float -> ?faults:Alice_fault.Fault.t -> socket:string -> unit -> t
 
 (** [rpc t line] sends one request line and returns the response line.
     Raises {!Connection_error} on a dead connection or timeout. *)
 val rpc : t -> string -> string
+
+(** [rpc_stream t ~on_event line] sends one request line and reads
+    frames until the terminal one, which it returns; every
+    intermediate [event:"row"] frame is passed (as its raw line) to
+    [on_event] in order. A non-streaming response — an old server, or
+    a server that negotiated the buffered form — simply yields no
+    events. An exception from [on_event] propagates, leaving the
+    connection mid-stream (close it). *)
+val rpc_stream : t -> on_event:(string -> unit) -> string -> string
 
 val close : t -> unit
 
@@ -48,17 +60,27 @@ type retry = {
 (** 5 attempts, 50 ms base, 1.6 s cap, no deadline, seed 0. *)
 val default_retry : retry
 
+(** Every delay {!delays} produces is at least this (1 ms), whatever
+    the policy's [base_delay_s] says: a zero base would collapse the
+    whole schedule to zero — a hot retry loop against a server that
+    refused us precisely because it is overloaded. *)
+val min_base_delay_s : float
+
 (** The backoff schedule a policy produces: [attempts - 1] delays in
     seconds, deterministic in [seed] (decorrelated jitter — each delay
-    drawn between the base and thrice the previous one, capped).
-    Exposed so tests can assert the schedule instead of sleeping. *)
+    drawn between the base and thrice the previous one, capped; the
+    base itself is floored at {!min_base_delay_s}). Exposed so tests
+    can assert the schedule instead of sleeping. *)
 val delays : retry -> float list
 
 (** [one_shot ~socket line] is connect / {!rpc} / close. With [retry],
     connection errors and [E1003]/[E1004] refusals are retried on the
     policy's backoff schedule; the first conclusive response is
     returned, and when every attempt fails the last refusal is returned
-    (or the last {!Connection_error} re-raised). *)
+    (or the last {!Connection_error} re-raised). With [on_event],
+    streaming frames are delivered as in {!rpc_stream} — but an attempt
+    that already emitted events is never retried (the rows were already
+    delivered once). *)
 val one_shot :
   ?timeout_s:float -> ?retry:retry -> ?faults:Alice_fault.Fault.t ->
-  socket:string -> string -> string
+  ?on_event:(string -> unit) -> socket:string -> string -> string

@@ -1,0 +1,145 @@
+(** Transport endpoints (see the interface). *)
+
+type t =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+let parse (s : string) : t =
+  let prefixed p =
+    String.length s > String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  if prefixed "unix:" then
+    Unix_path (String.sub s 5 (String.length s - 5))
+  else if prefixed "tcp:" then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match String.rindex_opt rest ':' with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "endpoint %s: tcp form is tcp:HOST:PORT" s)
+    | Some i ->
+      let host = String.sub rest 0 i in
+      let port_s = String.sub rest (i + 1) (String.length rest - i - 1) in
+      let port =
+        match int_of_string_opt port_s with
+        | Some p when p >= 0 && p <= 65535 -> p
+        | _ ->
+          invalid_arg
+            (Printf.sprintf "endpoint %s: %S is not a port number" s port_s)
+      in
+      if host = "" then
+        invalid_arg (Printf.sprintf "endpoint %s: empty host" s);
+      Tcp { host; port }
+  end
+  else if s = "" then invalid_arg "endpoint: empty string"
+  else Unix_path s
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp { host; port } -> Printf.sprintf "tcp:%s:%d" host port
+
+let resolve host port : Unix.sockaddr =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception _ -> (
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | { Unix.ai_addr = Unix.ADDR_INET _ as addr; _ } :: _ -> addr
+    | _ ->
+      invalid_arg (Printf.sprintf "endpoint tcp:%s:%d: host does not resolve"
+                     host port))
+
+let sockaddr = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp { host; port } -> resolve host port
+
+let set_nodelay fd =
+  (* harmless to ask on a unix socket, but some systems reject the
+     option level outright, so probe the family first *)
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET _ ->
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+  | _ | (exception Unix.Unix_error _) -> ()
+
+let listen_unix (path : string) : Unix.file_descr =
+  if String.length path > 100 then
+    invalid_arg
+      (Printf.sprintf "socket path %s exceeds the AF_UNIX length limit" path);
+  if Sys.file_exists path then begin
+    (* stale socket files (a crashed server) are removed; a live
+       listener is an error *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let alive =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if alive then
+      invalid_arg
+        (Printf.sprintf "socket %s already has a server behind it" path);
+    Sys.remove path
+  end;
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let listen_tcp (host : string) (port : int) : Unix.file_descr * int =
+  let addr = resolve host port in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd addr;
+    let bound_port =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    (fd, bound_port)
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+let listen_on ?(backlog = 64) (ep : t) : Unix.file_descr * t =
+  let fd, ep =
+    match ep with
+    | Unix_path path -> (listen_unix path, ep)
+    | Tcp { host; port } ->
+      let fd, bound_port = listen_tcp host port in
+      (fd, Tcp { host; port = bound_port })
+  in
+  (try Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  (fd, ep)
+
+let poke (ep : t) : unit =
+  let target =
+    match ep with
+    | Unix_path _ -> (try Some (sockaddr ep) with _ -> None)
+    | Tcp { port; _ } ->
+      (* the listen host may be a wildcard; loopback always reaches a
+         local listener *)
+      Some (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  match target with
+  | None -> ()
+  | Some addr -> (
+    let domain = Unix.domain_of_sockaddr addr in
+    match Unix.socket domain Unix.SOCK_STREAM 0 with
+    | exception _ -> ()
+    | s ->
+      (try Unix.connect s addr with _ -> ());
+      (try Unix.close s with _ -> ()))
+
+let cleanup = function
+  | Unix_path p -> (try Sys.remove p with Sys_error _ -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,55 @@
+(** Transport endpoints for the redaction service: where `alice serve`
+    listens and where `alice client` connects. Two forms, one grammar:
+
+    {v
+    unix:/run/alice.sock     Unix-domain stream socket at that path
+    tcp:HOST:PORT            TCP stream socket (PORT 0 = ephemeral)
+    /run/alice.sock          bare paths still mean unix (compatibility)
+    v}
+
+    The NDJSON protocol is byte-identical over both transports; an
+    endpoint only decides the socket family. A server may listen on
+    several endpoints at once (one acceptor multiplexes them), and the
+    client parses the same grammar in [--connect]. *)
+
+type t =
+  | Unix_path of string
+  | Tcp of { host : string; port : int }
+
+(** Parse the endpoint grammar above. A bare string (no [unix:] or
+    [tcp:] prefix) is a Unix-socket path. Raises [Invalid_argument] on
+    a malformed [tcp:] form (missing or non-numeric port, port out of
+    range). *)
+val parse : string -> t
+
+(** [to_string (parse s)] is canonical: always carries the [unix:] or
+    [tcp:] prefix. *)
+val to_string : t -> string
+
+(** Resolve the endpoint to a connectable address ([Tcp] hosts go
+    through [getaddrinfo], numeric literals parse directly). Raises
+    [Invalid_argument] when the host does not resolve. *)
+val sockaddr : t -> Unix.sockaddr
+
+(** Bind and listen. Unix endpoints remove a stale socket file (no
+    listener behind it) and refuse a live one; TCP endpoints set
+    [SO_REUSEADDR]. Returns the listening descriptor plus the
+    {e effective} endpoint: for [tcp:HOST:0] the kernel-chosen port is
+    substituted, so callers can report where they actually listen.
+    Raises [Invalid_argument] or [Unix.Unix_error]. *)
+val listen_on : ?backlog:int -> t -> Unix.file_descr * t
+
+(** Wake a listener out of [accept] with a throwaway connection.
+    Never raises and never blocks on more than a connect, so it is
+    safe from a signal handler. TCP endpoints are poked over loopback
+    (the listen host may be a wildcard). *)
+val poke : t -> unit
+
+(** Remove a Unix endpoint's socket file (no-op for TCP); errors are
+    swallowed. *)
+val cleanup : t -> unit
+
+(** Set [TCP_NODELAY] on a connected TCP socket so single-line
+    request/response round trips are not Nagle-delayed; no-op (and
+    never raises) on Unix-domain descriptors. *)
+val set_nodelay : Unix.file_descr -> unit

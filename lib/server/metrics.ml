@@ -134,7 +134,12 @@ let quantile (s : snapshot) (q : float) : float =
       else
         let bound, n = s.latency_buckets.(i) in
         if seen + n >= rank then
-          if Float.is_finite bound then bound else s.latency_max_s
+          if Float.is_finite bound then
+            (* a bucket's upper bound can exceed every latency actually
+               observed (one 1.1 s request lands in the <=2.048 s
+               bucket); never report a quantile above the true maximum *)
+            Float.min bound s.latency_max_s
+          else s.latency_max_s
         else go (i + 1) (seen + n)
     in
     go 0 0

@@ -58,6 +58,8 @@ val snapshot : t -> snapshot
 
 (** [quantile s q] is an upper bound on the [q]-quantile (0 < q <= 1)
     of the completed-request latency, read off the histogram: the bound
-    of the bucket holding the rank-[ceil q*n] observation (the exact
-    maximum for the overflow bucket). [0.] when nothing completed. *)
+    of the bucket holding the rank-[ceil q*n] observation, clamped to
+    [latency_max_s] so no quantile ever exceeds the true maximum (the
+    overflow bucket reports the exact maximum). [0.] when nothing
+    completed. *)
 val quantile : snapshot -> float -> float

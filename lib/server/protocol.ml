@@ -10,6 +10,8 @@ module D = Alice_diag.Diag
 
 let version = 1
 
+let minor = 1
+
 type source = Inline of string | Path of string
 
 type op =
@@ -18,10 +20,11 @@ type op =
   | Shutdown
   | Redact of { source : source; config : Y.t; view : Alice.Redact.view }
   | Characterize of { source : source; config : Y.t }
-  | Sweep of { source : source; base : Y.t; entries : Y.t list }
+  | Sweep of
+      { source : source; base : Y.t; entries : Y.t list; stream : bool }
   | CacheGc of { max_bytes : int option }
 
-type request = { id : J.t; op : op }
+type request = { id : J.t; minor : int; op : op }
 
 exception Bad_request of { kind : string; diag : D.t }
 
@@ -39,6 +42,26 @@ let op_name = function
   | Characterize _ -> "characterize"
   | Sweep _ -> "sweep"
   | CacheGc _ -> "cache-gc"
+
+type lane = Cheap | Heavy
+
+let lane_of_op_name = function
+  | "redact" | "characterize" | "sweep" -> Heavy
+  | _ -> Cheap
+
+let lane_of_op op = lane_of_op_name (op_name op)
+
+(* Deliberately lenient — this runs on the acceptor against bytes it
+   has only peeked at: anything that is not recognizably a heavy
+   operation (including garbage, which a worker answers with a fast
+   structured error) goes to the cheap lane. *)
+let lane_of_line (line : string) : lane =
+  match J.parse line with
+  | exception _ -> Cheap
+  | j -> (
+    match J.find j "op" with
+    | Some (J.String name) -> lane_of_op_name name
+    | _ -> Cheap)
 
 (* ---------- request parsing ---------- *)
 
@@ -91,6 +114,17 @@ let parse_request (line : string) : request =
   | _ ->
     bad_request ~kind:"unsupported_version" ~code:"E1001"
       "request carries no integer `v` protocol-version field");
+  let req_minor =
+    (* the minor version is additive: absent means the oldest client
+       of this major, and anything newer than us only unlocks features
+       we don't have, so it is capped rather than rejected *)
+    match J.find j "mv" with
+    | None | Some J.Null -> 0
+    | Some (J.Int m) when m >= 0 -> min m minor
+    | Some _ ->
+      bad_request ~kind:"unsupported_version" ~code:"E1001"
+        "`mv` must be a non-negative integer minor version"
+  in
   let id = Option.value (J.find j "id") ~default:J.Null in
   let op =
     match J.find j "op" with
@@ -127,7 +161,15 @@ let parse_request (line : string) : request =
             "sweep request needs a non-empty `sweep` list of configuration \
              overlays"
       in
-      Sweep { source = parse_source j; base; entries }
+      let stream =
+        match J.find j "stream" with
+        | None | Some J.Null | Some (J.Bool false) -> false
+        | Some (J.Bool true) -> true
+        | Some _ ->
+          bad_request ~kind:"unknown_op" ~code:"E1002"
+            "`stream` must be a boolean"
+      in
+      Sweep { source = parse_source j; base; entries; stream }
     | Some (J.String "cache-gc") ->
       CacheGc
         { max_bytes =
@@ -146,7 +188,7 @@ let parse_request (line : string) : request =
       bad_request ~kind:"unknown_op" ~code:"E1002"
         "request carries no string `op` field"
   in
-  { id; op }
+  { id; minor = req_minor; op }
 
 (* ---------- response building ---------- *)
 
@@ -176,7 +218,7 @@ let json_of_diag (d : D.t) : J.t =
 
 let base_fields ~(id : J.t) =
   let id = match id with J.Null -> [] | id -> [ ("id", id) ] in
-  ("v", J.Int version) :: id
+  ("v", J.Int version) :: ("mv", J.Int minor) :: id
 
 let ok_response ~(id : J.t) ~(op : string) (fields : (string * J.t) list) :
     string =
@@ -185,6 +227,10 @@ let ok_response ~(id : J.t) ~(op : string) (fields : (string * J.t) list) :
        (base_fields ~id
        @ [ ("ok", J.Bool true); ("op", J.String op) ]
        @ fields))
+
+let event_response ~(id : J.t) ~(op : string) ~(event : string)
+    (fields : (string * J.t) list) : string =
+  ok_response ~id ~op (("event", J.String event) :: fields)
 
 let error_response ~(id : J.t) ~(kind : string) ?(op : string option)
     ?(diags : D.t list option) (diag : D.t) : string =
@@ -224,13 +270,13 @@ let cache_gc_request ?(id = J.Null) ?max_bytes () =
   J.to_string
     (J.Obj (base_fields ~id @ [ ("op", J.String "cache-gc") ] @ mb))
 
+let source_field (source : source) =
+  match source with
+  | Inline text -> ("source", J.String text)
+  | Path p -> ("file", J.String p)
+
 let redact_request ?(id = J.Null) ?(config = J.Null) ?(view : string option)
     (source : source) : string =
-  let source_field =
-    match source with
-    | Inline text -> ("source", J.String text)
-    | Path p -> ("file", J.String p)
-  in
   let config =
     match config with J.Null -> [] | c -> [ ("config", c) ]
   in
@@ -238,5 +284,17 @@ let redact_request ?(id = J.Null) ?(config = J.Null) ?(view : string option)
   J.to_string
     (J.Obj
        (base_fields ~id
-       @ [ ("op", J.String "redact"); source_field ]
+       @ [ ("op", J.String "redact"); source_field source ]
        @ config @ view))
+
+let sweep_request ?(id = J.Null) ?(base = J.Null) ?(stream = false)
+    ~(entries : J.t list) (source : source) : string =
+  let base = match base with J.Null -> [] | b -> [ ("base", b) ] in
+  let stream = if stream then [ ("stream", J.Bool true) ] else [] in
+  J.to_string
+    (J.Obj
+       (base_fields ~id
+       @ [ ("op", J.String "sweep"); source_field source ]
+       @ base
+       @ [ ("sweep", J.List entries) ]
+       @ stream))

@@ -35,6 +35,17 @@ module D = Alice_diag.Diag
     Requests carrying any other [v] are rejected with [E1001]. *)
 val version : int
 
+(** Additive feature level within {!version}, carried as [mv] in
+    requests and responses. Absent means 0. Minor 1 adds streaming
+    sweep responses: a sweep request with [{"mv":1,...,"stream":true}]
+    is answered with one [{"ok":true,"op":"sweep","event":"row",...}]
+    line per completed point followed by a terminal
+    [{"event":"done",...}] summary frame; clients announcing a lower
+    (or no) minor always get the buffered single-line form, whatever
+    they asked for. A request [mv] above the server's is capped, not
+    rejected — minors only ever add behaviour. *)
+val minor : int
+
 (** Where a request's Verilog comes from: inline text in the request
     itself, or a path readable by the server process. *)
 type source = Inline of string | Path of string
@@ -45,10 +56,13 @@ type op =
   | Shutdown
   | Redact of { source : source; config : Y.t; view : Alice.Redact.view }
   | Characterize of { source : source; config : Y.t }
-  | Sweep of { source : source; base : Y.t; entries : Y.t list }
+  | Sweep of
+      { source : source; base : Y.t; entries : Y.t list; stream : bool }
       (** [entries] are configuration overlays, each deep-merged over
           [base] (itself merged over the server's base configuration);
-          an entry's [name] key labels its result row *)
+          an entry's [name] key labels its result row. [stream] asks
+          for incremental row events — honoured only when the request
+          also announces [mv >= 1] (see {!minor}) *)
   | CacheGc of { max_bytes : int option }
       (** validate/quarantine/evict the server's persistent cache and
           re-enable writes; [max_bytes] overrides the configured byte
@@ -56,6 +70,9 @@ type op =
 
 type request = {
   id : J.t;  (** echoed in the response; [Null] when absent *)
+  minor : int;
+      (** the client's announced feature level, capped at {!minor};
+          0 when the request carries no [mv] *)
   op : op;
 }
 
@@ -65,6 +82,21 @@ type request = {
 exception Bad_request of { kind : string; diag : D.t }
 
 val op_name : op -> string
+
+(** The two admission lanes of the server's priority queue. [Cheap]
+    operations ([ping], [stats], [cache-gc], [shutdown] — and malformed
+    requests, which cost one error line) answer in microseconds and
+    must never wait behind a saturating sweep; [Heavy] operations
+    ([redact], [characterize], [sweep]) run the flow. *)
+type lane = Cheap | Heavy
+
+val lane_of_op : op -> lane
+
+(** Classify a raw request line the way the server's acceptor does on
+    peeked bytes: [Heavy] only when the line is valid JSON whose [op]
+    names a heavy operation; everything else — cheap operations,
+    garbage, incomplete framing — is [Cheap]. Never raises. *)
+val lane_of_line : string -> lane
 
 (** Parse one request line. Raises {!Bad_request}. *)
 val parse_request : string -> request
@@ -78,6 +110,14 @@ val json_of_diag : D.t -> J.t
 (** [ok_response ~id ~op fields] is one response line (no trailing
     newline): [ok:true] plus the operation name and the given fields. *)
 val ok_response : id:J.t -> op:string -> (string * J.t) list -> string
+
+(** [event_response ~id ~op ~event fields] is one intermediate frame
+    of a streaming response: an [ok:true] line carrying an [event]
+    discriminator ("row" for incremental results, "done" for the
+    terminal summary). Non-terminal frames are only ever sent to
+    clients that announced [mv >= 1]. *)
+val event_response :
+  id:J.t -> op:string -> event:string -> (string * J.t) list -> string
 
 (** [error_response ~id ~kind ?op ?diags diag] is one [ok:false]
     response line; the error object's [code]/[message] come from
@@ -101,3 +141,9 @@ val stats_request : ?id:J.t -> unit -> string
 val shutdown_request : ?id:J.t -> unit -> string
 
 val cache_gc_request : ?id:J.t -> ?max_bytes:int -> unit -> string
+
+(** [sweep_request ?id ?base ?stream ~entries source] renders a sweep
+    request line; [entries] are raw JSON overlay objects and [stream]
+    (default false) asks for incremental row events. *)
+val sweep_request :
+  ?id:J.t -> ?base:J.t -> ?stream:bool -> entries:J.t list -> source -> string

@@ -1,13 +1,16 @@
 (** Server core (see the interface for the architecture). One acceptor
-    thread owns admission control; [max_in_flight] worker threads own
-    connections; all of them share one engine, one metrics registry and
-    one mutex/condition pair around the hand-off queue.
+    thread owns admission control, multiplexes every listener and
+    classifies admitted connections into the two priority lanes;
+    [max_in_flight] worker threads own connections (one reserved for
+    the cheap lane when there are at least two); all of them share one
+    engine, one metrics registry and one mutex/condition pair around
+    the hand-off lanes.
 
     Shutdown is signal-safe: {!stop} only flips an atomic flag and
-    pokes the listening socket with a throwaway connection, so it may
-    run inside a signal handler or on a worker thread that already
-    holds no lock; the acceptor notices the flag, marks the server
-    stopping under the lock and broadcasts the workers awake. *)
+    pokes each listener with a throwaway connection, so it may run
+    inside a signal handler or on a worker thread that already holds no
+    lock; the acceptor notices the flag, marks the server stopping
+    under the lock and broadcasts the workers awake. *)
 
 module A = Alice
 module C = Alice_config
@@ -21,7 +24,7 @@ module P = Protocol
 module Fi = Alice_fault.Fault
 
 type config = {
-  socket_path : string;
+  listen : Endpoint.t list;
   max_in_flight : int;
   max_queue : int;
   base : Y.t;
@@ -32,18 +35,20 @@ type config = {
 }
 
 let default_config ~socket_path =
-  { socket_path; max_in_flight = 4; max_queue = 16; base = Y.Null;
-    jobs = None; deadline_s = None; idle_timeout_s = 30.0;
-    faults = Fi.global () }
+  { listen = [ Endpoint.Unix_path socket_path ]; max_in_flight = 4;
+    max_queue = 16; base = Y.Null; jobs = None; deadline_s = None;
+    idle_timeout_s = 30.0; faults = Fi.global () }
 
 type t = {
   cfg : config;
   engine : A.Engine.t;
   metrics : Metrics.t;
-  listen_fd : Unix.file_descr;
+  listeners : (Unix.file_descr * Endpoint.t) list;  (* effective endpoints *)
   mu : Mutex.t;
   cv : Condition.t;
-  pending : Unix.file_descr Queue.t;
+  cheap_pending : Unix.file_descr Queue.t;
+  heavy_pending : Unix.file_descr Queue.t;
+  mutable unclassified : int;  (* connections the acceptor still holds *)
   mutable active : int;  (* workers currently handling a connection *)
   mutable stopping : bool;  (* guarded by [mu]; set only by the acceptor *)
   stop_requested : bool Atomic.t;  (* settable from signal handlers *)
@@ -55,6 +60,19 @@ type t = {
 let metrics t = t.metrics
 
 let engine t = t.engine
+
+let endpoints t = List.map snd t.listeners
+
+(* a streamed row write failed (client hung up, or an injected
+   ["sock.stream"] fault): the connection is dead mid-response, so this
+   must escape request execution — the error-response wrappers re-raise
+   it — and be absorbed as a dropped link, never turned into an error
+   line nobody can receive *)
+exception Stream_failed of exn
+
+(* reserved per-op metrics key for requests that never parsed far
+   enough to have an operation *)
+let invalid_op = "invalid"
 
 (* ---------- request execution ---------- *)
 
@@ -195,8 +213,33 @@ let execute_characterize t ~(id : J.t) (source : P.source) (req_cfg : Y.t) :
       @ diags_field flow.A.Flow.diags),
     true )
 
-let execute_sweep t ~(id : J.t) (source : P.source) (base : Y.t)
-    (entries : Y.t list) : string * bool =
+let sweep_row_fields (sp : A.Engine.sweep_point) : (string * J.t) list =
+  [ ("name", J.String sp.A.Engine.sp_name);
+    ("feasible", J.Bool sp.A.Engine.sp_feasible);
+    ( "fabrics",
+      match sp.A.Engine.sp_fabrics with
+      | Some f -> J.String f
+      | None -> J.Null );
+    ("hits", J.Int sp.A.Engine.sp_hits);
+    ("computed", J.Int sp.A.Engine.sp_computed);
+    ("skipped", J.Int sp.A.Engine.sp_skipped);
+    ("resumed", J.Bool sp.A.Engine.sp_resumed) ]
+
+let tag_point_diags (sp : A.Engine.sweep_point) : D.t list =
+  List.map
+    (fun (d : D.t) ->
+      { d with D.context = ("config", sp.A.Engine.sp_name) :: d.D.context })
+    sp.A.Engine.sp_diags
+
+(* a checkpointed point did no cache work in this process *)
+let record_point t (sp : A.Engine.sweep_point) =
+  if not sp.A.Engine.sp_resumed then
+    Metrics.record_cache_run t.metrics ~hits:sp.A.Engine.sp_hits
+      ~computed:sp.A.Engine.sp_computed ~skipped:sp.A.Engine.sp_skipped
+
+let execute_sweep t ~(id : J.t) ~(minor : int)
+    ~(emit : (string -> unit) option) (source : P.source) (base : Y.t)
+    (entries : Y.t list) (stream : bool) : string * bool =
   let src = flow_source source in
   let points =
     List.mapi
@@ -208,43 +251,37 @@ let execute_sweep t ~(id : J.t) (source : P.source) (base : Y.t)
         (name, A.Flow.request ~config:cfg ~diags:(D.Collector.create ()) src))
       entries
   in
-  let results = A.Engine.run_sweep ~shared:true t.engine points in
-  List.iter
-    (fun (sp : A.Engine.sweep_point) ->
-      (* a checkpointed point did no cache work in this process *)
-      if not sp.A.Engine.sp_resumed then
-        Metrics.record_cache_run t.metrics ~hits:sp.A.Engine.sp_hits
-          ~computed:sp.A.Engine.sp_computed ~skipped:sp.A.Engine.sp_skipped)
-    results;
-  let rows =
-    List.map
-      (fun (sp : A.Engine.sweep_point) ->
-        J.Obj
-          [ ("name", J.String sp.A.Engine.sp_name);
-            ("feasible", J.Bool sp.A.Engine.sp_feasible);
-            ( "fabrics",
-              match sp.A.Engine.sp_fabrics with
-              | Some f -> J.String f
-              | None -> J.Null );
-            ("hits", J.Int sp.A.Engine.sp_hits);
-            ("computed", J.Int sp.A.Engine.sp_computed);
-            ("skipped", J.Int sp.A.Engine.sp_skipped);
-            ("resumed", J.Bool sp.A.Engine.sp_resumed) ])
-      results
-  in
-  let tagged =
-    List.concat_map
-      (fun (sp : A.Engine.sweep_point) ->
-        List.map
-          (fun (d : D.t) ->
-            { d with
-              D.context = ("config", sp.A.Engine.sp_name) :: d.D.context })
-          sp.A.Engine.sp_diags)
-      results
-  in
-  ( P.ok_response ~id ~op:"sweep"
-      ([ ("rows", J.List rows) ] @ diags_field tagged),
-    true )
+  match emit with
+  | Some emit when stream && minor >= 1 ->
+    (* negotiated streaming: one row frame per completed point, then a
+       terminal summary. Rows go out after their checkpoint is written
+       (Engine.run_sweep's contract), so a client that hangs up
+       mid-sweep wastes at most the point in flight. *)
+    let sent = ref 0 and feasible = ref 0 and resumed = ref 0 in
+    let on_point (sp : A.Engine.sweep_point) =
+      record_point t sp;
+      emit
+        (P.event_response ~id ~op:"sweep" ~event:"row"
+           (sweep_row_fields sp @ diags_field (tag_point_diags sp)));
+      incr sent;
+      if sp.A.Engine.sp_feasible then incr feasible;
+      if sp.A.Engine.sp_resumed then incr resumed
+    in
+    ignore (A.Engine.run_sweep ~shared:true ~on_point t.engine points);
+    ( P.event_response ~id ~op:"sweep" ~event:"done"
+        [ ("points", J.Int !sent);
+          ("feasible", J.Int !feasible);
+          ("resumed", J.Int !resumed) ],
+      true )
+  | _ ->
+    (* the buffered form: what pre-minor-1 clients always get *)
+    let results = A.Engine.run_sweep ~shared:true t.engine points in
+    List.iter (record_point t) results;
+    let rows = List.map (fun sp -> J.Obj (sweep_row_fields sp)) results in
+    let tagged = List.concat_map tag_point_diags results in
+    ( P.ok_response ~id ~op:"sweep"
+        ([ ("rows", J.List rows) ] @ diags_field tagged),
+      true )
 
 let execute_cache_gc t ~(id : J.t) (max_bytes : int option) : string * bool =
   match A.Engine.gc ?max_bytes t.engine with
@@ -265,9 +302,12 @@ let execute_cache_gc t ~(id : J.t) (max_bytes : int option) : string * bool =
 
 let execute_stats t ~(id : J.t) : string * bool =
   let s = Metrics.snapshot t.metrics in
-  let queued, active =
+  let cheap_q, heavy_q, unclassified, active =
     Mutex.lock t.mu;
-    let r = (Queue.length t.pending, t.active) in
+    let r =
+      ( Queue.length t.cheap_pending, Queue.length t.heavy_pending,
+        t.unclassified, t.active )
+    in
     Mutex.unlock t.mu;
     r
   in
@@ -328,10 +368,17 @@ let execute_stats t ~(id : J.t) : string * bool =
   ( P.ok_response ~id ~op:"stats"
       ([ ("uptime_s", J.Float s.Metrics.uptime_s);
         ("in_flight", J.Int active);
-        ("queued", J.Int queued);
+        ( "queued",
+          J.Obj
+            [ ("cheap", J.Int cheap_q);
+              ("heavy", J.Int heavy_q);
+              ("unclassified", J.Int unclassified);
+              ("total", J.Int (cheap_q + heavy_q + unclassified)) ] );
         ( "workers",
           J.Obj
             [ ("configured", J.Int t.cfg.max_in_flight);
+              ( "reserved_cheap",
+                J.Int (if t.cfg.max_in_flight > 1 then 1 else 0) );
               ("crashed", J.Int s.Metrics.worker_crashes) ] );
         ("requests", J.Obj per_op);
         ( "rejected",
@@ -369,13 +416,15 @@ let diag_of_exn : exn -> D.t = function
   | Sys_error msg -> D.error ~code:"E0001" "%s" msg
   | e -> D.of_exn e
 
-let execute t ~(id : J.t) (op : P.op) : string * bool * [ `Continue | `Stop ] =
+let execute t ~(id : J.t) ~(minor : int) ~(emit : (string -> unit) option)
+    (op : P.op) : string * bool * [ `Continue | `Stop ] =
   match op with
   | P.Ping ->
     let s = Metrics.snapshot t.metrics in
     ( P.ok_response ~id ~op:"ping"
         [ ("server", J.String "alice");
           ("protocol", J.Int P.version);
+          ("minor", J.Int P.minor);
           ("uptime_s", J.Float s.Metrics.uptime_s) ],
       true, `Continue )
   | P.Stats ->
@@ -397,11 +446,14 @@ let execute t ~(id : J.t) (op : P.op) : string * bool * [ `Continue | `Stop ] =
     | exception e ->
       ( P.error_response ~id ~kind:"failed" ~op:"characterize" (diag_of_exn e),
         false, `Continue ))
-  | P.Sweep { source; base; entries } -> (
-    match execute_sweep t ~id source base entries with
+  | P.Sweep { source; base; entries; stream } -> (
+    match execute_sweep t ~id ~minor ~emit source base entries stream with
     | resp, ok -> (resp, ok, `Continue)
-    | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
+    | exception ((Out_of_memory | Stack_overflow | Stream_failed _) as e) ->
+      raise e
     | exception e ->
+      (* after rows went out this error line is still well-formed: a
+         non-row frame concludes the exchange on the client side *)
       ( P.error_response ~id ~kind:"failed" ~op:"sweep" (diag_of_exn e),
         false, `Continue ))
   | P.CacheGc { max_bytes } -> (
@@ -414,27 +466,30 @@ let execute t ~(id : J.t) (op : P.op) : string * bool * [ `Continue | `Stop ] =
 
 (* ---------- connection handling ---------- *)
 
-let respond t (line : string) : string * [ `Continue | `Stop ] =
+let respond t ~(emit : (string -> unit) option) (line : string) :
+    string * [ `Continue | `Stop ] =
+  let t0 = Unix.gettimeofday () in
   match P.parse_request line with
   | exception P.Bad_request { kind; diag } ->
+    (* malformed traffic must be visible in [stats]: a misbehaving
+       client spamming garbage is exactly when the operator looks *)
+    Metrics.record_received t.metrics ~op:invalid_op;
+    Metrics.record_completed t.metrics ~op:invalid_op ~ok:false
+      ~seconds:(Unix.gettimeofday () -. t0);
     (P.error_response ~id:J.Null ~kind diag, `Continue)
-  | { P.id; op } ->
+  | { P.id; minor; op } ->
     let name = P.op_name op in
     Metrics.record_received t.metrics ~op:name;
-    let t0 = Unix.gettimeofday () in
-    let resp, ok, action = execute t ~id op in
+    let resp, ok, action = execute t ~id ~minor ~emit op in
     Metrics.record_completed t.metrics ~op:name ~ok
       ~seconds:(Unix.gettimeofday () -. t0);
     (resp, action)
 
-(* wake the acceptor out of [Unix.accept] with a throwaway connection;
-   nothing here blocks or takes a lock, so it is signal-handler safe *)
-let poke (path : string) : unit =
-  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception _ -> ()
-  | s ->
-    (try Unix.connect s (Unix.ADDR_UNIX path) with _ -> ());
-    (try Unix.close s with _ -> ())
+(* wake the acceptor out of [select] with a throwaway connection to
+   each listener; nothing here blocks or takes a lock, so it is
+   signal-handler safe *)
+let poke_listeners t : unit =
+  List.iter (fun (_, ep) -> Endpoint.poke ep) t.listeners
 
 (* [input_line] with a bounded retry on transient interruptions
    (EINTR/EAGAIN, injected or real): the read is re-armed instead of
@@ -464,15 +519,31 @@ let read_request_line ~(faults : Fi.t) (ic : in_channel) : string option =
    (the response to the current request is always sent first). The fd
    is closed exactly once, through the out channel, on every path out —
    including a crash escaping to the worker supervision below. Ordinary
-   connection trouble (timeout, client reset, broken pipe) is absorbed
-   here; an injected worker kill and runaway resource exhaustion escape
-   on purpose, to exercise (or reach) the supervisor. *)
+   connection trouble (timeout, client reset, broken pipe, a stream
+   that died mid-sweep) is absorbed here; an injected worker kill and
+   runaway resource exhaustion escape on purpose, to exercise (or
+   reach) the supervisor. *)
 let handle_connection t (fd : Unix.file_descr) : unit =
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout_s
    with Unix.Unix_error _ -> ());
   let faults = t.cfg.faults in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  (* streamed row frames share the worker's output channel; any
+     trouble — injected or a vanished client — surfaces as
+     [Stream_failed], never as a worker-killing exception *)
+  let emit line =
+    (match Fi.check faults "sock.stream" with
+    | Some (Fi.Delay s) -> Unix.sleepf s
+    | Some action ->
+      raise (Stream_failed (Fi.Injected { site = "sock.stream"; action }))
+    | None -> ());
+    try
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    with e -> raise (Stream_failed e)
+  in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   let continue = ref true in
   try
@@ -482,7 +553,7 @@ let handle_connection t (fd : Unix.file_descr) : unit =
       | Some line when String.trim line = "" -> ()
       | Some line ->
         Fi.hit faults "server.worker";
-        let resp, action = respond t line in
+        let resp, action = respond t ~emit:(Some emit) line in
         (match Fi.check faults "sock.write" with
         | Some (Fi.Delay s) -> Unix.sleepf s
         | Some _ ->
@@ -497,25 +568,46 @@ let handle_connection t (fd : Unix.file_descr) : unit =
         | `Stop ->
           continue := false;
           if not (Atomic.exchange t.stop_requested true) then
-            poke t.cfg.socket_path
+            poke_listeners t
         | `Continue ->
           if Atomic.get t.stop_requested then continue := false)
     done
   with
   | (Fi.Injected _ | Out_of_memory | Stack_overflow) as e -> raise e
-  | _ -> (* read timeout, client reset, broken pipe: drop the link *) ()
+  | _ ->
+    (* read timeout, client reset, broken pipe, dead stream: drop the
+       link *)
+    ()
 
 (* ---------- threads ---------- *)
 
-let rec worker_loop t () =
+(* lane discipline: everyone serves the cheap lane first (cheap ops are
+   microseconds, so they cannot crowd out heavy progress); the reserved
+   worker serves nothing else, so there is always capacity for health
+   checks while every other worker grinds through sweeps *)
+let pop_connection t ~(reserved : bool) : Unix.file_descr option =
+  if not (Queue.is_empty t.cheap_pending) then
+    Some (Queue.pop t.cheap_pending)
+  else if (not reserved) && not (Queue.is_empty t.heavy_pending) then
+    Some (Queue.pop t.heavy_pending)
+  else None
+
+let rec worker_loop t ~(reserved : bool) () =
   let rec loop () =
     Mutex.lock t.mu;
-    while Queue.is_empty t.pending && not t.stopping do
-      Condition.wait t.cv t.mu
-    done;
-    if Queue.is_empty t.pending then Mutex.unlock t.mu (* draining: done *)
-    else begin
-      let fd = Queue.pop t.pending in
+    let rec await () =
+      match pop_connection t ~reserved with
+      | Some fd -> Some fd
+      | None ->
+        if t.stopping then None
+        else begin
+          Condition.wait t.cv t.mu;
+          await ()
+        end
+    in
+    match await () with
+    | None -> Mutex.unlock t.mu (* draining and this lane is empty: done *)
+    | Some fd ->
       t.active <- t.active + 1;
       Mutex.unlock t.mu;
       let crash =
@@ -529,14 +621,15 @@ let rec worker_loop t () =
       Mutex.lock t.mu;
       t.active <- t.active - 1;
       Mutex.unlock t.mu;
-      match crash with
+      (match crash with
       | None -> loop ()
       | Some e ->
         (* Worker supervision: whatever escaped handle_connection's
            containment poisoned this thread's trustworthiness, so the
-           slot is retired and a fresh worker hired in its place (the
-           connection died with its fd; the client sees a dropped link
-           and retries). During a drain the slot is simply retired. *)
+           slot is retired and a fresh worker hired in its place — with
+           the same lane reservation (the connection died with its fd;
+           the client sees a dropped link and retries). During a drain
+           the slot is simply retired. *)
         Metrics.record_worker_crash t.metrics;
         Format.eprintf
           "alice-serve: [E1005] worker crashed handling a connection: %s; \
@@ -544,9 +637,8 @@ let rec worker_loop t () =
           (Printexc.to_string e);
         Mutex.lock t.mu;
         if not t.stopping then
-          t.workers <- Thread.create (worker_loop t) () :: t.workers;
-        Mutex.unlock t.mu
-    end
+          t.workers <- Thread.create (worker_loop t ~reserved) () :: t.workers;
+        Mutex.unlock t.mu)
   in
   loop ()
 
@@ -554,13 +646,14 @@ let rec worker_loop t () =
    is small enough to fit any socket buffer, so this cannot block a
    worker (it runs on the acceptor). *)
 let refuse (fd : Unix.file_descr) (response : string) : unit =
-  (try
-     let oc = Unix.out_channel_of_descr fd in
-     output_string oc response;
-     output_char oc '\n';
-     flush oc;
-     close_out_noerr oc
-   with _ -> (try Unix.close fd with Unix.Unix_error _ -> ()))
+  (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+  try
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc response;
+    output_char oc '\n';
+    flush oc;
+    close_out_noerr oc
+  with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
 
 let busy_response t queued =
   P.error_response ~id:J.Null ~kind:"busy"
@@ -583,86 +676,182 @@ let begin_drain t =
   Condition.broadcast t.cv;
   Mutex.unlock t.mu
 
+(* hand a classified connection to the workers *)
+let enqueue t (lane : P.lane) (fd : Unix.file_descr) : unit =
+  (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.mu;
+  (match lane with
+  | P.Cheap -> Queue.push fd t.cheap_pending
+  | P.Heavy -> Queue.push fd t.heavy_pending);
+  Condition.broadcast t.cv;
+  Mutex.unlock t.mu
+
+(* a connection admitted but not yet classified: the acceptor holds it
+   until its first request line is peekable (never consumed — the
+   worker reads it normally) or its patience runs out *)
+type unclassified_conn = { ufd : Unix.file_descr; arrived : float }
+
+(* Peek at the first request line without consuming it. [`Wait] means
+   no complete line yet; classification errs cheap (garbage gets a fast
+   error line; EOF gets a fast burial) except for an oversized first
+   line, which only heavy operations with inline sources produce. *)
+let peek_buf_len = 8192
+
+let peek_classify (fd : Unix.file_descr) : [ `Lane of P.lane | `Wait ] =
+  let buf = Bytes.create peek_buf_len in
+  match Unix.recv fd buf 0 peek_buf_len [ Unix.MSG_PEEK ] with
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+    `Wait
+  | exception Unix.Unix_error _ -> `Lane P.Cheap
+  | 0 -> `Lane P.Cheap
+  | n -> (
+    let s = Bytes.sub_string buf 0 n in
+    match String.index_opt s '\n' with
+    | Some i -> `Lane (P.lane_of_line (String.trim (String.sub s 0 i)))
+    | None when n = peek_buf_len -> `Lane P.Heavy
+    | None -> `Wait)
+
 let acceptor_loop t () =
-  let rec loop () =
-    if Atomic.get t.stop_requested then begin_drain t
-    else
-      (* bounded wait before accepting: a stop request must be noticed
-         even when the wake-up poke cannot connect (the socket file may
-         have been removed underneath us) *)
-      match Unix.select [ t.listen_fd ] [] [] 0.5 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | exception _ -> begin_drain t
-      | [], _, _ -> loop ()
-      | _ ->
-      match Unix.accept ~cloexec:true t.listen_fd with
-      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-        loop ()
-      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
-        (* descriptor exhaustion is transient — workers are busy closing
-           fds — so back off briefly instead of draining the server *)
-        Unix.sleepf 0.05;
-        loop ()
-      | exception _ ->
-        (* listening socket closed or broken: drain rather than spin *)
-        begin_drain t
-      | fd, _ ->
-        if Atomic.get t.stop_requested then begin
-          Metrics.record_rejected_draining t.metrics;
-          refuse fd (draining_response ());
-          begin_drain t
+  let unclassified : unclassified_conn list ref = ref [] in
+  let sync_unclassified () =
+    Mutex.lock t.mu;
+    t.unclassified <- List.length !unclassified;
+    Mutex.unlock t.mu
+  in
+  let refuse_unclassified () =
+    List.iter
+      (fun c ->
+        Metrics.record_rejected_draining t.metrics;
+        refuse c.ufd (draining_response ()))
+      !unclassified;
+    unclassified := [];
+    sync_unclassified ()
+  in
+  (* a listener failing hard (closed socket underneath us) drains the
+     server rather than spinning *)
+  let broken = ref false in
+  let admit fd ~(from : Endpoint.t) =
+    if Atomic.get t.stop_requested then begin
+      Metrics.record_rejected_draining t.metrics;
+      refuse fd (draining_response ())
+    end
+    else begin
+      let refused_tcp =
+        (* fault site for the TCP front door: an injected accept
+           failure drops the connection before admission *)
+        match from with
+        | Endpoint.Tcp _ -> (
+          match Fi.check t.cfg.faults "tcp.accept" with
+          | Some (Fi.Delay s) ->
+            Unix.sleepf s;
+            false
+          | Some _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            true
+          | None -> false)
+        | Endpoint.Unix_path _ -> false
+      in
+      if not refused_tcp then begin
+        Mutex.lock t.mu;
+        let queued =
+          Queue.length t.cheap_pending + Queue.length t.heavy_pending
+          + List.length !unclassified
+        in
+        let outstanding = t.active + queued in
+        Mutex.unlock t.mu;
+        if outstanding >= t.cfg.max_in_flight + t.cfg.max_queue then begin
+          Metrics.record_rejected_busy t.metrics;
+          refuse fd (busy_response t queued)
         end
         else begin
-          Mutex.lock t.mu;
-          let outstanding = t.active + Queue.length t.pending in
-          let queued = Queue.length t.pending in
-          if outstanding >= t.cfg.max_in_flight + t.cfg.max_queue then begin
-            Mutex.unlock t.mu;
-            Metrics.record_rejected_busy t.metrics;
-            refuse fd (busy_response t queued)
-          end
-          else begin
-            Queue.push fd t.pending;
-            Condition.signal t.cv;
-            Mutex.unlock t.mu
-          end;
-          loop ()
+          Endpoint.set_nodelay fd;
+          (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+          unclassified :=
+            { ufd = fd; arrived = Unix.gettimeofday () } :: !unclassified;
+          sync_unclassified ()
         end
+      end
+    end
+  in
+  let accept_ready readable =
+    List.iter
+      (fun (lfd, ep) ->
+        if List.memq lfd readable then
+          match Unix.accept ~cloexec:true lfd with
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                  | Unix.EWOULDBLOCK ),
+                  _, _ ) ->
+            ()
+          | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+            (* descriptor exhaustion is transient — workers are busy
+               closing fds — so back off briefly instead of draining *)
+            Unix.sleepf 0.05
+          | exception _ -> broken := true
+          | fd, _ ->
+            (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+            admit fd ~from:ep)
+      t.listeners
+  in
+  let classify_ready readable =
+    let now = Unix.gettimeofday () in
+    let keep =
+      List.filter
+        (fun c ->
+          let decision =
+            if List.memq c.ufd readable then peek_classify c.ufd
+            else if now -. c.arrived > t.cfg.idle_timeout_s then
+              (* silent client: hand it to the cheap lane, whose
+                 worker applies the receive timeout and buries it *)
+              `Lane P.Cheap
+            else `Wait
+          in
+          match decision with
+          | `Wait -> true
+          | `Lane lane ->
+            enqueue t lane c.ufd;
+            false)
+        !unclassified
+    in
+    unclassified := keep;
+    sync_unclassified ()
+  in
+  let rec loop () =
+    if Atomic.get t.stop_requested then begin
+      refuse_unclassified ();
+      begin_drain t
+    end
+    else
+      let watch =
+        List.map fst t.listeners @ List.map (fun c -> c.ufd) !unclassified
+      in
+      (* bounded wait: a stop request must be noticed even when the
+         wake-up poke cannot connect (a socket file may have been
+         removed underneath us), and unclassified-connection deadlines
+         need a tick *)
+      match Unix.select watch [] [] 0.5 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception _ ->
+        refuse_unclassified ();
+        begin_drain t
+      | readable, _, _ ->
+        accept_ready readable;
+        classify_ready readable;
+        if !broken then begin
+          refuse_unclassified ();
+          begin_drain t
+        end
+        else loop ()
   in
   loop ()
 
 (* ---------- lifecycle ---------- *)
 
-let bind_socket (path : string) : Unix.file_descr =
-  if String.length path > 100 then
-    invalid_arg
-      (Printf.sprintf "socket path %s exceeds the AF_UNIX length limit" path);
-  if Sys.file_exists path then begin
-    (* stale socket files (a crashed server) are removed; a live
-       listener is an error *)
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let alive =
-      try
-        Unix.connect probe (Unix.ADDR_UNIX path);
-        true
-      with Unix.Unix_error _ -> false
-    in
-    (try Unix.close probe with Unix.Unix_error _ -> ());
-    if alive then
-      invalid_arg
-        (Printf.sprintf "socket %s already has a server behind it" path);
-    Sys.remove path
-  end;
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  try
-    Unix.bind fd (Unix.ADDR_UNIX path);
-    Unix.listen fd 64;
-    fd
-  with e ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    raise e
-
 let start ?engine (cfg : config) : t =
+  if cfg.listen = [] then
+    invalid_arg "serve: at least one endpoint to listen on is required";
   if cfg.max_in_flight < 1 then
     invalid_arg "serve: max_in_flight must be at least 1";
   if cfg.max_queue < 0 then invalid_arg "serve: max_queue must be >= 0";
@@ -675,20 +864,44 @@ let start ?engine (cfg : config) : t =
   in
   let metrics = Metrics.create () in
   A.Engine.set_warning_sink engine (fun _ -> Metrics.record_cache_warning metrics);
-  let listen_fd = bind_socket cfg.socket_path in
+  let listeners =
+    let rec bind acc = function
+      | [] -> List.rev acc
+      | ep :: rest -> (
+        match Endpoint.listen_on ep with
+        | pair -> bind (pair :: acc) rest
+        | exception e ->
+          List.iter
+            (fun (fd, bound) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Endpoint.cleanup bound)
+            acc;
+          raise e)
+    in
+    bind [] cfg.listen
+  in
+  (* select says readable, but the connection may be gone by the time
+     we accept; never let the acceptor block on a ghost *)
+  List.iter
+    (fun (fd, _) -> try Unix.set_nonblock fd with Unix.Unix_error _ -> ())
+    listeners;
   let t =
-    { cfg; engine; metrics; listen_fd; mu = Mutex.create ();
-      cv = Condition.create (); pending = Queue.create (); active = 0;
+    { cfg; engine; metrics; listeners; mu = Mutex.create ();
+      cv = Condition.create (); cheap_pending = Queue.create ();
+      heavy_pending = Queue.create (); unclassified = 0; active = 0;
       stopping = false; stop_requested = Atomic.make false; acceptor = None;
       workers = []; waited = false }
   in
   t.workers <-
-    List.init cfg.max_in_flight (fun _ -> Thread.create (worker_loop t) ());
+    List.init cfg.max_in_flight (fun i ->
+        Thread.create
+          (worker_loop t ~reserved:(i = 0 && cfg.max_in_flight > 1))
+          ());
   t.acceptor <- Some (Thread.create (acceptor_loop t) ());
   t
 
 let stop (t : t) : unit =
-  if not (Atomic.exchange t.stop_requested true) then poke t.cfg.socket_path
+  if not (Atomic.exchange t.stop_requested true) then poke_listeners t
 
 let wait (t : t) : unit =
   if not t.waited then begin
@@ -721,12 +934,16 @@ let wait (t : t) : unit =
         drain_workers ()
     in
     drain_workers ();
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (try Sys.remove t.cfg.socket_path with Sys_error _ -> ())
+    List.iter
+      (fun (fd, ep) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Endpoint.cleanup ep)
+      t.listeners
   end
 
-let run ?engine (cfg : config) : unit =
+let run ?engine ?on_ready (cfg : config) : unit =
   let t = start ?engine cfg in
+  Option.iter (fun f -> f t) on_ready;
   let on_signal _ = stop t in
   let previous =
     List.map

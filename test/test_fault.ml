@@ -411,8 +411,9 @@ let test_server_self_heals_under_plan () =
   in
   let root = tmp_root () in
   let engine = A.Engine.create ~cache_dir:root ~faults:plan () in
+  let socket = tmp_socket () in
   let cfg =
-    { (S.Server.default_config ~socket_path:(tmp_socket ())) with
+    { (S.Server.default_config ~socket_path:socket) with
       S.Server.max_in_flight = 2; max_queue = 4; base = base_yaml;
       idle_timeout_s = 20.0; faults = plan }
   in
@@ -420,7 +421,6 @@ let test_server_self_heals_under_plan () =
   Fun.protect
     ~finally:(fun () -> S.Server.stop t; S.Server.wait t)
     (fun () ->
-      let socket = cfg.S.Server.socket_path in
       let rpc line = S.Client.one_shot ~retry ~socket line in
       (* what the library computes is the contract under faults too *)
       let reference =
