@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one section
      sections: table1 table2 figure4 security overhead soc ablation
-             parallel cache server mixed micro
+             parallel cache attack server mixed micro
 
    Paper reference values are printed next to the measured ones so the
    output doubles as the data source for EXPERIMENTS.md. The [micro]
@@ -619,6 +619,76 @@ let run_cache () =
   | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Measured selection: attack-in-the-loop scoring, cold vs warm        *)
+(* ------------------------------------------------------------------ *)
+
+let run_attack () =
+  section "Measured selection: attack-in-the-loop scoring on GCD (cold vs warm)";
+  let gcd = Option.get (B.find "GCD") in
+  let ast = B.parse gcd in
+  let heuristic_cfg = B.config1 gcd in
+  let measured_cfg =
+    { heuristic_cfg with
+      C.Flow_config.score_mode = C.Flow_config.Measured;
+      attack_budget = 2_000; attack_iterations = 16; attack_jobs = 1 }
+  in
+  let request cfg = A.Flow.request ~config:cfg (A.Flow.Ast ast) in
+  let root = Filename.temp_file "alice_bench" ".cache" in
+  Sys.remove root;
+  let line label (flow : A.Flow.t) t =
+    let a = flow.A.Flow.selection.A.Selection.attack in
+    Format.printf "  %-26s %6.2fs   %3d run, %3d cached, %3d inconclusive@."
+      label t a.A.Selection.Scorer.attacks_run
+      a.A.Selection.Scorer.attacks_cached
+      a.A.Selection.Scorer.attacks_inconclusive;
+    a
+  in
+  let heur_flow, t_heur =
+    time (fun () -> A.Flow.run_request (request heuristic_cfg))
+  in
+  Format.printf "  %-26s %6.2fs   (no attacks)@." "heuristic baseline:" t_heur;
+  let cold_engine = A.Engine.create ~cache_dir:root () in
+  let cold_flow, t_cold =
+    time (fun () -> A.Engine.run cold_engine (request measured_cfg))
+  in
+  let cold = line "measured cold:" cold_flow t_cold in
+  (* a fresh engine over the same store: a second process *)
+  let warm_engine = A.Engine.create ~cache_dir:root () in
+  let warm_flow, t_warm =
+    time (fun () -> A.Engine.run warm_engine (request measured_cfg))
+  in
+  let warm = line "measured warm (new engine):" warm_flow t_warm in
+  let run = cold.A.Selection.Scorer.attacks_run in
+  Format.printf "  per-verdict attack cost: %.3fs over %d verdicts@."
+    ((t_cold -. t_heur) /. Float.max 1.0 (float run)) run;
+  Format.printf "  warm run re-attacked nothing: %b@."
+    (warm.A.Selection.Scorer.attacks_run = 0);
+  (* the point of measuring: the ranking moves *)
+  let ranking (f : A.Flow.t) =
+    List.map
+      (fun (s : A.Selection.solution) ->
+        String.concat "+"
+          (List.map
+             (fun (e : A.Selection.efpga_impl) ->
+               F.Fabric.size_label e.impl.F.Size_search.fabric)
+             s.A.Selection.efpgas))
+      f.A.Flow.selection.A.Selection.solutions
+  in
+  Format.printf "  measured ranking diverges from Eq. 1: %b@."
+    (ranking heur_flow <> ranking cold_flow);
+  note_f "heuristic_s" t_heur;
+  note_f "measured_cold_s" t_cold;
+  note_f "measured_warm_s" t_warm;
+  note_i "attacks_run_cold" run;
+  note_i "attacks_inconclusive" cold.A.Selection.Scorer.attacks_inconclusive;
+  note_i "attacks_run_warm" warm.A.Selection.Scorer.attacks_run;
+  note_f "warm_hit_rate"
+    (float warm.A.Selection.Scorer.attacks_cached
+    /. Float.max 1.0 (float run));
+  note_f "per_verdict_s" ((t_cold -. t_heur) /. Float.max 1.0 (float run));
+  note "diverges_from_eq1" (Jl.Bool (ranking heur_flow <> ranking cold_flow))
+
+(* ------------------------------------------------------------------ *)
 (* Redaction service: warm-cache round-trip throughput and latency     *)
 (* ------------------------------------------------------------------ *)
 
@@ -865,6 +935,7 @@ let all_sections =
     ("ablation", run_ablation);
     ("parallel", run_parallel);
     ("cache", run_cache);
+    ("attack", run_attack);
     ("server", run_server);
     ("mixed", run_mixed);
     ("micro", run_micro) ]

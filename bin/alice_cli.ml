@@ -19,8 +19,11 @@
 
    redact, bench and sweep share one flag group: --jobs (characterization
    worker domains), --cache-dir and --no-cache (the persistent
-   characterization cache; see Alice.Engine). Warm-cache runs produce
-   byte-identical output to cold ones, they just skip CreateEFPGA.
+   characterization cache; see Alice.Engine), plus the measured-selection
+   knobs --score, --attack-budget and --attack-jobs (see
+   Alice.Selection.Scorer). Warm-cache runs produce byte-identical output
+   to cold ones, they just skip CreateEFPGA (and, under --score measured,
+   replay cached attack verdicts instead of re-running the SAT attack).
 
    Errors are reported as structured diagnostics (--diag-format=text|json;
    text goes to stderr, json to stdout). Exit codes: 0 success, 1 input
@@ -74,6 +77,9 @@ type flow_overrides = {
   ov_jobs : int option;
   ov_cache_dir : string option;
   ov_no_cache : bool;
+  ov_score : C.Flow_config.score_mode option;
+  ov_attack_budget : int option;
+  ov_attack_jobs : int option;
 }
 
 let flow_flags : flow_overrides Cmdliner.Term.t =
@@ -100,10 +106,43 @@ let flow_flags : flow_overrides Cmdliner.Term.t =
              ~doc:"Disable the persistent characterization cache for \
                    this invocation (nothing is read or written).")
   in
-  let gather jobs cache_dir no_cache =
-    { ov_jobs = jobs; ov_cache_dir = cache_dir; ov_no_cache = no_cache }
+  let score =
+    let mode_conv =
+      Arg.enum
+        [ ("heuristic", C.Flow_config.Heuristic);
+          ("measured", C.Flow_config.Measured) ]
+    in
+    Arg.(value & opt (some mode_conv) None
+         & info [ "score" ] ~docv:"MODE"
+             ~doc:"Candidate scoring: $(b,heuristic) ranks by the paper's \
+                   Eq. 1 (the default); $(b,measured) runs a budgeted \
+                   oracle-guided SAT attack against each candidate's \
+                   locked netlist and ranks on measured key-recovery \
+                   cost traded against area. Verdicts are cached next to \
+                   characterizations, so warm reruns perform no solver \
+                   calls.")
   in
-  Term.(const gather $ jobs $ cache_dir $ no_cache)
+  let attack_budget =
+    Arg.(value & opt (some int) None
+         & info [ "attack-budget" ] ~docv:"CONFLICTS"
+             ~doc:"Solver conflict budget per measured-selection attack; \
+                   candidates that exhaust it count as $(b,inconclusive) \
+                   (i.e. resistant at this budget). Only meaningful with \
+                   $(b,--score measured).")
+  in
+  let attack_jobs =
+    Arg.(value & opt (some int) None
+         & info [ "attack-jobs" ] ~docv:"N"
+             ~doc:"Run measured-selection attacks across $(docv) worker \
+                   domains. Rankings are identical for any value.")
+  in
+  let gather jobs cache_dir no_cache score attack_budget attack_jobs =
+    { ov_jobs = jobs; ov_cache_dir = cache_dir; ov_no_cache = no_cache;
+      ov_score = score; ov_attack_budget = attack_budget;
+      ov_attack_jobs = attack_jobs }
+  in
+  Term.(const gather $ jobs $ cache_dir $ no_cache $ score $ attack_budget
+        $ attack_jobs)
 
 let apply_overrides (ov : flow_overrides) (cfg : C.Flow_config.t) :
     C.Flow_config.t =
@@ -118,7 +157,26 @@ let apply_overrides (ov : flow_overrides) (cfg : C.Flow_config.t) :
     | None -> cfg
     | Some dir -> { cfg with C.Flow_config.cache_dir = Some dir }
   in
-  if ov.ov_no_cache then { cfg with C.Flow_config.cache = false } else cfg
+  let cfg =
+    if ov.ov_no_cache then { cfg with C.Flow_config.cache = false } else cfg
+  in
+  let cfg =
+    match ov.ov_score with
+    | None -> cfg
+    | Some mode -> { cfg with C.Flow_config.score_mode = mode }
+  in
+  let cfg =
+    match ov.ov_attack_budget with
+    | None -> cfg
+    | Some n when n > 0 -> { cfg with C.Flow_config.attack_budget = n }
+    | Some n ->
+      invalid_arg (Printf.sprintf "--attack-budget %d: must be positive" n)
+  in
+  match ov.ov_attack_jobs with
+  | None -> cfg
+  | Some n when n >= 1 -> { cfg with C.Flow_config.attack_jobs = n }
+  | Some n ->
+    invalid_arg (Printf.sprintf "--attack-jobs %d: must be at least 1" n)
 
 (* the per-run cache accounting, on stderr next to the tables *)
 let report_cache_line (flow : A.Flow.t) : unit =
@@ -126,6 +184,16 @@ let report_cache_line (flow : A.Flow.t) : unit =
   Format.eprintf "cache: %d hits, %d computed, %d unique@."
     s.A.Characterize.cache_hits s.A.Characterize.computed
     s.A.Characterize.unique
+
+(* measured-selection accounting, printed only when attacks could run *)
+let report_attack_line (cfg : C.Flow_config.t) (flow : A.Flow.t) : unit =
+  match cfg.C.Flow_config.score_mode with
+  | C.Flow_config.Heuristic -> ()
+  | C.Flow_config.Measured ->
+    let a = flow.A.Flow.selection.A.Selection.attack in
+    Format.eprintf "attack: %d run, %d cached, %d inconclusive@."
+      a.A.Selection.Scorer.attacks_run a.A.Selection.Scorer.attacks_cached
+      a.A.Selection.Scorer.attacks_inconclusive
 
 let render_diags (fmt : D.format) (diags : D.t list) : unit =
   if diags <> [] then
@@ -227,6 +295,7 @@ let redact_cmd =
                (A.Flow.Text { text = src; file = Some src_name }))
         in
         report_cache_line flow;
+        report_attack_line cfg flow;
         Format.eprintf "%a" A.Report.pp_table2_header ();
         Format.eprintf "%a" A.Report.pp_table2_row
           (A.Report.row_of_flow ~design_name:(Filename.basename src_name) flow);
@@ -399,9 +468,11 @@ let attack_cmd =
   let seconds = Arg.(value & opt float 60.0 & info [ "timeout" ] ~docv:"S") in
   let solver_budget =
     Arg.(value & opt (some int) None
-         & info [ "solver-budget" ] ~docv:"CONFLICTS"
+         & info [ "attack-budget" ] ~docv:"CONFLICTS"
              ~doc:"Conflict budget per SAT-solver call; when exhausted the \
-                   attack reports $(b,inconclusive) instead of looping.")
+                   attack reports $(b,inconclusive) instead of looping. \
+                   Same name and meaning as the flow commands' \
+                   measured-selection flag.")
   in
   let run file module_name iterations seconds solver_budget fmt =
     handle_errors ~fmt (fun () ->
@@ -566,6 +637,7 @@ let bench_cmd =
               (A.Flow.request ~config (A.Flow.Ast (B.parse b)))
           in
           report_cache_line flow;
+          report_attack_line config flow;
           Format.printf "%a" A.Report.pp_table2_header ();
           Format.printf "%a" A.Report.pp_table2_row
             (A.Report.row_of_flow ~design_name:b.B.name flow);

@@ -84,6 +84,55 @@ if ! grep -Eq 'cache: [1-9][0-9]* hits, 0 computed' "$tmpdir/stderr_warm.txt"; t
   exit 1
 fi
 
+# --- measured selection: cold run attacks, warm run replays verdicts --
+# cfg1 specialized to GCD (the unconstrained default config admits far
+# larger candidates, which makes the attacks needlessly expensive here)
+cat > "$tmpdir/gcd.yaml" <<'EOF'
+top: gcd
+selected_outputs:
+  - result
+max_io_pins: 64
+max_efpgas: 2
+fabric:
+  min_size: 4
+  max_size: 20
+  target_utilization: 0.5
+  min_clb_utilization: 0.3
+attack_iterations: 16
+EOF
+for run in cold warm; do
+  dune exec --no-build bin/alice_cli.exe -- redact "$tmpdir/gcd.v" \
+    -c "$tmpdir/gcd.yaml" --score measured --attack-budget 2000 \
+    --cache-dir "$tmpdir/mcache" --diag-format=json \
+    -o "$tmpdir/mout_$run.v" \
+    > "$tmpdir/mdiags_$run.json" 2> "$tmpdir/mstderr_$run.txt"
+done
+if ! cmp -s "$tmpdir/mout_cold.v" "$tmpdir/mout_warm.v"; then
+  echo "check.sh: measured redaction differs between cold and warm cache" >&2
+  exit 1
+fi
+# the cold run must actually have attacked candidates...
+if ! grep -Eq 'attack: [1-9][0-9]* run, 0 cached' "$tmpdir/mstderr_cold.txt"; then
+  echo "check.sh: measured cold run reported no attacks:" >&2
+  cat "$tmpdir/mstderr_cold.txt" >&2
+  exit 1
+fi
+# ...and the warm run must replay every verdict from the attack cache
+if ! grep -Eq 'attack: 0 run, [1-9][0-9]* cached' "$tmpdir/mstderr_warm.txt"; then
+  echo "check.sh: measured warm run re-attacked instead of using the cache:" >&2
+  cat "$tmpdir/mstderr_warm.txt" >&2
+  exit 1
+fi
+# measured scoring must rank differently from Eq. 1 on this design:
+# the heuristic picks the best-utilized 5x5+4x4 solution, the measured
+# ranking a 4x4+4x4 pair on the attack-resistant clusters
+dune exec --no-build bin/alice_cli.exe -- redact "$tmpdir/gcd.v" \
+  -c "$tmpdir/gcd.yaml" -o "$tmpdir/hout.v" > /dev/null 2>&1
+if cmp -s "$tmpdir/mout_cold.v" "$tmpdir/hout.v"; then
+  echo "check.sh: measured and heuristic picked the same GCD solution" >&2
+  exit 1
+fi
+
 # --- redaction service: 8 concurrent clients, warm stats, streaming ---
 # --- sweep, clean drain — once per transport (unix + tcp) -------------
 # the daemon is exercised through the built binary directly: `dune exec`

@@ -27,6 +27,25 @@ type rank_order = Highest | Lowest
     results are only consistent with [Reward]. Default: [Reward]. *)
 type score_formula = Reward | Penalty
 
+(** Which scorer ranks the candidate solutions.
+
+    [Heuristic] is Eq. 1 (under {!score_formula}) — utilization proxies
+    for attack resistance, zero solver work. [Measured] instead runs a
+    budgeted oracle-guided SAT attack against every valid candidate's
+    locked netlist and ranks on key-recovery cost (conflicts spent;
+    resisted-at-budget outranks solved) traded against fabric area via
+    [attack_area_weight]. Default: [Heuristic]. *)
+type score_mode = Heuristic | Measured
+
+let score_mode_to_string = function
+  | Heuristic -> "heuristic"
+  | Measured -> "measured"
+
+let score_mode_of_string = function
+  | "heuristic" -> Heuristic
+  | "measured" -> Measured
+  | other -> invalid_arg (Printf.sprintf "score: %s" other)
+
 type t = {
   (* structural limits (CheckParameters in Algorithms 1 and 2) *)
   max_io_pins : int;        (** max aggregated I/O pins per eFPGA *)
@@ -53,6 +72,22 @@ type t = {
   min_score : int;          (** filtering keeps modules with score >= this *)
   rank_order : rank_order;
   score_formula : score_formula;
+  score_mode : score_mode;
+      (** [Heuristic] (default) ranks by Eq. 1; [Measured] ranks by
+          budgeted attack verdicts (see {!score_mode}) *)
+  attack_budget : int;
+      (** measured scoring: conflict budget per SAT-solver call inside
+          each candidate attack; must be positive *)
+  attack_iterations : int;
+      (** measured scoring: DIP-iteration cap per candidate attack;
+          must be positive *)
+  attack_jobs : int;
+      (** worker domains for measured-scoring attack runs; [1] runs
+          strictly serially. Verdicts are bit-identical across any
+          [attack_jobs] value *)
+  attack_area_weight : float;
+      (** measured scoring: weight of the (normalized) fabric-area
+          penalty traded against attack resilience; must be >= 0 *)
   transitive_independence : bool;
       (** when true, any dataflow path between two instances (even through
           registers and third-party logic) makes them dependent; when
@@ -103,7 +138,10 @@ let default =
     min_fabric_size = 2; max_fabric_size = 20; target_utilization = 0.5;
     min_clb_utilization = 0.0;
     selected_outputs = []; top = None; min_score = 1; rank_order = Highest;
-    score_formula = Reward; transitive_independence = false;
+    score_formula = Reward; score_mode = Heuristic;
+    attack_budget = 20_000; attack_iterations = 64; attack_jobs = 1;
+    attack_area_weight = 0.25;
+    transitive_independence = false;
     solver_budget = None; characterize_deadline_s = None;
     jobs = Domain.recommended_domain_count ();
     cache = true; cache_dir = None; cache_max_bytes = None; fault_plan = None;
@@ -149,6 +187,36 @@ let of_yaml (doc : Yaml_lite.t) : t =
        | "reward" -> Reward
        | "penalty" -> Penalty
        | other -> invalid_arg (Printf.sprintf "score_formula: %s" other));
+    score_mode =
+      score_mode_of_string
+        (Yaml_lite.get_string ~default:(score_mode_to_string d.score_mode)
+           doc "score");
+    attack_budget =
+      (match Yaml_lite.find doc "attack_budget" with
+       | None | Some Yaml_lite.Null -> d.attack_budget
+       | Some (Yaml_lite.Int n) ->
+         if n <= 0 then invalid_arg "attack_budget: must be positive" else n
+       | Some _ -> invalid_arg "attack_budget: expected an integer");
+    attack_iterations =
+      (match Yaml_lite.find doc "attack_iterations" with
+       | None | Some Yaml_lite.Null -> d.attack_iterations
+       | Some (Yaml_lite.Int n) ->
+         if n <= 0 then invalid_arg "attack_iterations: must be positive"
+         else n
+       | Some _ -> invalid_arg "attack_iterations: expected an integer");
+    attack_jobs =
+      (match Yaml_lite.find doc "attack_jobs" with
+       | None | Some Yaml_lite.Null -> d.attack_jobs
+       | Some (Yaml_lite.Int n) ->
+         if n < 1 then invalid_arg "attack_jobs: must be at least 1" else n
+       | Some _ -> invalid_arg "attack_jobs: expected an integer");
+    attack_area_weight =
+      (let v =
+         Yaml_lite.get_float ~default:d.attack_area_weight doc
+           "attack_area_weight"
+       in
+       if v < 0.0 then invalid_arg "attack_area_weight: must be non-negative"
+       else v);
     transitive_independence =
       Yaml_lite.get_bool ~default:d.transitive_independence doc
         "transitive_independence";
@@ -236,6 +304,18 @@ let characterize_digest (c : t) : string =
       c.min_fabric_size c.max_fabric_size c.target_utilization
       c.min_clb_utilization
       (match c.solver_budget with None -> "-" | Some n -> string_of_int n)
+  in
+  Digest.to_hex (Digest.string s)
+
+(* Same discipline for attack verdicts: only the fields that can change
+   what a budgeted attack run *returns* are keyed. [score_mode],
+   [attack_jobs] and [attack_area_weight] are deliberately excluded —
+   verdicts are bit-identical across job counts, and re-ranking with a
+   different area weight must reuse cached verdicts, not re-attack. *)
+let attack_digest (c : t) : string =
+  let s =
+    Printf.sprintf "v1;attack_budget=%d;attack_iterations=%d"
+      c.attack_budget c.attack_iterations
   in
   Digest.to_hex (Digest.string s)
 

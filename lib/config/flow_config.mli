@@ -15,6 +15,19 @@ type rank_order = Highest | Lowest
     EXPERIMENTS.md on the polarity question). Default: [Reward]. *)
 type score_formula = Reward | Penalty
 
+(** Which scorer ranks the candidate solutions. [Heuristic] is Eq. 1
+    (zero solver work, the default); [Measured] runs a budgeted
+    oracle-guided SAT attack against every valid candidate's locked
+    netlist and ranks on key-recovery cost traded against fabric area.
+    YAML key: [score], values ["heuristic"] / ["measured"]. *)
+type score_mode = Heuristic | Measured
+
+val score_mode_to_string : score_mode -> string
+
+(** Inverse of {!score_mode_to_string}; raises [Invalid_argument] on any
+    other string. *)
+val score_mode_of_string : string -> score_mode
+
 type t = {
   max_io_pins : int;  (** max aggregated I/O pins per eFPGA *)
   max_efpgas : int;   (** max number of eFPGA instances *)
@@ -36,6 +49,22 @@ type t = {
   min_score : int;  (** filtering keeps modules with score >= this *)
   rank_order : rank_order;
   score_formula : score_formula;
+  score_mode : score_mode;
+      (** [Heuristic] (default) ranks by Eq. 1; [Measured] ranks by
+          budgeted attack verdicts *)
+  attack_budget : int;
+      (** measured scoring: conflict budget per SAT-solver call inside
+          each candidate attack; must be positive *)
+  attack_iterations : int;
+      (** measured scoring: DIP-iteration cap per candidate attack;
+          must be positive *)
+  attack_jobs : int;
+      (** worker domains for measured-scoring attack runs; [1] runs
+          strictly serially. Verdicts are bit-identical across any
+          [attack_jobs] value *)
+  attack_area_weight : float;
+      (** measured scoring: weight of the (normalized) fabric-area
+          penalty traded against attack resilience; must be >= 0 *)
   transitive_independence : bool;
       (** true: any dataflow path between two instances makes them
           dependent; false (default): only a direct wire connection *)
@@ -100,5 +129,13 @@ val of_string : string -> t
     configurations with different fabric parameters never share
     entries. *)
 val characterize_digest : t -> string
+
+(** Hex digest of every configuration field that can change an attack
+    verdict (the per-call conflict budget and the DIP-iteration cap) —
+    and none that cannot: [score_mode], [attack_jobs] and
+    [attack_area_weight] are excluded, so cached verdicts survive
+    re-ranking with a different area weight or parallelism. Part of the
+    attack-verdict cache key. *)
+val attack_digest : t -> string
 
 val pp : Format.formatter -> t -> unit

@@ -9,7 +9,7 @@
     redactable pieces. Logic shared between groups is duplicated — the
     standard cost of cone-based partitioning.
 
-    Off by default; run it on a design before {!Flow.run} when filtering
+    Off by default; run it on a design before {!Flow.run_request} when filtering
     rejects a module the designer wants protected. *)
 
 module V = Alice_verilog

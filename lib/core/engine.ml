@@ -24,6 +24,10 @@ module D = Alice_diag.Diag
 module F = Alice_fabric
 module Fi = Alice_fault.Fault
 
+(* The selection-scoring seam, re-exported so library users configure
+   measured scoring without reaching into [lib/core] internals. *)
+module Scorer = Selection.Scorer
+
 type t = {
   memo : Characterize.cache;
   disk : Disk_cache.t option;
@@ -31,6 +35,12 @@ type t = {
       (* per-point sweep checkpoints, a separate store (one value type
          per store) under <root>/sweep; never byte-bounded — summaries
          are tiny and evicting one silently costs a recomputation *)
+  attack_memo : Scorer.cache;
+      (* measured-selection attack verdicts, shared across runs like
+         [memo]; backed by [attack_store] when caching is on *)
+  attack_store : Disk_cache.t option;
+      (* persistent attack/ namespace under <root>/attack — a separate
+         store because one store holds one value type *)
   faults : Fi.t;
 }
 
@@ -38,7 +48,7 @@ let create ?(cache = true) ?cache_dir ?max_bytes ?faults () : t =
   let faults = match faults with Some f -> f | None -> Fi.global () in
   if not cache then
     { memo = Characterize.create_cache (); disk = None; sweep_store = None;
-      faults }
+      attack_memo = Scorer.create_cache (); attack_store = None; faults }
   else begin
     let disk = Disk_cache.create ?root:cache_dir ?max_bytes ~faults () in
     let load key = Disk_cache.load disk ~key in
@@ -56,8 +66,22 @@ let create ?(cache = true) ?cache_dir ?max_bytes ?faults () : t =
         ~root:(Filename.concat (Disk_cache.root disk) "sweep")
         ~faults ()
     in
+    let attack_store =
+      Disk_cache.create
+        ~root:(Filename.concat (Disk_cache.root disk) "attack")
+        ~faults ()
+    in
+    (* every verdict status persists: a verdict is a deterministic fact
+       about (netlist, fabric, budget), including Inconclusive ones —
+       the Scorer never caches crashed tasks in the first place *)
+    let attack_load key = Disk_cache.load attack_store ~key in
+    let attack_save key (v : Scorer.verdict) =
+      Disk_cache.store attack_store ~key v
+    in
     { memo = Characterize.create_cache ~load ~save (); disk = Some disk;
-      sweep_store = Some sweep_store; faults }
+      sweep_store = Some sweep_store;
+      attack_memo = Scorer.create_cache ~load:attack_load ~save:attack_save ();
+      attack_store = Some attack_store; faults }
   end
 
 (** An engine honoring the configuration's cache knobs ([cache],
@@ -72,6 +96,8 @@ let of_config (cfg : C.Flow_config.t) : t =
     ?max_bytes:cfg.C.Flow_config.cache_max_bytes ~faults ()
 
 let cache (t : t) : Characterize.cache = t.memo
+
+let attack_cache (t : t) : Scorer.cache = t.attack_memo
 
 let cache_root (t : t) : string option = Option.map Disk_cache.root t.disk
 
@@ -88,12 +114,18 @@ let run (t : t) (req : Flow.request) : Flow.t =
   in
   let req = { req with Flow.diags = Some collector } in
   match t.disk with
-  | None -> Flow.run_request ~cache:t.memo req
+  | None -> Flow.run_request ~cache:t.memo ~attack_cache:t.attack_memo req
   | Some disk ->
     Disk_cache.set_sink disk (D.Collector.add collector);
+    Option.iter
+      (fun store -> Disk_cache.set_sink store (D.Collector.add collector))
+      t.attack_store;
     Fun.protect
-      ~finally:(fun () -> Disk_cache.clear_sink disk)
-      (fun () -> Flow.run_request ~cache:t.memo req)
+      ~finally:(fun () ->
+        Disk_cache.clear_sink disk;
+        Option.iter Disk_cache.clear_sink t.attack_store)
+      (fun () ->
+        Flow.run_request ~cache:t.memo ~attack_cache:t.attack_memo req)
 
 (** Like [run], but without touching the disk store's warning sink, so
     overlapping calls from several threads are safe — the sink swap in
@@ -101,12 +133,14 @@ let run (t : t) (req : Flow.request) : Flow.t =
     warnings raised on behalf of any concurrent request go to the
     engine-wide sink installed with [set_warning_sink]. *)
 let run_shared (t : t) (req : Flow.request) : Flow.t =
-  Flow.run_request ~cache:t.memo req
+  Flow.run_request ~cache:t.memo ~attack_cache:t.attack_memo req
 
 let set_warning_sink (t : t) (sink : D.t -> unit) : unit =
   match t.disk with
   | None -> ()
-  | Some disk -> Disk_cache.set_sink disk sink
+  | Some disk ->
+    Disk_cache.set_sink disk sink;
+    Option.iter (fun store -> Disk_cache.set_sink store sink) t.attack_store
 
 (** Run a batch of jobs — (design × config) pairs in whatever mix —
     sequentially through one cache: later jobs reuse every
@@ -119,15 +153,17 @@ let run_many (t : t) (reqs : Flow.request list) : Flow.t list =
 
 let enable_cache_writes (t : t) : unit =
   Option.iter Disk_cache.enable_writes t.disk;
-  Option.iter Disk_cache.enable_writes t.sweep_store
+  Option.iter Disk_cache.enable_writes t.sweep_store;
+  Option.iter Disk_cache.enable_writes t.attack_store
 
 let gc ?max_bytes (t : t) : Disk_cache.gc_stats option =
   match t.disk with
   | None -> None
   | Some disk ->
     let stats = Disk_cache.gc ?max_bytes disk in
-    (* freed space un-wedges the checkpoint store too *)
+    (* freed space un-wedges the checkpoint and attack stores too *)
     Option.iter Disk_cache.enable_writes t.sweep_store;
+    Option.iter Disk_cache.enable_writes t.attack_store;
     Some stats
 
 (* ---------- resumable sweeps ---------- *)
@@ -139,6 +175,9 @@ type sweep_point = {
   sp_hits : int;
   sp_computed : int;
   sp_skipped : int;
+  sp_attacks_run : int;
+  sp_attacks_cached : int;
+  sp_attacks_inconclusive : int;
   sp_times : Flow.phase_times;
   sp_diags : D.t list;
   sp_resumed : bool;
@@ -157,22 +196,27 @@ let solution_fabrics (flow : Flow.t) : string option =
 
 let summarize (name : string) (flow : Flow.t) : sweep_point =
   let s = flow.Flow.char_stats in
+  let a = flow.Flow.selection.Selection.attack in
   { sp_name = name;
     sp_feasible = flow.Flow.selection.Selection.best <> None;
     sp_fabrics = solution_fabrics flow;
     sp_hits = s.Characterize.cache_hits;
     sp_computed = s.Characterize.computed;
     sp_skipped = s.Characterize.skipped;
+    sp_attacks_run = a.Scorer.attacks_run;
+    sp_attacks_cached = a.Scorer.attacks_cached;
+    sp_attacks_inconclusive = a.Scorer.attacks_inconclusive;
     sp_times = flow.Flow.times;
     sp_diags = flow.Flow.diags;
     sp_resumed = false }
 
 (* A point's identity is everything that can change its result: the
    name keys the row, the (config, source) marshal digests the work.
-   The [v1] prefix versions the summary encoding itself — widening
-   [sweep_point] is a format change, not a silently garbled resume. *)
+   The [v2] prefix versions the summary encoding itself — widening
+   [sweep_point] (v2 added the attack counters) is a format change, not
+   a silently garbled resume. *)
 let point_key (name : string) (req : Flow.request) : string =
-  Printf.sprintf "sweep-point v1 %s %s" name
+  Printf.sprintf "sweep-point v2 %s %s" name
     (Digest.to_hex
        (Digest.string
           (Marshal.to_string (req.Flow.config, req.Flow.source) [])))

@@ -18,6 +18,12 @@
 module C = Alice_config
 module D = Alice_diag.Diag
 
+(** The selection-scoring seam ({!Selection.Scorer}), re-exported so
+    library users can pick {!Selection.Scorer.Heuristic} vs
+    {!Selection.Scorer.Measured} and own verdict caches without
+    reaching into [lib/core] internals. *)
+module Scorer = Selection.Scorer
+
 type t
 
 (** [create ?cache ?cache_dir ?max_bytes ?faults ()]. With [cache]
@@ -73,6 +79,12 @@ val run_many : t -> Flow.request list -> Flow.t list
 (** The engine's shared cache, for driving {!Characterize} directly. *)
 val cache : t -> Characterize.cache
 
+(** The engine's shared attack-verdict cache, for driving
+    {!Selection.Scorer.measure} (or {!Selection.run} with an explicit
+    scorer) directly. Backed by the persistent [attack/] namespace
+    under the store root when caching is on. *)
+val attack_cache : t -> Scorer.cache
+
 (** Root directory of the persistent store; [None] when caching is
     off. *)
 val cache_root : t -> string option
@@ -103,6 +115,9 @@ type sweep_point = {
   sp_hits : int;             (** characterization cache hits *)
   sp_computed : int;
   sp_skipped : int;          (** deadline skips *)
+  sp_attacks_run : int;      (** measured-selection attacks computed *)
+  sp_attacks_cached : int;   (** verdicts served from the attack cache *)
+  sp_attacks_inconclusive : int;
   sp_times : Flow.phase_times;
   sp_diags : D.t list;
   sp_resumed : bool;         (** served from a checkpoint, not computed *)

@@ -44,9 +44,9 @@ type source =
           an [E0102] diagnostic *)
 
 (** One flow job: the source, its configuration, and an optional
-    caller-owned diagnostic collector — the record form of what used to
-    be the [?config ?diags ?file] optional-argument sprawl across
-    {!run} and {!run_source}. Consumed by {!Engine.run}. *)
+    caller-owned diagnostic collector — the record form of the
+    [?config ?diags ?file] optional-argument sprawl the deprecated
+    wrappers used to carry. Consumed by {!Engine.run}. *)
 type request = {
   source : source;
   config : C.Flow_config.t;
@@ -87,8 +87,12 @@ let elaborate_checked ?top (ast : V.Ast.design) : V.Elaborate.design =
     caller's collector when one is passed) and the faulting phase
     degrades to an empty result. With [cache], characterizations are
     served from and written back to the caller's cache (how {!Engine}
-    reuses work across runs); without it every run starts cold. *)
-let run_request ?(cache : Characterize.cache option) (req : request) : t =
+    reuses work across runs); without it every run starts cold.
+    [attack_cache] plays the same role for measured-selection attack
+    verdicts and is unused when the configuration's [score_mode] is
+    [Heuristic]. *)
+let run_request ?(cache : Characterize.cache option)
+    ?(attack_cache : Selection.Scorer.cache option) (req : request) : t =
   let config = req.config in
   let collector =
     match req.diags with Some c -> c | None -> D.Collector.create ()
@@ -125,7 +129,8 @@ let run_request ?(cache : Characterize.cache option) (req : request) : t =
   in
   let empty_selection =
     { Selection.valid = []; solutions = []; best = None;
-      max_io_util = 0.0; max_clb_util = 0.0 }
+      max_io_util = 0.0; max_clb_util = 0.0;
+      attack = Selection.Scorer.empty_stats }
   in
   let filtering, df =
     timed (fun dt -> filtering_s := dt) (fun () ->
@@ -165,7 +170,10 @@ let run_request ?(cache : Characterize.cache option) (req : request) : t =
               let total_instances =
                 List.length (Filtering.candidate_instances filtering)
               in
-              Selection.run config characterized ~total_instances)
+              Selection.run
+                ~scorer:
+                  (Selection.Scorer.of_config ?cache:attack_cache config)
+                config characterized ~total_instances)
         in
         ((characterized, char_stats), selection))
   in
@@ -174,20 +182,6 @@ let run_request ?(cache : Characterize.cache option) (req : request) : t =
     times = { filtering_s = !filtering_s; clustering_s = !clustering_s;
               selection_s = !selection_s };
     char_stats }
-
-(** Run the flow on a parsed design.
-    @deprecated Build a {!request} and use {!run_request} (or
-    {!Engine.run}, which adds the persistent cache); kept as a thin
-    wrapper so existing callers compile unchanged. *)
-let run ?config ?diags (ast : V.Ast.design) : t =
-  run_request (request ?config ?diags (Ast ast))
-
-(** Run on Verilog source text.
-    @deprecated Build a {!request} with a {!Text} source and use
-    {!run_request} (or {!Engine.run}); kept as a thin wrapper so
-    existing callers compile unchanged. *)
-let run_source ?config ?diags ?file (src : string) : t =
-  run_request (request ?config ?diags (Text { text = src; file }))
 
 (** Generate the redacted design for the flow's best solution. *)
 let redact ?(view = Redact.Programmed) (flow : t) : Redact.redacted option =

@@ -49,9 +49,9 @@ type source =
           flow *)
 
 (** One flow job: the source, its configuration, and an optional
-    caller-owned diagnostic collector — the record form of what used to
-    be the [?config ?diags ?file] optional-argument sprawl across
-    {!run} and {!run_source}. Build with {!request}; consume with
+    caller-owned diagnostic collector — the record form of the
+    [?config ?diags ?file] optional-argument sprawl the deprecated
+    wrappers used to carry. Build with {!request}; consume with
     {!run_request} or, for cross-run cache reuse and batching,
     {!Engine.run} / {!Engine.run_many}. *)
 type request = {
@@ -71,23 +71,14 @@ val request :
     of anything already in it) as well as reported on the result. With
     [cache], characterizations are served from and written back to the
     caller's cache — this is how {!Engine} reuses work across runs;
-    without it every run starts cold. *)
-val run_request : ?cache:Characterize.cache -> request -> t
-
-(** Run the flow on parsed source.
-    @deprecated Thin wrapper over {!run_request} (equivalent to a
-    default ephemeral engine); prefer {!request} + {!run_request} or
-    {!Engine.run}. *)
-val run : ?config:C.Flow_config.t -> ?diags:D.Collector.t -> V.Ast.design -> t
-  [@@deprecated "use Flow.request + Flow.run_request (or Engine.run)"]
-
-(** Run on Verilog source text.
-    @deprecated Thin wrapper over {!run_request}; prefer {!request}
-    with a {!Text} source, or {!Engine.run}. *)
-val run_source :
-  ?config:C.Flow_config.t -> ?diags:D.Collector.t -> ?file:string -> string -> t
-  [@@deprecated
-    "use Flow.request with a Text source + Flow.run_request (or Engine.run)"]
+    without it every run starts cold. [attack_cache] plays the same
+    role for measured-selection attack verdicts (ignored when the
+    configuration's [score_mode] is [Heuristic]). *)
+val run_request :
+  ?cache:Characterize.cache ->
+  ?attack_cache:Selection.Scorer.cache ->
+  request ->
+  t
 
 (** Generate the redacted design for the flow's best solution. *)
 val redact : ?view:Redact.view -> t -> Redact.redacted option

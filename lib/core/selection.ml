@@ -17,11 +17,207 @@ module C = Alice_config
 module F = Alice_fabric
 module V = Alice_verilog
 
+(** The scoring seam of Algorithm 3. [Heuristic] is Eq. 1 exactly as
+    today — utilization proxies, zero solver work. [Measured] replaces
+    the proxy with ground truth: every valid candidate's locked netlist
+    is attacked with the budgeted oracle-guided SAT attack from
+    {!Alice_security.Sat_attack}, and candidates are ranked on
+    key-recovery cost (a candidate solved within the budget scores by
+    how many conflicts the attack needed; one that resisted the budget
+    outranks every solved one), traded against fabric area via
+    [attack_area_weight].
+
+    Verdicts are deterministic by construction: the measured budget is
+    conflict- and iteration-bounded only (no wall clock), and a verdict
+    carries no timing — so verdicts are bit-identical across
+    [attack_jobs] values and across cold/warm cache runs, and safe to
+    persist keyed by fabric digest x locked-netlist digest x budget
+    digest ({!Alice_config.Flow_config.attack_digest}). *)
+module Scorer = struct
+  module Sec = Alice_security
+  module Pool = Alice_parallel.Pool
+  module Memo = Alice_parallel.Memo
+
+  (* What one budgeted attack run concluded about one candidate. No
+     wall-clock field: a verdict must be a pure function of its cache
+     key so warm re-ranks are byte-identical to cold ones. *)
+  type verdict = {
+    v_status : Sec.Sat_attack.status;
+    v_iterations : int;   (* DIPs the attack used *)
+    v_conflicts : int;    (* solver conflicts spent across all calls *)
+    v_key_bits : int;
+  }
+
+  type stats = {
+    attacks_run : int;           (* verdicts computed by attacking *)
+    attacks_cached : int;        (* verdicts served from the cache *)
+    attacks_inconclusive : int;  (* unique verdicts proving nothing *)
+  }
+
+  let empty_stats =
+    { attacks_run = 0; attacks_cached = 0; attacks_inconclusive = 0 }
+
+  let add_stats a b =
+    { attacks_run = a.attacks_run + b.attacks_run;
+      attacks_cached = a.attacks_cached + b.attacks_cached;
+      attacks_inconclusive = a.attacks_inconclusive + b.attacks_inconclusive }
+
+  type cache = (string, verdict) Memo.t
+
+  let create_cache ?load ?save () : cache = Memo.create ~size:64 ?load ?save ()
+
+  (* [No_sharing] makes the blob a function of structure alone, so the
+     digest is stable across processes (same discipline as
+     characterization's module digests). *)
+  let digest_of x =
+    Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.No_sharing ]))
+
+  (** Attack-verdict cache key: fabric digest x locked-netlist digest x
+      budget digest. Changing the fabric, the mapped netlist or any
+      budget knob rekeys; changing [attack_jobs]/[attack_area_weight]
+      does not (verdicts are reusable across both). *)
+  let verdict_key (cfg : C.Flow_config.t) ~(fabric : F.Fabric.t)
+      ~(mapped : Alice_netlist.Circuit.t) : string =
+    Printf.sprintf "attack-verdict v1 %s %s %s" (digest_of fabric)
+      (digest_of mapped)
+      (C.Flow_config.attack_digest cfg)
+
+  type t = Heuristic | Measured of { cache : cache option }
+
+  let of_config ?cache (cfg : C.Flow_config.t) : t =
+    match cfg.C.Flow_config.score_mode with
+    | C.Flow_config.Heuristic -> Heuristic
+    | C.Flow_config.Measured -> Measured { cache }
+
+  let measured_budget (cfg : C.Flow_config.t) : Sec.Sat_attack.budget =
+    { Sec.Sat_attack.max_iterations = cfg.C.Flow_config.attack_iterations;
+      max_seconds = infinity;
+      solver_conflicts = Some cfg.C.Flow_config.attack_budget }
+
+  (** Attack one candidate's locked netlist under the measured budget. *)
+  let attack_one (cfg : C.Flow_config.t) (mapped : Alice_netlist.Circuit.t) :
+      verdict =
+    let locked = Sec.Locked.of_mapped mapped in
+    let oracle = Sec.Locked.make_oracle locked in
+    let o = Sec.Sat_attack.attack ~budget:(measured_budget cfg) locked ~oracle in
+    { v_status = o.Sec.Sat_attack.status;
+      v_iterations = o.Sec.Sat_attack.iterations;
+      v_conflicts = o.Sec.Sat_attack.conflicts;
+      v_key_bits = o.Sec.Sat_attack.key_bits }
+
+  (** Resilience of a verdict in [0, 1]: a candidate the attack could
+      not break within the budget scores 1.0; a broken candidate scores
+      by how expensive the break was, [0.5 * c / (c + budget)] — always
+      below 0.5 and monotone in the conflicts spent, so any resisting
+      candidate outranks every solved one at equal area. *)
+  let resilience (cfg : C.Flow_config.t) (v : verdict) : float =
+    match v.v_status with
+    | Sec.Sat_attack.Converged ->
+      let b = float_of_int cfg.C.Flow_config.attack_budget in
+      let c = float_of_int (max 0 v.v_conflicts) in
+      0.5 *. c /. (c +. b)
+    | Sec.Sat_attack.Exhausted | Sec.Sat_attack.Inconclusive -> 1.0
+
+  (** Measured score: resilience minus the weighted area cost, where
+      area is CLB count normalized by the largest valid fabric's. *)
+  let measured_score (cfg : C.Flow_config.t) ~(max_clbs : int)
+      (impl : F.Size_search.implementation) (v : verdict) : float =
+    let area =
+      if max_clbs <= 0 then 0.0
+      else
+        float_of_int (F.Fabric.clb_count impl.F.Size_search.fabric)
+        /. float_of_int max_clbs
+    in
+    resilience cfg v -. (cfg.C.Flow_config.attack_area_weight *. area)
+
+  (** Resolve a verdict for every candidate, order preserved. Candidates
+      aliasing the same cache key are attacked once; cache misses fan
+      out over [attack_jobs] worker domains (strictly serial at 1).
+      Verdicts of every status are written back — all are deterministic
+      facts about (netlist, fabric, budget). A crashed or skipped attack
+      task degrades to an uncached Inconclusive verdict so one broken
+      candidate cannot abort selection. *)
+  let measure ~(cache : cache option) (cfg : C.Flow_config.t)
+      (cands : (F.Fabric.t * Alice_netlist.Circuit.t) list) :
+      verdict list * stats =
+    let memo = match cache with Some c -> c | None -> create_cache () in
+    let keyed =
+      List.map
+        (fun (fabric, mapped) -> (verdict_key cfg ~fabric ~mapped, mapped))
+        cands
+    in
+    let seen = Hashtbl.create 16 in
+    let uniques =
+      List.filter
+        (fun (key, _) ->
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        keyed
+    in
+    let resolved : (string, verdict) Hashtbl.t = Hashtbl.create 16 in
+    let misses =
+      List.filter
+        (fun (key, _) ->
+          match Memo.find_opt memo key with
+          | Some v ->
+            Hashtbl.replace resolved key v;
+            false
+          | None -> true)
+        uniques
+    in
+    let cached = Hashtbl.length resolved in
+    let pool = Pool.create ~jobs:cfg.C.Flow_config.attack_jobs in
+    let outcomes =
+      Pool.map_ordered pool (fun (_key, mapped) -> attack_one cfg mapped)
+        misses
+    in
+    let run = ref 0 in
+    List.iter2
+      (fun (key, _) outcome ->
+        match outcome with
+        | Pool.Value v ->
+          incr run;
+          Hashtbl.replace resolved key v;
+          Memo.set memo key v
+        | Pool.Raised Out_of_memory -> raise Out_of_memory
+        | Pool.Raised _ | Pool.Skipped ->
+          incr run;
+          Hashtbl.replace resolved key
+            { v_status = Sec.Sat_attack.Inconclusive; v_iterations = 0;
+              v_conflicts = 0; v_key_bits = 0 })
+      misses outcomes;
+    let verdicts =
+      List.map
+        (fun (key, _) ->
+          match Hashtbl.find_opt resolved key with
+          | Some v -> v
+          | None -> assert false (* every unique key was just resolved *))
+        keyed
+    in
+    let inconclusive =
+      List.fold_left
+        (fun acc (key, _) ->
+          match Hashtbl.find_opt resolved key with
+          | Some { v_status = Sec.Sat_attack.Inconclusive; _ } -> acc + 1
+          | Some _ | None -> acc)
+        0 uniques
+    in
+    ( verdicts,
+      { attacks_run = !run; attacks_cached = cached;
+        attacks_inconclusive = inconclusive } )
+end
+
 type efpga_impl = {
   cluster : Clustering.cluster;
   impl : F.Size_search.implementation;
   mapped : Alice_netlist.Circuit.t;
-  score : float;  (* Eq. 1 *)
+  score : float;  (* Eq. 1, or the measured score under [Scorer.Measured] *)
+  verdict : Scorer.verdict option;
+      (* the attack verdict that produced [score]; [None] under
+         [Scorer.Heuristic] *)
 }
 
 type solution = {
@@ -37,6 +233,7 @@ type result = {
   best : solution option;           (* s_t *)
   max_io_util : float;
   max_clb_util : float;
+  attack : Scorer.stats;            (* zero under Scorer.Heuristic *)
 }
 
 (** Fabric score. [max_io]/[max_clb] are the maxima over all valid
@@ -45,8 +242,12 @@ type result = {
     {!Alice_config.Flow_config.score_formula}). *)
 let score_eq1 (cfg : C.Flow_config.t) ~(max_io : float) ~(max_clb : float)
     ~(io_util : float) ~(clb_util : float) : float =
-  let penalty maxv v = if maxv <= 0.0 then 0.0 else (maxv -. v) /. maxv in
-  let reward maxv v = if maxv <= 0.0 then 0.0 else v /. maxv in
+  (* a degenerate maximum (zero, NaN or infinite — e.g. every valid
+     fabric reports 0 I/O utilization) must yield a definite 0.0 term,
+     never NaN: NaN scores would make the ranking sort nondeterministic *)
+  let degenerate maxv = maxv <= 0.0 || not (Float.is_finite maxv) in
+  let penalty maxv v = if degenerate maxv then 0.0 else (maxv -. v) /. maxv in
+  let reward maxv v = if degenerate maxv then 0.0 else v /. maxv in
   let term =
     match cfg.C.Flow_config.score_formula with
     | C.Flow_config.Penalty -> penalty
@@ -68,10 +269,17 @@ let solution_of (efpgas : efpga_impl list) ~(total_instances : int)
     is_final = List.length efpgas >= max_efpgas || redacted >= total_instances }
 
 (** Run Algorithm 3 over characterized clusters. [total_instances] is the
-    number of admissible instances (for the IsFinal test). *)
-let run (cfg : C.Flow_config.t)
+    number of admissible instances (for the IsFinal test). [scorer]
+    (default: derived from the configuration's [score_mode]) decides how
+    valid fabrics are scored — {!Scorer.Heuristic} is Eq. 1, byte-for-byte
+    the historical behavior; {!Scorer.Measured} ranks on attack
+    verdicts. *)
+let run ?scorer (cfg : C.Flow_config.t)
     (characterized : Characterize.characterization list)
     ~(total_instances : int) : result =
+  let scorer =
+    match scorer with Some s -> s | None -> Scorer.of_config cfg
+  in
   (* IsValid (line 4): the fabric exists within the permitted range and
      is not utilized below the designer's floor *)
   let valid_raw =
@@ -95,14 +303,37 @@ let run (cfg : C.Flow_config.t)
       (fun acc (_, (i : F.Size_search.implementation), _) -> Float.max acc i.clb_util)
       0.0 valid_raw
   in
-  let valid =
-    List.map
-      (fun (cluster, (impl : F.Size_search.implementation), mapped) ->
-        { cluster; impl; mapped;
-          score =
-            score_eq1 cfg ~max_io:max_io_util ~max_clb:max_clb_util
-              ~io_util:impl.io_util ~clb_util:impl.clb_util })
-      valid_raw
+  let valid, attack_stats =
+    match scorer with
+    | Scorer.Heuristic ->
+      ( List.map
+          (fun (cluster, (impl : F.Size_search.implementation), mapped) ->
+            { cluster; impl; mapped; verdict = None;
+              score =
+                score_eq1 cfg ~max_io:max_io_util ~max_clb:max_clb_util
+                  ~io_util:impl.io_util ~clb_util:impl.clb_util })
+          valid_raw,
+        Scorer.empty_stats )
+    | Scorer.Measured { cache } ->
+      let max_clbs =
+        List.fold_left
+          (fun acc (_, (i : F.Size_search.implementation), _) ->
+            max acc (F.Fabric.clb_count i.F.Size_search.fabric))
+          0 valid_raw
+      in
+      let verdicts, stats =
+        Scorer.measure ~cache cfg
+          (List.map
+             (fun (_, (i : F.Size_search.implementation), m) ->
+               (i.F.Size_search.fabric, m))
+             valid_raw)
+      in
+      ( List.map2
+          (fun (cluster, (impl : F.Size_search.implementation), mapped) v ->
+            { cluster; impl; mapped; verdict = Some v;
+              score = Scorer.measured_score cfg ~max_clbs impl v })
+          valid_raw verdicts,
+        stats )
   in
   let max_efpgas = cfg.C.Flow_config.max_efpgas in
   (* branch & bound: canonical (index-increasing) expansion so each set
@@ -132,7 +363,8 @@ let run (cfg : C.Flow_config.t)
       !solutions
   in
   let best = match ranked with [] -> None | s :: _ -> Some s in
-  { valid; solutions = ranked; best; max_io_util; max_clb_util }
+  { valid; solutions = ranked; best; max_io_util; max_clb_util;
+    attack = attack_stats }
 
 let solution_count (r : result) = List.length r.solutions
 

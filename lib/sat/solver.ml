@@ -247,15 +247,23 @@ let pick_branch (s : t) : int option =
   if !best = 0 then None
   else Some (if s.phase.(!best) then 2 * !best else (2 * !best) + 1)
 
-(** Solve the formula. [assumptions] are literals (DIMACS convention)
-    fixed before search; the solver is single-shot.
+(* process-wide count of completed [solve]/[solve_stats] calls; Atomic so
+   pool workers in other domains are counted too *)
+let call_counter = Atomic.make 0
+
+let total_calls () = Atomic.get call_counter
+
+(** Solve the formula and report the conflicts spent. [assumptions] are
+    literals (DIMACS convention) fixed before search; the solver is
+    single-shot.
 
     [max_conflicts]/[max_decisions] are hard resource budgets: when the
     search would exceed either, it stops and returns {!Unknown} instead
     of looping indefinitely on a hard instance. Conflicts at decision
     level 0 still conclude [Unsat] regardless of budget. *)
-let solve ?(assumptions : int list = []) ?max_conflicts ?max_decisions
-    (f : Cnf.t) : result =
+let solve_stats ?(assumptions : int list = []) ?max_conflicts ?max_decisions
+    (f : Cnf.t) : result * int =
+  Atomic.incr call_counter;
   let s = create (Cnf.var_count f) in
   let over_budget () =
     (match max_conflicts with Some b -> s.conflicts >= b | None -> false)
@@ -279,7 +287,7 @@ let solve ?(assumptions : int list = []) ?max_conflicts ?max_decisions
         | -1 -> ok := false
         | _ -> enqueue s (lit_of_dimacs l) None)
     assumptions;
-  if not !ok then Unsat
+  if not !ok then (Unsat, s.conflicts)
   else begin
     try
       (match propagate s with Some _ -> raise Unsat_exception | None -> ());
@@ -343,9 +351,13 @@ let solve ?(assumptions : int list = []) ?max_conflicts ?max_decisions
            done
          with Exit -> restart_interval := !restart_interval * 2)
       done;
-      (match !result with Some r -> r | None -> assert false)
-    with Unsat_exception -> Unsat
+      (match !result with Some r -> (r, s.conflicts) | None -> assert false)
+    with Unsat_exception -> (Unsat, s.conflicts)
   end
+
+(** Solve the formula, discarding the conflict count. *)
+let solve ?assumptions ?max_conflicts ?max_decisions (f : Cnf.t) : result =
+  fst (solve_stats ?assumptions ?max_conflicts ?max_decisions f)
 
 (** Value of a DIMACS variable in a model. *)
 let model_value (model : bool array) (v : int) : bool = model.(v)

@@ -19,5 +19,21 @@ val solve :
   Cnf.t ->
   result
 
+(** Like {!solve} but also reports the number of conflicts the search
+    spent, including searches that concluded [Unsat] at level 0. The
+    conflict count is the deterministic cost measure used by measured
+    selection scoring. *)
+val solve_stats :
+  ?assumptions:int list ->
+  ?max_conflicts:int ->
+  ?max_decisions:int ->
+  Cnf.t ->
+  result * int
+
+(** Process-wide number of {!solve}/{!solve_stats} invocations across all
+    domains since program start. Tests use deltas of this counter to
+    assert that warm cache paths perform zero solver work. *)
+val total_calls : unit -> int
+
 (** Value of a variable in a model. *)
 val model_value : bool array -> int -> bool

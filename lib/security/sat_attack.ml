@@ -33,6 +33,7 @@ type outcome = {
   key : bool array option; (* recovered key, when successful *)
   key_bits : int;
   seconds : float;
+  conflicts : int;         (* solver conflicts spent across all calls *)
 }
 
 type budget = {
@@ -123,20 +124,27 @@ let attack ?(budget = default_budget) (l : Locked.t)
     ~(oracle : bool array -> bool array) : outcome =
   let start = Timebase.now_s () in
   let elapsed () = Timebase.elapsed_since start in
-  let solve f = Solver.solve ?max_conflicts:budget.solver_conflicts f in
+  let spent = ref 0 in
+  let solve f =
+    let r, c = Solver.solve_stats ?max_conflicts:budget.solver_conflicts f in
+    spent := !spent + c;
+    r
+  in
   let ins = Locked.input_nets l in
   let rec loop dips iterations =
     if iterations >= budget.max_iterations || elapsed () > budget.max_seconds
     then
       { success = false; status = Exhausted; iterations; key = None;
-        key_bits = l.Locked.key_bits; seconds = elapsed () }
+        key_bits = l.Locked.key_bits; seconds = elapsed ();
+        conflicts = !spent }
     else begin
       let f, input_vars, _key1 = build_miter l dips in
       match solve f with
       | Solver.Unknown ->
         (* the solver's own budget ran out: the run proves nothing *)
         { success = false; status = Inconclusive; iterations; key = None;
-          key_bits = l.Locked.key_bits; seconds = elapsed () }
+          key_bits = l.Locked.key_bits; seconds = elapsed ();
+          conflicts = !spent }
       | Solver.Unsat ->
         (* converged: any key satisfying the recorded queries is correct *)
         let fk, key_vars = build_feasibility l dips in
@@ -144,14 +152,17 @@ let attack ?(budget = default_budget) (l : Locked.t)
         | Solver.Sat model ->
           let key = Some (Array.map (fun v -> Solver.model_value model v) key_vars) in
           { success = true; status = Converged; iterations; key;
-            key_bits = l.Locked.key_bits; seconds = elapsed () }
+            key_bits = l.Locked.key_bits; seconds = elapsed ();
+            conflicts = !spent }
         | Solver.Unsat ->
           { success = true; status = Converged; iterations; key = None;
-            key_bits = l.Locked.key_bits; seconds = elapsed () }
+            key_bits = l.Locked.key_bits; seconds = elapsed ();
+            conflicts = !spent }
         | Solver.Unknown ->
           (* miter collapsed but key extraction hit the solver budget *)
           { success = false; status = Inconclusive; iterations; key = None;
-            key_bits = l.Locked.key_bits; seconds = elapsed () })
+            key_bits = l.Locked.key_bits; seconds = elapsed ();
+            conflicts = !spent })
       | Solver.Sat model ->
         let dip =
           Array.init (Array.length ins) (fun i ->

@@ -20,6 +20,10 @@ type outcome = {
   key : bool array option;  (** recovered key, when successful *)
   key_bits : int;
   seconds : float;
+  conflicts : int;
+      (** solver conflicts spent across every solver call the run made;
+          unlike [seconds] this is deterministic, so it is the cost
+          measure measured selection scoring ranks on *)
 }
 
 type budget = {

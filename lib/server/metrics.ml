@@ -22,6 +22,9 @@ type snapshot = {
   cache_computed : int;
   cache_skipped : int;
   cache_warnings : int;
+  attacks_run : int;
+  attacks_cached : int;
+  attacks_inconclusive : int;
   worker_crashes : int;
 }
 
@@ -39,6 +42,9 @@ type t = {
   mutable cache_computed : int;
   mutable cache_skipped : int;
   mutable cache_warnings : int;
+  mutable attacks_run : int;
+  mutable attacks_cached : int;
+  mutable attacks_inconclusive : int;
   mutable worker_crashes : int;
 }
 
@@ -49,6 +55,7 @@ let create () : t =
     rejected_busy = 0; rejected_draining = 0; completed = 0;
     latency_sum_s = 0.0; latency_max_s = 0.0; cache_hits = 0;
     cache_computed = 0; cache_skipped = 0; cache_warnings = 0;
+    attacks_run = 0; attacks_cached = 0; attacks_inconclusive = 0;
     worker_crashes = 0 }
 
 let locked t f =
@@ -97,6 +104,12 @@ let record_cache_run t ~hits ~computed ~skipped =
       t.cache_computed <- t.cache_computed + computed;
       t.cache_skipped <- t.cache_skipped + skipped)
 
+let record_attack_run t ~run ~cached ~inconclusive =
+  locked t (fun () ->
+      t.attacks_run <- t.attacks_run + run;
+      t.attacks_cached <- t.attacks_cached + cached;
+      t.attacks_inconclusive <- t.attacks_inconclusive + inconclusive)
+
 let record_cache_warning t =
   locked t (fun () -> t.cache_warnings <- t.cache_warnings + 1)
 
@@ -120,6 +133,9 @@ let snapshot t : snapshot =
         cache_computed = t.cache_computed;
         cache_skipped = t.cache_skipped;
         cache_warnings = t.cache_warnings;
+        attacks_run = t.attacks_run;
+        attacks_cached = t.attacks_cached;
+        attacks_inconclusive = t.attacks_inconclusive;
         worker_crashes = t.worker_crashes })
 
 let quantile (s : snapshot) (q : float) : float =

@@ -27,6 +27,10 @@ type snapshot = {
   cache_computed : int;
   cache_skipped : int;
   cache_warnings : int;  (** engine-wide [W0702]/[W0703] events *)
+  attacks_run : int;     (** measured-selection attacks computed *)
+  attacks_cached : int;  (** verdicts served from the attack cache *)
+  attacks_inconclusive : int;
+      (** unique verdicts whose attack proved nothing either way *)
   worker_crashes : int;
       (** [E1005] events: connections whose worker crashed (the crash
           was contained and the worker slot respawned) *)
@@ -48,6 +52,10 @@ val record_rejected_draining : t -> unit
 
 (** Fold one run's characterization-cache accounting into the totals. *)
 val record_cache_run : t -> hits:int -> computed:int -> skipped:int -> unit
+
+(** Fold one run's measured-selection attack accounting into the
+    totals. *)
+val record_attack_run : t -> run:int -> cached:int -> inconclusive:int -> unit
 
 val record_cache_warning : t -> unit
 

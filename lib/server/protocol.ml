@@ -10,7 +10,9 @@ module D = Alice_diag.Diag
 
 let version = 1
 
-let minor = 1
+(* minor 1: streaming sweeps; minor 2: measured-selection attack fields
+   on redact/sweep responses and the stats "attacks" object *)
+let minor = 2
 
 type source = Inline of string | Path of string
 

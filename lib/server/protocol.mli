@@ -42,7 +42,13 @@ val version : int
     line per completed point followed by a terminal
     [{"event":"done",...}] summary frame; clients announcing a lower
     (or no) minor always get the buffered single-line form, whatever
-    they asked for. A request [mv] above the server's is capped, not
+    they asked for. Minor 2 adds measured-selection attack accounting:
+    an [{"attack":{"run":..,"cached":..,"inconclusive":..}}] object on
+    [redact] responses, [attacks_run]/[attacks_cached]/
+    [attacks_inconclusive] fields on sweep rows, and a top-level
+    [attacks] object in [stats] (the [stats] object is reported to
+    every client — only the redact/sweep fields are gated on the
+    announced minor). A request [mv] above the server's is capped, not
     rejected — minors only ever add behaviour. *)
 val minor : int
 

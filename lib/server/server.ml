@@ -109,6 +109,10 @@ let run_flow t (cfg : C.Flow_config.t) (source : P.source) : A.Flow.t =
   let s = flow.A.Flow.char_stats in
   Metrics.record_cache_run t.metrics ~hits:s.A.Characterize.cache_hits
     ~computed:s.A.Characterize.computed ~skipped:s.A.Characterize.skipped;
+  let a = flow.A.Flow.selection.A.Selection.attack in
+  Metrics.record_attack_run t.metrics ~run:a.A.Engine.Scorer.attacks_run
+    ~cached:a.A.Engine.Scorer.attacks_cached
+    ~inconclusive:a.A.Engine.Scorer.attacks_inconclusive;
   flow
 
 let diags_field (diags : D.t list) : (string * J.t) list =
@@ -142,8 +146,20 @@ let solution_fabrics (flow : A.Flow.t) : string option =
            best.A.Selection.efpgas))
     flow.A.Flow.selection.A.Selection.best
 
-let execute_redact t ~(id : J.t) (source : P.source) (req_cfg : Y.t)
-    (view : A.Redact.view) : string * bool =
+(* additive minor-2 field: measured-selection attack accounting *)
+let attack_field ~(minor : int) (a : A.Engine.Scorer.stats) :
+    (string * J.t) list =
+  if minor < 2 then []
+  else
+    [ ( "attack",
+        J.Obj
+          [ ("run", J.Int a.A.Engine.Scorer.attacks_run);
+            ("cached", J.Int a.A.Engine.Scorer.attacks_cached);
+            ("inconclusive", J.Int a.A.Engine.Scorer.attacks_inconclusive) ]
+      ) ]
+
+let execute_redact t ~(id : J.t) ~(minor : int) (source : P.source)
+    (req_cfg : Y.t) (view : A.Redact.view) : string * bool =
   let cfg = effective_config t req_cfg in
   let flow = run_flow t cfg source in
   match A.Flow.redact ~view flow with
@@ -174,6 +190,7 @@ let execute_redact t ~(id : J.t) (source : P.source) (req_cfg : Y.t)
              | None -> J.Null );
            char_stats_field flow.A.Flow.char_stats;
            times_field flow.A.Flow.times ]
+        @ attack_field ~minor flow.A.Flow.selection.A.Selection.attack
         @ diags_field flow.A.Flow.diags),
       true )
 
@@ -213,7 +230,8 @@ let execute_characterize t ~(id : J.t) (source : P.source) (req_cfg : Y.t) :
       @ diags_field flow.A.Flow.diags),
     true )
 
-let sweep_row_fields (sp : A.Engine.sweep_point) : (string * J.t) list =
+let sweep_row_fields ~(minor : int) (sp : A.Engine.sweep_point) :
+    (string * J.t) list =
   [ ("name", J.String sp.A.Engine.sp_name);
     ("feasible", J.Bool sp.A.Engine.sp_feasible);
     ( "fabrics",
@@ -222,8 +240,14 @@ let sweep_row_fields (sp : A.Engine.sweep_point) : (string * J.t) list =
       | None -> J.Null );
     ("hits", J.Int sp.A.Engine.sp_hits);
     ("computed", J.Int sp.A.Engine.sp_computed);
-    ("skipped", J.Int sp.A.Engine.sp_skipped);
-    ("resumed", J.Bool sp.A.Engine.sp_resumed) ]
+    ("skipped", J.Int sp.A.Engine.sp_skipped) ]
+  @ (if minor < 2 then []
+     else
+       [ ("attacks_run", J.Int sp.A.Engine.sp_attacks_run);
+         ("attacks_cached", J.Int sp.A.Engine.sp_attacks_cached);
+         ("attacks_inconclusive", J.Int sp.A.Engine.sp_attacks_inconclusive)
+       ])
+  @ [ ("resumed", J.Bool sp.A.Engine.sp_resumed) ]
 
 let tag_point_diags (sp : A.Engine.sweep_point) : D.t list =
   List.map
@@ -231,11 +255,15 @@ let tag_point_diags (sp : A.Engine.sweep_point) : D.t list =
       { d with D.context = ("config", sp.A.Engine.sp_name) :: d.D.context })
     sp.A.Engine.sp_diags
 
-(* a checkpointed point did no cache work in this process *)
+(* a checkpointed point did no cache (or attack) work in this process *)
 let record_point t (sp : A.Engine.sweep_point) =
-  if not sp.A.Engine.sp_resumed then
+  if not sp.A.Engine.sp_resumed then begin
     Metrics.record_cache_run t.metrics ~hits:sp.A.Engine.sp_hits
-      ~computed:sp.A.Engine.sp_computed ~skipped:sp.A.Engine.sp_skipped
+      ~computed:sp.A.Engine.sp_computed ~skipped:sp.A.Engine.sp_skipped;
+    Metrics.record_attack_run t.metrics ~run:sp.A.Engine.sp_attacks_run
+      ~cached:sp.A.Engine.sp_attacks_cached
+      ~inconclusive:sp.A.Engine.sp_attacks_inconclusive
+  end
 
 let execute_sweep t ~(id : J.t) ~(minor : int)
     ~(emit : (string -> unit) option) (source : P.source) (base : Y.t)
@@ -262,7 +290,7 @@ let execute_sweep t ~(id : J.t) ~(minor : int)
       record_point t sp;
       emit
         (P.event_response ~id ~op:"sweep" ~event:"row"
-           (sweep_row_fields sp @ diags_field (tag_point_diags sp)));
+           (sweep_row_fields ~minor sp @ diags_field (tag_point_diags sp)));
       incr sent;
       if sp.A.Engine.sp_feasible then incr feasible;
       if sp.A.Engine.sp_resumed then incr resumed
@@ -277,7 +305,9 @@ let execute_sweep t ~(id : J.t) ~(minor : int)
     (* the buffered form: what pre-minor-1 clients always get *)
     let results = A.Engine.run_sweep ~shared:true t.engine points in
     List.iter (record_point t) results;
-    let rows = List.map (fun sp -> J.Obj (sweep_row_fields sp)) results in
+    let rows =
+      List.map (fun sp -> J.Obj (sweep_row_fields ~minor sp)) results
+    in
     let tagged = List.concat_map tag_point_diags results in
     ( P.ok_response ~id ~op:"sweep"
         ([ ("rows", J.List rows) ] @ diags_field tagged),
@@ -399,7 +429,12 @@ let execute_stats t ~(id : J.t) : string * bool =
               ("p95_ms", ms (Metrics.quantile s 0.95));
               ("p99_ms", ms (Metrics.quantile s 0.99));
               ("buckets", J.List buckets) ] );
-        ("cache", J.Obj cache) ]
+        ("cache", J.Obj cache);
+        ( "attacks",
+          J.Obj
+            [ ("run", J.Int s.Metrics.attacks_run);
+              ("cached", J.Int s.Metrics.attacks_cached);
+              ("inconclusive", J.Int s.Metrics.attacks_inconclusive) ] ) ]
       @ faults),
     true )
 
@@ -433,7 +468,7 @@ let execute t ~(id : J.t) ~(minor : int) ~(emit : (string -> unit) option)
   | P.Shutdown ->
     (P.ok_response ~id ~op:"shutdown" [ ("draining", J.Bool true) ], true, `Stop)
   | P.Redact { source; config; view } -> (
-    match execute_redact t ~id source config view with
+    match execute_redact t ~id ~minor source config view with
     | resp, ok -> (resp, ok, `Continue)
     | exception ((Out_of_memory | Stack_overflow) as e) -> raise e
     | exception e ->

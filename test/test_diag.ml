@@ -233,9 +233,9 @@ let test_all_failed_degrades_to_empty_selection () =
   Alcotest.(check bool) "diagnostics explain why" true
     (List.exists D.is_error flow.A.Flow.diags)
 
-(* ---------- syntax errors flow through run_source ---------- *)
+(* ---------- syntax errors flow through run_request ---------- *)
 
-let test_run_source_reports_parse_errors () =
+let test_run_request_reports_parse_errors () =
   (* a broken item inside a leaf module: the flow completes and carries
      the E0102 diagnostic *)
   let src =
@@ -404,8 +404,8 @@ let tests =
       test_cache_hit_diag_names_own_cluster;
     Alcotest.test_case "all-failed run degrades cleanly" `Quick
       test_all_failed_degrades_to_empty_selection;
-    Alcotest.test_case "run_source reports parse errors" `Quick
-      test_run_source_reports_parse_errors;
+    Alcotest.test_case "run_request reports parse errors" `Quick
+      test_run_request_reports_parse_errors;
     Alcotest.test_case "config budget knobs" `Quick test_config_knobs;
     Alcotest.test_case "characterize deadline skips clusters" `Quick
       test_deadline_skips_clusters;

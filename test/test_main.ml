@@ -15,6 +15,7 @@ let () =
       ("security", Test_security.tests);
       ("flow", Test_flow.tests);
       ("engine", Test_engine.tests);
+      ("scorer", Test_scorer.tests);
       ("server", Test_server.tests);
       ("redact", Test_redact.tests);
       ("decompose", Test_decompose.tests);

@@ -135,7 +135,7 @@ let flow_sig (flow : A.Flow.t) =
     flow.A.Flow.diags )
 
 let test_flow_jobs_equivalence () =
-  (* full Flow.run on two benchmarks: selection and diagnostics are
+  (* full Flow.run_request on two benchmarks: selection and diagnostics are
      identical (modulo timing fields) between jobs=1 and jobs=4 *)
   List.iter
     (fun name ->
