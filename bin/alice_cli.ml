@@ -191,9 +191,16 @@ let report_attack_line (cfg : C.Flow_config.t) (flow : A.Flow.t) : unit =
   | C.Flow_config.Heuristic -> ()
   | C.Flow_config.Measured ->
     let a = flow.A.Flow.selection.A.Selection.attack in
-    Format.eprintf "attack: %d run, %d cached, %d inconclusive@."
+    Format.eprintf "attack: %d run, %d cached, %d inconclusive, %d reused@."
       a.A.Selection.Scorer.attacks_run a.A.Selection.Scorer.attacks_cached
       a.A.Selection.Scorer.attacks_inconclusive
+      a.A.Selection.Scorer.attacks_reused;
+    (* per-candidate verdicts, one line per valid fabric implementation *)
+    match A.Report.verdict_rows flow with
+    | [] -> ()
+    | rows ->
+      Format.eprintf "%a" A.Report.pp_verdict_header ();
+      List.iter (fun r -> Format.eprintf "%a" A.Report.pp_verdict_row r) rows
 
 let render_diags (fmt : D.format) (diags : D.t list) : unit =
   if diags <> [] then

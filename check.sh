@@ -123,6 +123,33 @@ if ! grep -Eq 'attack: 0 run, [1-9][0-9]* cached' "$tmpdir/mstderr_warm.txt"; th
   cat "$tmpdir/mstderr_warm.txt" >&2
   exit 1
 fi
+# the incremental solver session must actually reuse learnt work
+if ! grep -Eq 'attack: .*, [1-9][0-9]* reused' "$tmpdir/mstderr_cold.txt"; then
+  echo "check.sh: measured cold run reported no learnt-clause reuse:" >&2
+  cat "$tmpdir/mstderr_cold.txt" >&2
+  exit 1
+fi
+# ...and it surfaces one verdict line per valid candidate
+if ! grep -Eq '^Cluster +Fabric +Verdict' "$tmpdir/mstderr_cold.txt"; then
+  echo "check.sh: measured cold run printed no per-candidate verdicts:" >&2
+  cat "$tmpdir/mstderr_cold.txt" >&2
+  exit 1
+fi
+# the single-shot escape hatch must produce byte-identical output (its
+# verdicts key separately, so a fresh cache dir keeps modes apart)
+ALICE_SAT_INCREMENTAL=0 dune exec --no-build bin/alice_cli.exe -- \
+  redact "$tmpdir/gcd.v" -c "$tmpdir/gcd.yaml" --score measured \
+  --attack-budget 2000 --cache-dir "$tmpdir/scache" --diag-format=json \
+  -o "$tmpdir/sout.v" > "$tmpdir/sdiags.json" 2> "$tmpdir/sstderr.txt"
+if ! cmp -s "$tmpdir/mout_cold.v" "$tmpdir/sout.v"; then
+  echo "check.sh: incremental and single-shot attack paths disagree" >&2
+  exit 1
+fi
+if grep -Eq ', [1-9][0-9]* reused' "$tmpdir/sstderr.txt"; then
+  echo "check.sh: single-shot mode reported learnt-clause reuse" >&2
+  cat "$tmpdir/sstderr.txt" >&2
+  exit 1
+fi
 # measured scoring must rank differently from Eq. 1 on this design:
 # the heuristic picks the best-utilized 5x5+4x4 solution, the measured
 # ranking a 4x4+4x4 pair on the attack-resistant clusters

@@ -70,6 +70,46 @@ let pp_table2_row fmt (r : table2_row) =
     (match r.efpga_sizes with [] -> "-" | ss -> String.concat ", " ss)
     (opt_str string_of_int r.redacted_modules)
 
+(** Per-candidate attack verdict line (measured selection only): what
+    the budgeted oracle-guided attack concluded about each valid
+    fabric implementation. *)
+type verdict_row = {
+  vr_cluster : string;   (* cluster canonical identity *)
+  vr_fabric : string;    (* fabric size label *)
+  vr_status : string;
+  vr_dips : int;
+  vr_conflicts : int;
+  vr_reused : int;       (* learnt clauses reused across the attack's
+                            session queries *)
+}
+
+(** Verdict rows of a flow, in the selection's candidate order. Empty
+    under heuristic scoring (no verdicts are computed). *)
+let verdict_rows (flow : Flow.t) : verdict_row list =
+  List.filter_map
+    (fun (e : Selection.efpga_impl) ->
+      match e.Selection.verdict with
+      | None -> None
+      | Some v ->
+        Some
+          { vr_cluster = e.Selection.cluster.Clustering.key;
+            vr_fabric = F.Fabric.size_label e.Selection.impl.F.Size_search.fabric;
+            vr_status =
+              Alice_security.Sat_attack.status_to_string
+                v.Selection.Scorer.v_status;
+            vr_dips = v.Selection.Scorer.v_iterations;
+            vr_conflicts = v.Selection.Scorer.v_conflicts;
+            vr_reused = v.Selection.Scorer.v_reused })
+    flow.Flow.selection.Selection.valid
+
+let pp_verdict_header fmt () =
+  Format.fprintf fmt "%-24s %-10s %-12s %6s %10s %8s@." "Cluster" "Fabric"
+    "Verdict" "DIPs" "Conflicts" "Reused"
+
+let pp_verdict_row fmt (r : verdict_row) =
+  Format.fprintf fmt "%-24s %-10s %-12s %6d %10d %8d@." r.vr_cluster
+    r.vr_fabric r.vr_status r.vr_dips r.vr_conflicts r.vr_reused
+
 type table1_row = {
   t1_design : string;
   t1_modules : int;

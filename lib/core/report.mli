@@ -22,6 +22,25 @@ val pp_table2_header : Format.formatter -> unit -> unit
 
 val pp_table2_row : Format.formatter -> table2_row -> unit
 
+(** Per-candidate attack verdict line (measured selection only). *)
+type verdict_row = {
+  vr_cluster : string;  (** cluster canonical identity *)
+  vr_fabric : string;   (** fabric size label *)
+  vr_status : string;
+  vr_dips : int;
+  vr_conflicts : int;
+  vr_reused : int;
+      (** learnt clauses reused across the attack session's queries *)
+}
+
+(** Verdict rows of a flow in selection candidate order; empty under
+    heuristic scoring. *)
+val verdict_rows : Flow.t -> verdict_row list
+
+val pp_verdict_header : Format.formatter -> unit -> unit
+
+val pp_verdict_row : Format.formatter -> verdict_row -> unit
+
 type table1_row = {
   t1_design : string;
   t1_modules : int;

@@ -46,21 +46,28 @@ module Scorer = struct
     v_iterations : int;   (* DIPs the attack used *)
     v_conflicts : int;    (* solver conflicts spent across all calls *)
     v_key_bits : int;
+    v_reused : int;       (* learnt clauses the attack's incremental
+                             session carried across queries; 0 on the
+                             single-shot path *)
   }
 
   type stats = {
     attacks_run : int;           (* verdicts computed by attacking *)
     attacks_cached : int;        (* verdicts served from the cache *)
     attacks_inconclusive : int;  (* unique verdicts proving nothing *)
+    attacks_reused : int;        (* learnt clauses reused, summed over
+                                    unique verdicts *)
   }
 
   let empty_stats =
-    { attacks_run = 0; attacks_cached = 0; attacks_inconclusive = 0 }
+    { attacks_run = 0; attacks_cached = 0; attacks_inconclusive = 0;
+      attacks_reused = 0 }
 
   let add_stats a b =
     { attacks_run = a.attacks_run + b.attacks_run;
       attacks_cached = a.attacks_cached + b.attacks_cached;
-      attacks_inconclusive = a.attacks_inconclusive + b.attacks_inconclusive }
+      attacks_inconclusive = a.attacks_inconclusive + b.attacks_inconclusive;
+      attacks_reused = a.attacks_reused + b.attacks_reused }
 
   type cache = (string, verdict) Memo.t
 
@@ -75,10 +82,17 @@ module Scorer = struct
   (** Attack-verdict cache key: fabric digest x locked-netlist digest x
       budget digest. Changing the fabric, the mapped netlist or any
       budget knob rekeys; changing [attack_jobs]/[attack_area_weight]
-      does not (verdicts are reusable across both). *)
+      does not (verdicts are reusable across both). The version tag is
+      [v2] since the incremental solver (conflict counts and the
+      [v_reused] field changed), and the single-shot escape hatch keys
+      separately — its search explores a different order, so its conflict
+      counts must never alias incremental ones. *)
   let verdict_key (cfg : C.Flow_config.t) ~(fabric : F.Fabric.t)
       ~(mapped : Alice_netlist.Circuit.t) : string =
-    Printf.sprintf "attack-verdict v1 %s %s %s" (digest_of fabric)
+    let mode =
+      if Sec.Sat_attack.incremental_enabled () then "" else "+single-shot"
+    in
+    Printf.sprintf "attack-verdict v2%s %s %s %s" mode (digest_of fabric)
       (digest_of mapped)
       (C.Flow_config.attack_digest cfg)
 
@@ -103,7 +117,8 @@ module Scorer = struct
     { v_status = o.Sec.Sat_attack.status;
       v_iterations = o.Sec.Sat_attack.iterations;
       v_conflicts = o.Sec.Sat_attack.conflicts;
-      v_key_bits = o.Sec.Sat_attack.key_bits }
+      v_key_bits = o.Sec.Sat_attack.key_bits;
+      v_reused = o.Sec.Sat_attack.reused }
 
   (** Resilience of a verdict in [0, 1]: a candidate the attack could
       not break within the budget scores 1.0; a broken candidate scores
@@ -187,7 +202,7 @@ module Scorer = struct
           incr run;
           Hashtbl.replace resolved key
             { v_status = Sec.Sat_attack.Inconclusive; v_iterations = 0;
-              v_conflicts = 0; v_key_bits = 0 })
+              v_conflicts = 0; v_key_bits = 0; v_reused = 0 })
       misses outcomes;
     let verdicts =
       List.map
@@ -197,17 +212,21 @@ module Scorer = struct
           | None -> assert false (* every unique key was just resolved *))
         keyed
     in
-    let inconclusive =
+    let inconclusive, reused =
       List.fold_left
-        (fun acc (key, _) ->
+        (fun (inc, reu) (key, _) ->
           match Hashtbl.find_opt resolved key with
-          | Some { v_status = Sec.Sat_attack.Inconclusive; _ } -> acc + 1
-          | Some _ | None -> acc)
-        0 uniques
+          | Some v ->
+            ( (match v.v_status with
+              | Sec.Sat_attack.Inconclusive -> inc + 1
+              | Sec.Sat_attack.Converged | Sec.Sat_attack.Exhausted -> inc),
+              reu + v.v_reused )
+          | None -> (inc, reu))
+        (0, 0) uniques
     in
     ( verdicts,
       { attacks_run = !run; attacks_cached = cached;
-        attacks_inconclusive = inconclusive } )
+        attacks_inconclusive = inconclusive; attacks_reused = reused } )
 end
 
 type efpga_impl = {

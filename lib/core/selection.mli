@@ -26,12 +26,17 @@ module Scorer : sig
     v_iterations : int;  (** DIPs the attack used *)
     v_conflicts : int;   (** solver conflicts spent across all calls *)
     v_key_bits : int;
+    v_reused : int;
+        (** learnt clauses the attack's incremental session carried
+            across queries; 0 on the single-shot path *)
   }
 
   type stats = {
     attacks_run : int;           (** verdicts computed by attacking *)
     attacks_cached : int;        (** verdicts served from the cache *)
     attacks_inconclusive : int;  (** unique verdicts proving nothing *)
+    attacks_reused : int;
+        (** learnt clauses reused, summed over unique verdicts *)
   }
 
   val empty_stats : stats
@@ -52,7 +57,10 @@ module Scorer : sig
   (** Attack-verdict cache key: fabric digest x locked-netlist digest x
       budget digest ({!Alice_config.Flow_config.attack_digest}).
       Changing the fabric, the netlist or any budget knob rekeys;
-      changing [attack_jobs] or [attack_area_weight] does not. *)
+      changing [attack_jobs] or [attack_area_weight] does not. The
+      single-shot escape hatch ([ALICE_SAT_INCREMENTAL=0]) keys
+      separately: its conflict counts come from a different search
+      order and must never alias incremental ones. *)
   val verdict_key :
     C.Flow_config.t ->
     fabric:F.Fabric.t ->

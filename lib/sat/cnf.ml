@@ -28,6 +28,17 @@ let add_clause (f : t) (c : lit list) : unit =
 
 let clause_list (f : t) : clause list = List.rev f.clauses
 
+(** Clauses added at position [>= n] (0-based, in addition order). The
+    incremental solver uses this to pull only the delta a caller encoded
+    since its last sync, in the exact order it was added. *)
+let clauses_from (f : t) (n : int) : clause list =
+  let rec take acc k rest =
+    if k <= 0 then acc
+    else
+      match rest with [] -> acc | c :: tl -> take (c :: acc) (k - 1) tl
+  in
+  take [] (f.clause_count - n) f.clauses
+
 let var_count f = f.var_count
 
 let clause_count f = f.clause_count

@@ -20,6 +20,11 @@ val add_unit : t -> lit -> unit
 
 val clause_list : t -> clause list
 
+(** [clauses_from f n] is the clauses added at position [>= n] (0-based,
+    addition order): the delta since a caller last looked, used by the
+    incremental solver's sync. [clauses_from f 0 = clause_list f]. *)
+val clauses_from : t -> int -> clause list
+
 val var_count : t -> int
 
 val clause_count : t -> int

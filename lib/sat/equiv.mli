@@ -22,4 +22,11 @@ exception Interface_mismatch of string
     exhausted budget yields {!Unknown}. *)
 val check : ?solver_budget:int -> Circuit.t -> Circuit.t -> result
 
+(** Check every candidate against the same reference on one shared
+    incremental solver session: the reference cone is encoded once and
+    learnt clauses carry across the batch. Results in candidate order;
+    [solver_budget] applies per candidate. *)
+val check_many :
+  ?solver_budget:int -> Circuit.t -> Circuit.t list -> result list
+
 val pp_counterexample : Format.formatter -> counterexample -> unit

@@ -1,7 +1,17 @@
 (** A CDCL SAT solver: two-watched-literal propagation, first-UIP conflict
     analysis with clause learning, VSIDS-style branching activity with
     phase saving, and geometric restarts. Sized for the circuit problems
-    the SAT attack generates (thousands of variables). *)
+    the SAT attack generates (thousands of variables).
+
+    The engine is a persistent *incremental session* ({!Incremental}):
+    one solver instance stays alive across queries, clauses and
+    variables can be appended to the live instance, each query solves
+    under per-call assumptions (retracted afterwards), and learnt
+    clauses — plus branching activity and saved phases — carry over
+    between queries. An LBD-ordered clause-database reduction with a
+    geometric ceiling keeps the retained learnts from degrading
+    propagation. The historical single-shot {!solve}/{!solve_stats} API
+    is a one-query session. *)
 
 type result =
   | Sat of bool array (* indexed by variable, entry 0 unused *)
@@ -15,51 +25,123 @@ let neg l = l lxor 1
 let var_of_lit l = l lsr 1
 
 type clause_rec = {
-  lits : int array;      (* internal encoding *)
-  mutable w1 : int;      (* indices into lits of the two watches *)
+  mutable lits : int array;  (* internal encoding *)
+  mutable w1 : int;          (* indices into lits of the two watches *)
   mutable w2 : int;
   learnt : bool;
+  id : int;                  (* allocation order; reduction tie-break *)
+  lbd : int;                 (* literal block distance at learn time *)
+  mutable deleted : bool;
 }
 
 type t = {
-  nvars : int;
-  mutable clauses : clause_rec list;
-  watches : clause_rec list array;     (* indexed by literal *)
-  assign : int array;                  (* per var: 0 unknown, 1 true, -1 false *)
-  level : int array;                   (* per var *)
-  reason : clause_rec option array;    (* per var *)
-  trail : int array;                   (* literals in assignment order *)
+  mutable nvars : int;
+  mutable var_cap : int;               (* allocated variable capacity *)
+  (* clause storage is a dynamic array so DB reduction is O(live
+     clauses), not O(history): deletion marks + one compaction pass *)
+  mutable clause_data : clause_rec array;
+  mutable clause_len : int;
+  mutable n_problem : int;             (* non-learnt clauses stored *)
+  mutable watches : clause_rec list array;  (* indexed by literal *)
+  mutable assign : int array;          (* per var: 0 unknown, 1 true, -1 false *)
+  mutable level : int array;           (* per var *)
+  mutable reason : clause_rec option array; (* per var *)
+  mutable trail : int array;           (* literals in assignment order *)
   mutable trail_size : int;
-  trail_lim : int array;               (* decision level boundaries *)
+  mutable trail_lim : int array;       (* decision level boundaries *)
   mutable decision_level : int;
   mutable qhead : int;
-  activity : float array;
+  mutable activity : float array;
   mutable var_inc : float;
-  phase : bool array;                  (* saved phases *)
-  seen : bool array;                   (* scratch for analyze *)
+  mutable phase : bool array;          (* saved phases *)
+  mutable seen : bool array;           (* scratch for analyze *)
+  mutable lbd_stamp : int array;       (* scratch for LBD, by level *)
+  mutable lbd_tick : int;
   mutable conflicts : int;
   mutable propagations : int;
   mutable decisions : int;
+  mutable next_id : int;
+  mutable contradiction : bool;        (* formula refuted at level 0 *)
+  (* clause-DB reduction policy *)
+  reduce_base : int;
+  mutable max_learnts : int;           (* current reduce ceiling *)
+  mutable learnt_live : int;
+  (* session accounting *)
+  mutable queries : int;
+  mutable learnt_reused : int;         (* cumulative live learnts at query starts *)
+  mutable learnt_dropped : int;        (* cumulative clauses removed by reduction *)
+  mutable reduces : int;
+  (* attached source CNF for sync *)
+  mutable source : Cnf.t option;
+  mutable synced : int;                (* clauses of [source] already loaded *)
 }
 
 exception Unsat_exception
+exception Assumption_unsat
 
-let create nvars =
-  { nvars; clauses = [];
-    watches = Array.make (2 * (nvars + 1) + 2) [];
-    assign = Array.make (nvars + 1) 0;
-    level = Array.make (nvars + 1) 0;
-    reason = Array.make (nvars + 1) None;
-    trail = Array.make (nvars + 1) 0;
+let dummy_clause =
+  { lits = [||]; w1 = 0; w2 = 0; learnt = false; id = -1; lbd = 0;
+    deleted = true }
+
+let default_reduce_base = 2_000
+
+let create_session ?(nvars = 0) ?(reduce_base = default_reduce_base) () =
+  let cap = max nvars 16 in
+  { nvars; var_cap = cap;
+    clause_data = Array.make 64 dummy_clause;
+    clause_len = 0;
+    n_problem = 0;
+    watches = Array.make ((2 * (cap + 1)) + 2) [];
+    assign = Array.make (cap + 1) 0;
+    level = Array.make (cap + 1) 0;
+    reason = Array.make (cap + 1) None;
+    trail = Array.make (cap + 1) 0;
     trail_size = 0;
-    trail_lim = Array.make (nvars + 2) 0;
+    trail_lim = Array.make (cap + 2) 0;
     decision_level = 0;
     qhead = 0;
-    activity = Array.make (nvars + 1) 0.0;
+    activity = Array.make (cap + 1) 0.0;
     var_inc = 1.0;
-    phase = Array.make (nvars + 1) false;
-    seen = Array.make (nvars + 1) false;
-    conflicts = 0; propagations = 0; decisions = 0 }
+    phase = Array.make (cap + 1) false;
+    seen = Array.make (cap + 1) false;
+    lbd_stamp = Array.make (cap + 2) 0;
+    lbd_tick = 0;
+    conflicts = 0; propagations = 0; decisions = 0;
+    next_id = 0;
+    contradiction = false;
+    reduce_base = max 16 reduce_base;
+    max_learnts = max 16 reduce_base;
+    learnt_live = 0;
+    queries = 0; learnt_reused = 0; learnt_dropped = 0; reduces = 0;
+    source = None; synced = 0 }
+
+let grow_array a n fill =
+  let b = Array.make n fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+(** Grow per-variable state so variables [1..n] exist. Amortized O(1):
+    capacity doubles. Safe on a live session — only appends. *)
+let ensure_vars (s : t) (n : int) : unit =
+  if n > s.var_cap then begin
+    let cap = ref s.var_cap in
+    while n > !cap do
+      cap := !cap * 2
+    done;
+    let cap = !cap in
+    s.watches <- grow_array s.watches ((2 * (cap + 1)) + 2) [];
+    s.assign <- grow_array s.assign (cap + 1) 0;
+    s.level <- grow_array s.level (cap + 1) 0;
+    s.reason <- grow_array s.reason (cap + 1) None;
+    s.trail <- grow_array s.trail (cap + 1) 0;
+    s.trail_lim <- grow_array s.trail_lim (cap + 2) 0;
+    s.activity <- grow_array s.activity (cap + 1) 0.0;
+    s.phase <- grow_array s.phase (cap + 1) false;
+    s.seen <- grow_array s.seen (cap + 1) false;
+    s.lbd_stamp <- grow_array s.lbd_stamp (cap + 2) 0;
+    s.var_cap <- cap
+  end;
+  if n > s.nvars then s.nvars <- n
 
 let lit_value (s : t) (l : int) : int =
   (* 1 true, -1 false, 0 unassigned *)
@@ -78,24 +160,66 @@ let enqueue (s : t) (l : int) (why : clause_rec option) : unit =
 let watch (s : t) (l : int) (c : clause_rec) : unit =
   s.watches.(l) <- c :: s.watches.(l)
 
-(** Add a clause (internal lits). Returns false if the database became
-    trivially unsat. Handles unit and empty clauses. *)
-let add_clause_internal (s : t) (lits : int array) ~learnt : bool =
-  match Array.length lits with
-  | 0 -> false
-  | 1 ->
-    (match lit_value s lits.(0) with
-    | -1 -> false
-    | 1 -> true
-    | _ ->
-      enqueue s lits.(0) None;
-      true)
-  | _ ->
-    let c = { lits; w1 = 0; w2 = 1; learnt } in
-    s.clauses <- c :: s.clauses;
-    watch s (neg lits.(0)) c;
-    watch s (neg lits.(1)) c;
-    true
+let push_clause (s : t) (c : clause_rec) : unit =
+  if s.clause_len = Array.length s.clause_data then
+    s.clause_data <- grow_array s.clause_data (2 * s.clause_len) dummy_clause;
+  s.clause_data.(s.clause_len) <- c;
+  s.clause_len <- s.clause_len + 1
+
+(* a fresh decision level; the boundary array grows on demand because
+   assumption levels (one per assumption, some empty) can push the level
+   count past the variable count *)
+let new_level (s : t) : unit =
+  if s.decision_level + 2 >= Array.length s.trail_lim then
+    s.trail_lim <- grow_array s.trail_lim (2 * Array.length s.trail_lim) 0;
+  s.trail_lim.(s.decision_level) <- s.trail_size;
+  s.decision_level <- s.decision_level + 1
+
+(** Add a problem clause (internal lits) at decision level 0. Duplicate
+    literals are removed, tautologies skipped, and literals already
+    false at level 0 dropped (level-0 facts are permanent). Sets
+    [contradiction] if the database became trivially unsat. *)
+let add_clause_internal (s : t) (lits : int array) : unit =
+  if not s.contradiction then begin
+    assert (s.decision_level = 0);
+    (* simplify: dedupe, drop level-0-false lits, detect tautology and
+       level-0-satisfied clauses (first-occurrence order preserved) *)
+    let tautology = ref false and satisfied = ref false in
+    let kept = ref [] and n_kept = ref 0 in
+    Array.iter
+      (fun l ->
+        if not (!tautology || !satisfied) then
+          match lit_value s l with
+          | 1 -> satisfied := true
+          | -1 -> ()
+          | _ ->
+            if List.exists (fun k -> k = neg l) !kept then tautology := true
+            else if not (List.exists (fun k -> k = l) !kept) then begin
+              kept := l :: !kept;
+              incr n_kept
+            end)
+      lits;
+    if not (!tautology || !satisfied) then begin
+      let lits = Array.of_list (List.rev !kept) in
+      match !n_kept with
+      | 0 -> s.contradiction <- true
+      | 1 ->
+        (match lit_value s lits.(0) with
+        | -1 -> s.contradiction <- true
+        | 1 -> ()
+        | _ -> enqueue s lits.(0) None)
+      | _ ->
+        let c =
+          { lits; w1 = 0; w2 = 1; learnt = false; id = s.next_id; lbd = 0;
+            deleted = false }
+        in
+        s.next_id <- s.next_id + 1;
+        s.n_problem <- s.n_problem + 1;
+        push_clause s c;
+        watch s (neg lits.(0)) c;
+        watch s (neg lits.(1)) c
+    end
+  end
 
 (* propagate; returns the conflicting clause, if any *)
 let propagate (s : t) : clause_rec option =
@@ -247,50 +371,152 @@ let pick_branch (s : t) : int option =
   if !best = 0 then None
   else Some (if s.phase.(!best) then 2 * !best else (2 * !best) + 1)
 
-(* process-wide count of completed [solve]/[solve_stats] calls; Atomic so
-   pool workers in other domains are counted too *)
+(* literal block distance: distinct decision levels among the lits *)
+let lbd_of (s : t) (lits : int array) : int =
+  s.lbd_tick <- s.lbd_tick + 1;
+  let tick = s.lbd_tick in
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = s.level.(var_of_lit l) in
+      if s.lbd_stamp.(lv) <> tick then begin
+        s.lbd_stamp.(lv) <- tick;
+        incr n
+      end)
+    lits;
+  !n
+
+(* attach a freshly learnt clause and enqueue its asserting literal
+   (lits.(0)); the caller has already backjumped to btlevel *)
+let learn (s : t) (lits : int array) (btlevel : int) : unit =
+  match Array.length lits with
+  | 1 -> enqueue s lits.(0) None
+  | _ ->
+    let lbd = lbd_of s lits in
+    let c =
+      { lits; w1 = 0; w2 = 1; learnt = true; id = s.next_id; lbd;
+        deleted = false }
+    in
+    s.next_id <- s.next_id + 1;
+    (* the second watch should be a literal from btlevel *)
+    let si = ref 1 in
+    Array.iteri
+      (fun i l -> if i > 0 && s.level.(var_of_lit l) = btlevel then si := i)
+      lits;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!si);
+    lits.(!si) <- tmp;
+    push_clause s c;
+    s.learnt_live <- s.learnt_live + 1;
+    watch s (neg lits.(0)) c;
+    watch s (neg lits.(1)) c;
+    enqueue s lits.(0) (Some c)
+
+(** Clause-database reduction at decision level 0: delete the worst half
+    of the long learnt clauses (highest LBD first, newest first among
+    ties), compact storage, and rebuild the watch lists. Level-0 reasons
+    are cleared first — conflict analysis never resolves on level-0
+    literals, so no clause is pinned. Deterministic: the order is a pure
+    function of (lbd, id). *)
+let reduce_db (s : t) : unit =
+  assert (s.decision_level = 0);
+  for i = 0 to s.trail_size - 1 do
+    s.reason.(var_of_lit s.trail.(i)) <- None
+  done;
+  (* candidates: learnt clauses longer than binary *)
+  let cands = ref [] and n_cands = ref 0 in
+  for i = s.clause_len - 1 downto 0 do
+    let c = s.clause_data.(i) in
+    if c.learnt && (not c.deleted) && Array.length c.lits > 2 then begin
+      cands := c :: !cands;
+      incr n_cands
+    end
+  done;
+  let arr = Array.of_list !cands in
+  (* worst first: higher LBD, then newer *)
+  Array.sort
+    (fun a b ->
+      if a.lbd <> b.lbd then compare b.lbd a.lbd else compare b.id a.id)
+    arr;
+  let target = max 0 (s.learnt_live - (s.max_learnts / 2)) in
+  let drop = min (Array.length arr) target in
+  for i = 0 to drop - 1 do
+    arr.(i).deleted <- true
+  done;
+  s.learnt_live <- s.learnt_live - drop;
+  s.learnt_dropped <- s.learnt_dropped + drop;
+  s.reduces <- s.reduces + 1;
+  (* compact, preserving storage order *)
+  let j = ref 0 in
+  for i = 0 to s.clause_len - 1 do
+    let c = s.clause_data.(i) in
+    if not c.deleted then begin
+      s.clause_data.(!j) <- c;
+      incr j
+    end
+  done;
+  Array.fill s.clause_data !j (s.clause_len - !j) dummy_clause;
+  s.clause_len <- !j;
+  (* rebuild watches in storage order *)
+  Array.fill s.watches 0 (Array.length s.watches) [];
+  for i = 0 to s.clause_len - 1 do
+    let c = s.clause_data.(i) in
+    watch s (neg c.lits.(c.w1)) c;
+    watch s (neg c.lits.(c.w2)) c
+  done
+
+(* reduce when the live learnt count exceeds the ceiling; the ceiling
+   then grows geometrically (x1.5) so reductions become rarer as the
+   session ages *)
+let maybe_reduce (s : t) : unit =
+  if s.learnt_live > s.max_learnts then begin
+    reduce_db s;
+    s.max_learnts <- s.max_learnts + (s.max_learnts / 2)
+  end
+
+(* process-wide count of completed queries ([solve]/[solve_stats] calls
+   and incremental-session queries); Atomic so pool workers in other
+   domains are counted too *)
 let call_counter = Atomic.make 0
 
 let total_calls () = Atomic.get call_counter
 
-(** Solve the formula and report the conflicts spent. [assumptions] are
-    literals (DIMACS convention) fixed before search; the solver is
-    single-shot.
-
-    [max_conflicts]/[max_decisions] are hard resource budgets: when the
-    search would exceed either, it stops and returns {!Unknown} instead
-    of looping indefinitely on a hard instance. Conflicts at decision
-    level 0 still conclude [Unsat] regardless of budget. *)
-let solve_stats ?(assumptions : int list = []) ?max_conflicts ?max_decisions
-    (f : Cnf.t) : result * int =
+(** One query against the live session. [assumptions] (internal-encoded
+    via DIMACS below) become retractable decision levels 1..k, MiniSat
+    style: learnt clauses never depend on them, so everything learnt
+    survives into later queries. Budgets are per-call. *)
+let solve_session (s : t) ~(assumptions : int list) ~max_conflicts
+    ~max_decisions : result =
   Atomic.incr call_counter;
-  let s = create (Cnf.var_count f) in
-  let over_budget () =
-    (match max_conflicts with Some b -> s.conflicts >= b | None -> false)
-    || (match max_decisions with Some b -> s.decisions >= b | None -> false)
-  in
-  (* load clauses; inline simplification of satisfied/false literals is
-     skipped — clauses come straight from Tseitin encodings *)
-  let ok = ref true in
-  List.iter
-    (fun clause ->
-      if !ok then begin
-        let lits = Array.map lit_of_dimacs clause in
-        if not (add_clause_internal s lits ~learnt:false) then ok := false
-      end)
-    (Cnf.clause_list f);
-  List.iter
-    (fun l ->
-      if !ok then
-        match lit_value s (lit_of_dimacs l) with
-        | 1 -> ()
-        | -1 -> ok := false
-        | _ -> enqueue s (lit_of_dimacs l) None)
-    assumptions;
-  if not !ok then (Unsat, s.conflicts)
+  s.queries <- s.queries + 1;
+  if s.queries > 1 then s.learnt_reused <- s.learnt_reused + s.learnt_live;
+  if s.contradiction then Unsat
   else begin
+    List.iter (fun l -> ensure_vars s (abs l)) assumptions;
+    let assumps = Array.of_list (List.map lit_of_dimacs assumptions) in
+    let n_assumps = Array.length assumps in
+    let c0 = s.conflicts and d0 = s.decisions in
+    let over_budget () =
+      (match max_conflicts with
+      | Some b -> s.conflicts - c0 >= b
+      | None -> false)
+      ||
+      match max_decisions with
+      | Some b -> s.decisions - d0 >= b
+      | None -> false
+    in
+    backjump s 0;
+    (* query end is a level-0 boundary too: shrink the DB here so a
+       query whose conflicts outpace its restarts cannot leave the live
+       learnt count above the ceiling *)
+    let finish r =
+      backjump s 0;
+      maybe_reduce s;
+      r
+    in
     try
       (match propagate s with Some _ -> raise Unsat_exception | None -> ());
+      maybe_reduce s;
       let restart_interval = ref 256 in
       let result = ref None in
       while !result = None do
@@ -304,60 +530,154 @@ let solve_stats ?(assumptions : int list = []) ?max_conflicts ?max_decisions
                if s.decision_level = 0 then raise Unsat_exception;
                if over_budget () then result := Some Unknown
                else begin
-               let lits, btlevel = analyze s confl in
-               backjump s btlevel;
-               (match Array.length lits with
-               | 1 -> enqueue s lits.(0) None
-               | _ ->
-                 (* ensure the asserting literal is watched: it is lits.(0) *)
-                 let c = { lits; w1 = 0; w2 = 1; learnt = true } in
-                 (* the second watch should be a literal from btlevel *)
-                 let si = ref 1 in
-                 Array.iteri
-                   (fun i l ->
-                     if i > 0 && s.level.(var_of_lit l) = btlevel then si := i)
-                   lits;
-                 let tmp = lits.(1) in
-                 lits.(1) <- lits.(!si);
-                 lits.(!si) <- tmp;
-                 s.clauses <- c :: s.clauses;
-                 watch s (neg lits.(0)) c;
-                 watch s (neg lits.(1)) c;
-                 enqueue s lits.(0) (Some c));
-               decay s;
-               if !budget <= 0 then begin
-                 (* restart *)
-                 backjump s 0;
-                 raise Exit
+                 let lits, btlevel = analyze s confl in
+                 backjump s btlevel;
+                 learn s lits btlevel;
+                 decay s;
+                 if !budget <= 0 then begin
+                   (* restart; a safe point to shrink the clause DB *)
+                   backjump s 0;
+                   maybe_reduce s;
+                   raise Exit
+                 end
                end
+             | None ->
+               if s.decision_level < n_assumps then begin
+                 (* re-assert assumptions in order; level i belongs to
+                    assumption i, so backjumps retract and this loop
+                    re-establishes them *)
+                 let a = assumps.(s.decision_level) in
+                 match lit_value s a with
+                 | 1 -> new_level s (* already holds: empty level *)
+                 | -1 -> raise Assumption_unsat
+                 | _ ->
+                   if over_budget () then result := Some Unknown
+                   else begin
+                     new_level s;
+                     enqueue s a None
+                   end
                end
-             | None -> (
-               match pick_branch s with
-               | None ->
-                 (* full assignment found *)
-                 let model = Array.make (s.nvars + 1) false in
-                 for v = 1 to s.nvars do
-                   model.(v) <- s.assign.(v) = 1
-                 done;
-                 result := Some (Sat model)
-               | Some l ->
-                 if over_budget () then result := Some Unknown
-                 else begin
-                   s.decisions <- s.decisions + 1;
-                   s.trail_lim.(s.decision_level) <- s.trail_size;
-                   s.decision_level <- s.decision_level + 1;
-                   enqueue s l None
-                 end)
+               else begin
+                 match pick_branch s with
+                 | None ->
+                   (* full assignment found *)
+                   let model = Array.make (s.nvars + 1) false in
+                   for v = 1 to s.nvars do
+                     model.(v) <- s.assign.(v) = 1
+                   done;
+                   result := Some (Sat model)
+                 | Some l ->
+                   if over_budget () then result := Some Unknown
+                   else begin
+                     s.decisions <- s.decisions + 1;
+                     new_level s;
+                     enqueue s l None
+                   end
+               end
            done
          with Exit -> restart_interval := !restart_interval * 2)
       done;
-      (match !result with Some r -> (r, s.conflicts) | None -> assert false)
-    with Unsat_exception -> (Unsat, s.conflicts)
+      finish (match !result with Some r -> r | None -> assert false)
+    with
+    | Unsat_exception ->
+      (* refuted at level 0: the formula itself is unsat, permanently *)
+      s.contradiction <- true;
+      finish Unsat
+    | Assumption_unsat -> finish Unsat
   end
+
+(** The persistent incremental engine. *)
+module Incremental = struct
+  type session = t
+
+  type stats = {
+    queries : int;          (** solve calls against this session *)
+    conflicts : int;        (** cumulative, monotone across the session *)
+    decisions : int;
+    propagations : int;
+    learnt_live : int;      (** learnt clauses currently retained *)
+    learnt_reused : int;
+        (** cumulative: live learnt clauses at each query start after
+            the first — the work later queries inherited *)
+    learnt_dropped : int;   (** cumulative clauses removed by reduction *)
+    learnt_ceiling : int;   (** current reduce ceiling *)
+    reduces : int;          (** reduction passes performed *)
+  }
+
+  let create ?nvars ?reduce_base () : session =
+    create_session ?nvars ?reduce_base ()
+
+  let nvars (s : session) = s.nvars
+
+  let ensure_vars = ensure_vars
+
+  let add_clause (s : session) (clause : int list) : unit =
+    assert (s.decision_level = 0);
+    List.iter (fun l -> if l <> 0 then ensure_vars s (abs l)) clause;
+    add_clause_internal s
+      (Array.of_list (List.map lit_of_dimacs clause))
+
+  let add_cnf (s : session) (f : Cnf.t) : unit =
+    ensure_vars s (Cnf.var_count f);
+    List.iter
+      (fun clause -> add_clause_internal s (Array.map lit_of_dimacs clause))
+      (Cnf.clause_list f)
+
+  let attach (s : session) (f : Cnf.t) : unit =
+    (match s.source with
+    | Some g when g != f -> invalid_arg "Incremental.attach: already attached"
+    | _ -> ());
+    s.source <- Some f
+
+  (* pull the delta the caller encoded into the attached CNF since the
+     last sync: new variables then new clauses, in addition order *)
+  let sync (s : session) : unit =
+    match s.source with
+    | None -> ()
+    | Some f ->
+      ensure_vars s (Cnf.var_count f);
+      List.iter
+        (fun clause -> add_clause_internal s (Array.map lit_of_dimacs clause))
+        (Cnf.clauses_from f s.synced);
+      s.synced <- Cnf.clause_count f
+
+  let solve_stats ?(assumptions : int list = []) ?max_conflicts
+      ?max_decisions (s : session) : result * int =
+    sync s;
+    let before = s.conflicts in
+    let r = solve_session s ~assumptions ~max_conflicts ~max_decisions in
+    (r, s.conflicts - before)
+
+  let solve ?assumptions ?max_conflicts ?max_decisions (s : session) : result
+      =
+    fst (solve_stats ?assumptions ?max_conflicts ?max_decisions s)
+
+  let stats (s : session) : stats =
+    { queries = s.queries; conflicts = s.conflicts; decisions = s.decisions;
+      propagations = s.propagations; learnt_live = s.learnt_live;
+      learnt_reused = s.learnt_reused; learnt_dropped = s.learnt_dropped;
+      learnt_ceiling = s.max_learnts; reduces = s.reduces }
+end
+
+(** Solve the formula and report the conflicts spent: a one-query
+    session. [assumptions] are literals (DIMACS convention) asserted for
+    this query only.
+
+    [max_conflicts]/[max_decisions] are hard resource budgets: when the
+    search would exceed either, it stops and returns {!Unknown} instead
+    of looping indefinitely on a hard instance. Conflicts at decision
+    level 0 still conclude [Unsat] regardless of budget. *)
+let solve_stats ?(assumptions : int list = []) ?max_conflicts ?max_decisions
+    (f : Cnf.t) : result * int =
+  let s = create_session ~nvars:(Cnf.var_count f) () in
+  Incremental.add_cnf s f;
+  let r = solve_session s ~assumptions ~max_conflicts ~max_decisions in
+  (r, s.conflicts)
 
 (** Solve the formula, discarding the conflict count. *)
 let solve ?assumptions ?max_conflicts ?max_decisions (f : Cnf.t) : result =
   fst (solve_stats ?assumptions ?max_conflicts ?max_decisions f)
 
 (** Value of a DIMACS variable in a model. *)
-let model_value (model : bool array) (v : int) : bool = model.(v)
+let model_value (model : bool array) (v : int) : bool =
+  v < Array.length model && model.(v)

@@ -7,7 +7,16 @@
     distinguishing input pattern (DIP); querying the oracle and
     constraining both key copies with the observed response shrinks the
     key space until the miter goes UNSAT, at which point any key
-    consistent with the recorded queries is functionally correct. *)
+    consistent with the recorded queries is functionally correct.
+
+    The default loop runs on one persistent {!Solver.Incremental}
+    session: the miter's "some output differs" clause is gated behind an
+    activation literal, each DIP iteration appends the new replay
+    constraints to the live formula, and the final key extraction is the
+    same session solved with the gate off — so learnt clauses from every
+    earlier query carry into the next instead of every query restarting
+    cold. [ALICE_SAT_INCREMENTAL=0] in the environment falls back to the
+    historical single-shot loop that rebuilds the CNF each iteration. *)
 
 module Circuit = Alice_netlist.Circuit
 module Cnf = Alice_sat.Cnf
@@ -34,6 +43,8 @@ type outcome = {
   key_bits : int;
   seconds : float;
   conflicts : int;         (* solver conflicts spent across all calls *)
+  reused : int;            (* learnt clauses inherited across session
+                              queries; 0 on the single-shot path *)
 }
 
 type budget = {
@@ -47,9 +58,23 @@ type budget = {
 let default_budget =
   { max_iterations = 256; max_seconds = 30.0; solver_conflicts = None }
 
-(* Rebuild the whole attack CNF from scratch: the CDCL solver is
-   single-shot, and for fabric-sized problems re-encoding is cheap
-   compared to solving. *)
+(** Whether the incremental-session loop is enabled (default). The
+    [ALICE_SAT_INCREMENTAL] environment variable set to [0], [false],
+    [no] or [off] selects the single-shot loop instead — an escape
+    hatch, and the reference the differential checks compare against. *)
+let incremental_enabled () =
+  match Sys.getenv_opt "ALICE_SAT_INCREMENTAL" with
+  | Some v -> (
+    match String.lowercase_ascii (String.trim v) with
+    | "0" | "false" | "no" | "off" -> false
+    | _ -> true)
+  | None -> true
+
+(* ------------------------------------------------------------------ *)
+(* Single-shot loop (ALICE_SAT_INCREMENTAL=0): rebuild the whole attack
+   CNF from scratch each iteration.                                    *)
+(* ------------------------------------------------------------------ *)
+
 let build_miter (l : Locked.t) (dips : (bool array * bool array) list) :
     Cnf.t * int array (* input vars *) * int array (* key1 vars *) =
   let f = Cnf.create () in
@@ -118,9 +143,7 @@ let build_feasibility (l : Locked.t) (dips : (bool array * bool array) list) :
     dips;
   (f, key)
 
-(** Run the attack. [oracle] maps a scan-input stimulus to the correct
-    response (use {!Locked.make_oracle} for the standard threat model). *)
-let attack ?(budget = default_budget) (l : Locked.t)
+let attack_single_shot ~(budget : budget) (l : Locked.t)
     ~(oracle : bool array -> bool array) : outcome =
   let start = Timebase.now_s () in
   let elapsed () = Timebase.elapsed_since start in
@@ -136,7 +159,7 @@ let attack ?(budget = default_budget) (l : Locked.t)
     then
       { success = false; status = Exhausted; iterations; key = None;
         key_bits = l.Locked.key_bits; seconds = elapsed ();
-        conflicts = !spent }
+        conflicts = !spent; reused = 0 }
     else begin
       let f, input_vars, _key1 = build_miter l dips in
       match solve f with
@@ -144,7 +167,7 @@ let attack ?(budget = default_budget) (l : Locked.t)
         (* the solver's own budget ran out: the run proves nothing *)
         { success = false; status = Inconclusive; iterations; key = None;
           key_bits = l.Locked.key_bits; seconds = elapsed ();
-          conflicts = !spent }
+          conflicts = !spent; reused = 0 }
       | Solver.Unsat ->
         (* converged: any key satisfying the recorded queries is correct *)
         let fk, key_vars = build_feasibility l dips in
@@ -153,16 +176,16 @@ let attack ?(budget = default_budget) (l : Locked.t)
           let key = Some (Array.map (fun v -> Solver.model_value model v) key_vars) in
           { success = true; status = Converged; iterations; key;
             key_bits = l.Locked.key_bits; seconds = elapsed ();
-            conflicts = !spent }
+            conflicts = !spent; reused = 0 }
         | Solver.Unsat ->
           { success = true; status = Converged; iterations; key = None;
             key_bits = l.Locked.key_bits; seconds = elapsed ();
-            conflicts = !spent }
+            conflicts = !spent; reused = 0 }
         | Solver.Unknown ->
           (* miter collapsed but key extraction hit the solver budget *)
           { success = false; status = Inconclusive; iterations; key = None;
             key_bits = l.Locked.key_bits; seconds = elapsed ();
-            conflicts = !spent })
+            conflicts = !spent; reused = 0 })
       | Solver.Sat model ->
         let dip =
           Array.init (Array.length ins) (fun i ->
@@ -173,3 +196,115 @@ let attack ?(budget = default_budget) (l : Locked.t)
     end
   in
   loop [] 0
+
+(* ------------------------------------------------------------------ *)
+(* Incremental loop: one CNF, one session, for the whole run.          *)
+(* ------------------------------------------------------------------ *)
+
+let attack_incremental ~(budget : budget) (l : Locked.t)
+    ~(oracle : bool array -> bool array) : outcome =
+  let start = Timebase.now_s () in
+  let elapsed () = Timebase.elapsed_since start in
+  let ins = Locked.input_nets l in
+  let outs = Locked.output_nets l in
+  (* base formula: the two-copy miter, with the "some output differs"
+     disjunction gated behind an activation literal [act]. DIP queries
+     solve under [act]; the final key extraction solves under [-act],
+     where only the replay constraints bind key1 — exactly the
+     feasibility formula, on the same session *)
+  let f = Cnf.create () in
+  let key1 = Cnf.fresh_vars f l.Locked.key_bits in
+  let key2 = Cnf.fresh_vars f l.Locked.key_bits in
+  let input_vars = Array.map (fun _ -> Cnf.fresh_var f) ins in
+  let share_inputs =
+    let m = Hashtbl.create 64 in
+    Array.iteri (fun i n -> Hashtbl.replace m n input_vars.(i)) ins;
+    fun n -> Hashtbl.find_opt m n
+  in
+  let map1 = Locked.encode_locked f l ~key_vars:key1 ~share:share_inputs in
+  let map2 = Locked.encode_locked f l ~key_vars:key2 ~share:share_inputs in
+  let diffs =
+    Array.to_list outs
+    |> List.map (fun n ->
+           let d = Cnf.fresh_var f in
+           Cnf.encode_xor f ~out:d ~a:map1.(n) ~b:map2.(n);
+           d)
+  in
+  let act = Cnf.fresh_var f in
+  Cnf.add_clause f (-act :: diffs);
+  let session = Solver.Incremental.create ~nvars:(Cnf.var_count f) () in
+  Solver.Incremental.attach session f;
+  let spent = ref 0 in
+  let solve assumptions =
+    let r, c =
+      Solver.Incremental.solve_stats ~assumptions
+        ?max_conflicts:budget.solver_conflicts session
+    in
+    spent := !spent + c;
+    r
+  in
+  let reused () = (Solver.Incremental.stats session).Solver.Incremental.learnt_reused in
+  (* append a recorded query: fresh internal nets per key copy, inputs
+     and outputs pinned to the observed stimulus/response *)
+  let record_dip (x : bool array) (y : bool array) : unit =
+    let replay key =
+      let map =
+        Locked.encode_locked f l ~key_vars:key ~share:(fun _ -> None)
+      in
+      Array.iteri
+        (fun i n -> Cnf.add_unit f (if x.(i) then map.(n) else -map.(n)))
+        ins;
+      Array.iteri
+        (fun i n -> Cnf.add_unit f (if y.(i) then map.(n) else -map.(n)))
+        outs
+    in
+    replay key1;
+    replay key2
+  in
+  let finish ~success ~status ~iterations ~key =
+    { success; status; iterations; key; key_bits = l.Locked.key_bits;
+      seconds = elapsed (); conflicts = !spent; reused = reused () }
+  in
+  let rec loop iterations =
+    if iterations >= budget.max_iterations || elapsed () > budget.max_seconds
+    then finish ~success:false ~status:Exhausted ~iterations ~key:None
+    else begin
+      match solve [ act ] with
+      | Solver.Unknown ->
+        finish ~success:false ~status:Inconclusive ~iterations ~key:None
+      | Solver.Unsat -> (
+        (* converged: with the miter gate off, the session reduces to the
+           key-feasibility formula over key1 *)
+        match solve [ -act ] with
+        | Solver.Sat model ->
+          let key =
+            Some (Array.map (fun v -> Solver.model_value model v) key1)
+          in
+          finish ~success:true ~status:Converged ~iterations ~key
+        | Solver.Unsat ->
+          finish ~success:true ~status:Converged ~iterations ~key:None
+        | Solver.Unknown ->
+          finish ~success:false ~status:Inconclusive ~iterations ~key:None)
+      | Solver.Sat model ->
+        let dip =
+          Array.init (Array.length ins) (fun i ->
+              Solver.model_value model input_vars.(i))
+        in
+        let response = oracle dip in
+        record_dip dip response;
+        loop (iterations + 1)
+    end
+  in
+  loop 0
+
+(** Run the attack. [oracle] maps a scan-input stimulus to the correct
+    response (use {!Locked.make_oracle} for the standard threat model).
+    [incremental] defaults from the [ALICE_SAT_INCREMENTAL] environment
+    variable (on unless explicitly disabled). *)
+let attack ?(budget = default_budget) ?incremental (l : Locked.t)
+    ~(oracle : bool array -> bool array) : outcome =
+  let incremental =
+    match incremental with Some b -> b | None -> incremental_enabled ()
+  in
+  if incremental then attack_incremental ~budget l ~oracle
+  else attack_single_shot ~budget l ~oracle

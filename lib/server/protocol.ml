@@ -11,8 +11,10 @@ module D = Alice_diag.Diag
 let version = 1
 
 (* minor 1: streaming sweeps; minor 2: measured-selection attack fields
-   on redact/sweep responses and the stats "attacks" object *)
-let minor = 2
+   on redact/sweep responses and the stats "attacks" object; minor 3:
+   solver-reuse counter and per-candidate attack verdicts on redact
+   responses *)
+let minor = 3
 
 type source = Inline of string | Path of string
 

@@ -48,8 +48,13 @@ val version : int
     [attacks_inconclusive] fields on sweep rows, and a top-level
     [attacks] object in [stats] (the [stats] object is reported to
     every client — only the redact/sweep fields are gated on the
-    announced minor). A request [mv] above the server's is capped, not
-    rejected — minors only ever add behaviour. *)
+    announced minor). Minor 3 adds the incremental solver's
+    learnt-clause reuse to the redact [attack] object ([reused]) plus a
+    per-candidate [verdicts] array
+    ([{"cluster":..,"fabric":..,"status":..,"dips":..,"conflicts":..,
+    "reused":..}] per valid fabric implementation). A request [mv]
+    above the server's is capped, not rejected — minors only ever add
+    behaviour. *)
 val minor : int
 
 (** Where a request's Verilog comes from: inline text in the request

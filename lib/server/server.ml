@@ -146,17 +146,35 @@ let solution_fabrics (flow : A.Flow.t) : string option =
            best.A.Selection.efpgas))
     flow.A.Flow.selection.A.Selection.best
 
-(* additive minor-2 field: measured-selection attack accounting *)
-let attack_field ~(minor : int) (a : A.Engine.Scorer.stats) :
-    (string * J.t) list =
+(* additive minor-2 field: measured-selection attack accounting; minor 3
+   adds the solver-reuse counter and per-candidate verdicts *)
+let attack_field ~(minor : int) (flow : A.Flow.t) : (string * J.t) list =
   if minor < 2 then []
   else
+    let a = flow.A.Flow.selection.A.Selection.attack in
+    let minor3 =
+      if minor < 3 then []
+      else
+        [ ("reused", J.Int a.A.Engine.Scorer.attacks_reused);
+          ( "verdicts",
+            J.List
+              (List.map
+                 (fun (r : A.Report.verdict_row) ->
+                   J.Obj
+                     [ ("cluster", J.String r.A.Report.vr_cluster);
+                       ("fabric", J.String r.A.Report.vr_fabric);
+                       ("status", J.String r.A.Report.vr_status);
+                       ("dips", J.Int r.A.Report.vr_dips);
+                       ("conflicts", J.Int r.A.Report.vr_conflicts);
+                       ("reused", J.Int r.A.Report.vr_reused) ])
+                 (A.Report.verdict_rows flow)) ) ]
+    in
     [ ( "attack",
         J.Obj
-          [ ("run", J.Int a.A.Engine.Scorer.attacks_run);
-            ("cached", J.Int a.A.Engine.Scorer.attacks_cached);
-            ("inconclusive", J.Int a.A.Engine.Scorer.attacks_inconclusive) ]
-      ) ]
+          ([ ("run", J.Int a.A.Engine.Scorer.attacks_run);
+             ("cached", J.Int a.A.Engine.Scorer.attacks_cached);
+             ("inconclusive", J.Int a.A.Engine.Scorer.attacks_inconclusive) ]
+          @ minor3) ) ]
 
 let execute_redact t ~(id : J.t) ~(minor : int) (source : P.source)
     (req_cfg : Y.t) (view : A.Redact.view) : string * bool =
@@ -190,7 +208,7 @@ let execute_redact t ~(id : J.t) ~(minor : int) (source : P.source)
              | None -> J.Null );
            char_stats_field flow.A.Flow.char_stats;
            times_field flow.A.Flow.times ]
-        @ attack_field ~minor flow.A.Flow.selection.A.Selection.attack
+        @ attack_field ~minor flow
         @ diags_field flow.A.Flow.diags),
       true )
 

@@ -9,6 +9,7 @@ let () =
       ("lutmap", Test_lutmap.tests);
       ("fabric", Test_fabric.tests);
       ("sat", Test_sat.tests);
+      ("solver_fuzz", Test_solver_fuzz.tests);
       ("diag", Test_diag.tests);
       ("parallel", Test_parallel.tests);
       ("fault", Test_fault.tests);

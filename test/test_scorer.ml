@@ -218,6 +218,60 @@ let test_measured_diverges_on_gcd () =
         (e.A.Selection.verdict <> None))
     m.A.Flow.selection.A.Selection.valid
 
+(* ---------- per-candidate verdicts in reports ---------- *)
+
+let test_verdict_rows_in_report () =
+  let flow = A.Flow.run_request (demo_request measured_cfg) in
+  let rows = A.Report.verdict_rows flow in
+  let valid = flow.A.Flow.selection.A.Selection.valid in
+  Alcotest.(check int) "one row per valid candidate" (List.length valid)
+    (List.length rows);
+  List.iter2
+    (fun (e : A.Selection.efpga_impl) (r : A.Report.verdict_row) ->
+      Alcotest.(check string) "cluster identity" e.A.Selection.cluster.A.Clustering.key
+        r.A.Report.vr_cluster;
+      Alcotest.(check string) "fabric label"
+        (F.Fabric.size_label e.A.Selection.impl.F.Size_search.fabric)
+        r.A.Report.vr_fabric;
+      let v = Option.get e.A.Selection.verdict in
+      Alcotest.(check string) "status"
+        (Alice_security.Sat_attack.status_to_string
+           v.A.Selection.Scorer.v_status)
+        r.A.Report.vr_status;
+      Alcotest.(check int) "dips" v.A.Selection.Scorer.v_iterations
+        r.A.Report.vr_dips;
+      Alcotest.(check int) "conflicts" v.A.Selection.Scorer.v_conflicts
+        r.A.Report.vr_conflicts;
+      Alcotest.(check int) "reused" v.A.Selection.Scorer.v_reused
+        r.A.Report.vr_reused;
+      Alcotest.(check bool) "reused non-negative" true
+        (r.A.Report.vr_reused >= 0))
+    valid rows;
+  (* the text rendering holds every field *)
+  (match rows with
+  | [] -> Alcotest.fail "expected at least one verdict row"
+  | r :: _ ->
+    let line = Format.asprintf "%a" A.Report.pp_verdict_row r in
+    let contains needle =
+      let nl = String.length needle and ll = String.length line in
+      let rec at i =
+        if i + nl > ll then false
+        else String.sub line i nl = needle || at (i + 1)
+      in
+      nl = 0 || at 0
+    in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "row renders %S" needle)
+          true (contains needle))
+      [ r.A.Report.vr_fabric; r.A.Report.vr_status;
+        string_of_int r.A.Report.vr_conflicts ]);
+  (* heuristic scoring computes no verdicts, so no rows *)
+  let h = A.Flow.run_request (demo_request demo_cfg) in
+  Alcotest.(check int) "heuristic: no rows" 0
+    (List.length (A.Report.verdict_rows h))
+
 (* ---------- determinism across attack_jobs ---------- *)
 
 let test_measured_deterministic_across_jobs () =
@@ -250,5 +304,7 @@ let tests =
       test_heuristic_runs_no_attacks;
     Alcotest.test_case "measured diverges from Eq. 1 on gcd" `Quick
       test_measured_diverges_on_gcd;
+    Alcotest.test_case "verdict rows surface in reports" `Quick
+      test_verdict_rows_in_report;
     Alcotest.test_case "measured deterministic across jobs" `Quick
       test_measured_deterministic_across_jobs ]

@@ -626,6 +626,66 @@ let test_server_streaming_negotiation () =
         Alcotest.(check int) "all rows in one response" 3 (List.length rows)
       | _ -> Alcotest.fail "no rows list in buffered response")
 
+let test_server_attack_verdicts_minor3 () =
+  (* minor 3 adds the solver-reuse counter and per-candidate verdicts to
+     the redact attack object; minor-2 clients keep the old shape and
+     pre-minor-2 clients see no attack object at all *)
+  with_server (fun socket _t ->
+      let request mv =
+        let fields =
+          [ ("v", J.Int 1); ("op", J.String "redact");
+            ("source", J.String demo_src);
+            ( "config",
+              J.Obj
+                [ ("score", J.String "measured");
+                  ("attack_budget", J.Int 2_000);
+                  ("attack_iterations", J.Int 16) ] ) ]
+        in
+        let fields =
+          match mv with None -> fields | Some m -> ("mv", J.Int m) :: fields
+        in
+        J.parse (rpc socket (J.to_string (J.Obj fields)))
+      in
+      let v3 = request (Some 3) in
+      Alcotest.(check bool) "mv3 ok" true (J.get_bool v3 "ok");
+      (match J.find v3 "attack" with
+      | Some attack ->
+        Alcotest.(check bool) "attacks ran" true (J.get_int attack "run" > 0);
+        Alcotest.(check bool) "reused reported" true
+          (J.get_int attack "reused" >= 0);
+        (match J.find attack "verdicts" with
+        | Some (J.List (first :: _ as verdicts)) ->
+          (* one row per valid candidate; candidates may alias cache
+             keys, so the row count is at least the unique-attack count *)
+          Alcotest.(check bool) "a verdict per unique attack" true
+            (List.length verdicts
+            >= J.get_int attack "run" + J.get_int attack "cached");
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (Printf.sprintf "verdict has %s" key)
+                true
+                (J.find first key <> None))
+            [ "cluster"; "fabric"; "status"; "dips"; "conflicts"; "reused" ]
+        | Some (J.List []) -> Alcotest.fail "empty verdicts array"
+        | _ -> Alcotest.fail "no verdicts array at mv 3")
+      | None -> Alcotest.fail "no attack object at mv 3");
+      let v2 = request (Some 2) in
+      Alcotest.(check bool) "mv2 ok" true (J.get_bool v2 "ok");
+      (match J.find v2 "attack" with
+      | Some attack ->
+        Alcotest.(check bool) "mv2 keeps run" true
+          (J.find attack "run" <> None);
+        Alcotest.(check bool) "mv2 has no reused" true
+          (J.find attack "reused" = None);
+        Alcotest.(check bool) "mv2 has no verdicts" true
+          (J.find attack "verdicts" = None)
+      | None -> Alcotest.fail "no attack object at mv 2");
+      let v0 = request None in
+      Alcotest.(check bool) "mv0 ok" true (J.get_bool v0 "ok");
+      Alcotest.(check bool) "no attack object pre-minor-2" true
+        (J.find v0 "attack" = None))
+
 let test_server_shutdown_drain () =
   let socket_path = tmp_socket () in
   let cfg =
@@ -668,4 +728,6 @@ let tests =
     Alcotest.test_case "streaming sweep" `Quick test_server_streaming_sweep;
     Alcotest.test_case "streaming negotiation" `Quick
       test_server_streaming_negotiation;
+    Alcotest.test_case "attack verdicts gated on minor 3" `Quick
+      test_server_attack_verdicts_minor3;
     Alcotest.test_case "shutdown drain" `Quick test_server_shutdown_drain ]

@@ -1,0 +1,428 @@
+(* Differential fuzz suite for the incremental SAT engine.
+
+   Every case is seeded and deterministic. The ground truths are (a) a
+   brute-force enumerator for small variable counts and (b) the
+   single-shot solver itself, so the incremental session is checked both
+   against an independent oracle and against the reference path it must
+   agree with verdict-for-verdict. *)
+
+module S = Alice_sat
+
+let solver_result =
+  Alcotest.testable
+    (fun fmt -> function
+      | S.Solver.Sat _ -> Format.pp_print_string fmt "Sat"
+      | S.Solver.Unsat -> Format.pp_print_string fmt "Unsat"
+      | S.Solver.Unknown -> Format.pp_print_string fmt "Unknown")
+    (fun a b ->
+      match (a, b) with
+      | S.Solver.Sat _, S.Solver.Sat _
+      | S.Solver.Unsat, S.Solver.Unsat
+      | S.Solver.Unknown, S.Solver.Unknown -> true
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Random CNF generation: 3-SAT densities straddling the ~4.26 phase
+   transition, plus unit and duplicate-literal edge cases.             *)
+(* ------------------------------------------------------------------ *)
+
+let random_clause st nvars =
+  (* mostly ternary (3-SAT), some units and binaries, occasional long
+     clauses; ~1 in 8 clauses duplicates one of its literals *)
+  let len =
+    match Random.State.int st 10 with
+    | 0 -> 1
+    | 1 | 2 -> 2
+    | 9 -> 4 + Random.State.int st 3
+    | _ -> 3
+  in
+  let lit () =
+    let v = 1 + Random.State.int st nvars in
+    if Random.State.bool st then v else -v
+  in
+  let base = List.init len (fun _ -> lit ()) in
+  if Random.State.int st 8 = 0 then
+    match base with l :: _ -> l :: base | [] -> base
+  else base
+
+let random_cnf st =
+  let nvars = 3 + Random.State.int st 10 in
+  (* clause/variable ratios from well under to well over the 3-SAT phase
+     transition, so the pool mixes easy-sat, hard, and easy-unsat *)
+  let ratio = 2.0 +. (Random.State.float st 4.0) in
+  let nclauses = max 1 (int_of_float (ratio *. float_of_int nvars)) in
+  (nvars, List.init nclauses (fun _ -> random_clause st nvars))
+
+let build nvars clauses =
+  let f = S.Cnf.create () in
+  for _ = 1 to nvars do
+    ignore (S.Cnf.fresh_var f)
+  done;
+  List.iter (S.Cnf.add_clause f) clauses;
+  f
+
+let satisfies model clauses =
+  List.for_all
+    (fun c ->
+      List.exists (fun l -> if l > 0 then model.(l) else not model.(-l)) c)
+    clauses
+
+let brute_force nvars clauses =
+  let rec try_assign model v =
+    if v > nvars then satisfies model clauses
+    else begin
+      model.(v) <- false;
+      if try_assign model (v + 1) then true
+      else begin
+        model.(v) <- true;
+        try_assign model (v + 1)
+      end
+    end
+  in
+  try_assign (Array.make (nvars + 1) false) 1
+
+(* ------------------------------------------------------------------ *)
+(* (a)+(b): Sat models satisfy all clauses; single-shot vs incremental
+   verdicts agree; both agree with brute force.                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential () =
+  for seed = 0 to 249 do
+    let st = Random.State.make [| 0xA11CE; seed |] in
+    let nvars, clauses = random_cnf st in
+    let truth = brute_force nvars clauses in
+    let name what =
+      Printf.sprintf "seed %d (%d vars, %d clauses): %s" seed nvars
+        (List.length clauses) what
+    in
+    (* single-shot *)
+    (match S.Solver.solve (build nvars clauses) with
+    | S.Solver.Sat model ->
+      Alcotest.(check bool) (name "single-shot sat is right") true truth;
+      Alcotest.(check bool)
+        (name "single-shot model satisfies clauses")
+        true
+        (satisfies model clauses)
+    | S.Solver.Unsat ->
+      Alcotest.(check bool) (name "single-shot unsat is right") false truth
+    | S.Solver.Unknown -> Alcotest.fail (name "unbudgeted Unknown"));
+    (* incremental session over the same formula *)
+    let session = S.Solver.Incremental.create () in
+    List.iter (S.Solver.Incremental.add_clause session) clauses;
+    S.Solver.Incremental.ensure_vars session nvars;
+    match S.Solver.Incremental.solve session with
+    | S.Solver.Sat model ->
+      Alcotest.(check bool) (name "incremental sat is right") true truth;
+      Alcotest.(check bool)
+        (name "incremental model satisfies clauses")
+        true
+        (satisfies model clauses)
+    | S.Solver.Unsat ->
+      Alcotest.(check bool) (name "incremental unsat is right") false truth
+    | S.Solver.Unknown -> Alcotest.fail (name "unbudgeted Unknown")
+  done
+
+(* ------------------------------------------------------------------ *)
+(* (c): solving under assumptions agrees with solving CNF + units, and
+   an Unsat-under-assumptions session stays usable.                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_assumptions_vs_units () =
+  for seed = 0 to 149 do
+    let st = Random.State.make [| 0xBEEF; seed |] in
+    let nvars, clauses = random_cnf st in
+    let n_assumps = 1 + Random.State.int st 3 in
+    let assumptions =
+      List.init n_assumps (fun _ ->
+          let v = 1 + Random.State.int st nvars in
+          if Random.State.bool st then v else -v)
+    in
+    let name what = Printf.sprintf "seed %d: %s" seed what in
+    let expected =
+      S.Solver.solve (build nvars (List.map (fun l -> [ l ]) assumptions @ clauses))
+    in
+    let got = S.Solver.solve ~assumptions (build nvars clauses) in
+    Alcotest.check solver_result
+      (name "single-shot assumptions = units")
+      expected got;
+    (* same query through a session, twice: the first answer must not
+       poison the second (assumptions are retracted, not asserted) *)
+    let session = S.Solver.Incremental.create () in
+    List.iter (S.Solver.Incremental.add_clause session) clauses;
+    S.Solver.Incremental.ensure_vars session nvars;
+    let s1 = S.Solver.Incremental.solve ~assumptions session in
+    Alcotest.check solver_result (name "session assumptions = units") expected
+      s1;
+    let s2 = S.Solver.Incremental.solve ~assumptions session in
+    Alcotest.check solver_result (name "repeat query agrees") expected s2;
+    (* and with assumptions dropped, the verdict is the base formula's *)
+    let base = S.Solver.solve (build nvars clauses) in
+    Alcotest.check solver_result
+      (name "retraction restores the base formula")
+      base
+      (S.Solver.Incremental.solve session)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* (d): interleaved add_clause/solve agrees with a fresh solver on the
+   accumulated formula at every step.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_interleaved () =
+  for seed = 0 to 99 do
+    let st = Random.State.make [| 0xCAFE; seed |] in
+    let nvars, clauses = random_cnf st in
+    let session = S.Solver.Incremental.create () in
+    S.Solver.Incremental.ensure_vars session nvars;
+    let accumulated = ref [] in
+    let rec feed chunks remaining =
+      match remaining with
+      | [] -> ()
+      | _ ->
+        let k = min (List.length remaining) (1 + Random.State.int st 5) in
+        let chunk = List.filteri (fun i _ -> i < k) remaining in
+        let rest = List.filteri (fun i _ -> i >= k) remaining in
+        List.iter
+          (fun c ->
+            S.Solver.Incremental.add_clause session c;
+            accumulated := c :: !accumulated)
+          chunk;
+        let expected = S.Solver.solve (build nvars !accumulated) in
+        let got = S.Solver.Incremental.solve session in
+        Alcotest.check solver_result
+          (Printf.sprintf "seed %d chunk %d agrees with fresh solver" seed
+             chunks)
+          expected got;
+        (* a session that went Unsat stays Unsat: adding clauses to an
+           unsatisfiable formula cannot rescue it *)
+        if got <> S.Solver.Unsat then feed (chunks + 1) rest
+    in
+    feed 0 clauses
+  done
+
+(* the attached-CNF path must behave identically to hand-fed clauses *)
+let test_attach_sync () =
+  for seed = 0 to 49 do
+    let st = Random.State.make [| 0xD1CE; seed |] in
+    let nvars, clauses = random_cnf st in
+    let f = S.Cnf.create () in
+    for _ = 1 to nvars do
+      ignore (S.Cnf.fresh_var f)
+    done;
+    let session = S.Solver.Incremental.create () in
+    S.Solver.Incremental.attach session f;
+    let accumulated = ref [] in
+    List.iteri
+      (fun i c ->
+        S.Cnf.add_clause f c;
+        accumulated := c :: !accumulated;
+        (* solve at a few interleaving points, not after every clause *)
+        if i mod 7 = seed mod 7 then begin
+          let expected = S.Solver.solve (build nvars !accumulated) in
+          let got = S.Solver.Incremental.solve session in
+          Alcotest.check solver_result
+            (Printf.sprintf "seed %d: synced session agrees at clause %d" seed
+               i)
+            expected got
+        end)
+      clauses;
+    let expected = S.Solver.solve (build nvars !accumulated) in
+    Alcotest.check solver_result
+      (Printf.sprintf "seed %d: synced session agrees at the end" seed)
+      expected
+      (S.Solver.Incremental.solve session)
+  done
+
+(* fresh variables introduced mid-session get correct defaults *)
+let test_growing_vars () =
+  let session = S.Solver.Incremental.create () in
+  S.Solver.Incremental.add_clause session [ 1; 2 ];
+  (match S.Solver.Incremental.solve ~assumptions:[ -1 ] session with
+  | S.Solver.Sat m ->
+    Alcotest.(check bool) "2 forced" true (S.Solver.model_value m 2)
+  | _ -> Alcotest.fail "sat expected");
+  (* a variable far beyond the current capacity *)
+  S.Solver.Incremental.add_clause session [ -2; 997 ];
+  S.Solver.Incremental.add_clause session [ -997; 3 ];
+  (match S.Solver.Incremental.solve ~assumptions:[ -1 ] session with
+  | S.Solver.Sat m ->
+    Alcotest.(check bool) "chain propagates through fresh var" true
+      (S.Solver.model_value m 997 && S.Solver.model_value m 3)
+  | _ -> Alcotest.fail "sat expected");
+  Alcotest.(check bool) "session saw the new variables" true
+    (S.Solver.Incremental.nvars session >= 997)
+
+(* ------------------------------------------------------------------ *)
+(* Budget semantics: a tripped budget yields Unknown, never a wrong
+   verdict — including mid-session after clause-DB reduction.          *)
+(* ------------------------------------------------------------------ *)
+
+(* pigeonhole (n+1 pigeons, n holes): UNSAT and needs real search *)
+let pigeonhole_clauses n =
+  let var p h = (p * n) + h + 1 in
+  let at_least =
+    List.init (n + 1) (fun p -> List.init n (fun h -> var p h))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p2 > p1 then Some [ -var p1 h; -var p2 h ] else None)
+              (List.init (n + 1) Fun.id))
+          (List.init (n + 1) Fun.id))
+      (List.init n Fun.id)
+  in
+  ((n + 1) * n, at_least @ at_most)
+
+let test_budget_soundness () =
+  let nvars, clauses = pigeonhole_clauses 5 in
+  let f = build nvars clauses in
+  (* sweep conflict budgets from trivially small to past the instance's
+     cost; every verdict must be Unknown or the true Unsat *)
+  let budgets = [ 1; 2; 5; 10; 50; 200; 1_000; 100_000 ] in
+  List.iter
+    (fun b ->
+      match S.Solver.solve ~max_conflicts:b f with
+      | S.Solver.Sat _ ->
+        Alcotest.fail
+          (Printf.sprintf "budget %d returned Sat on an unsat instance" b)
+      | S.Solver.Unsat | S.Solver.Unknown -> ())
+    budgets;
+  List.iter
+    (fun b ->
+      match S.Solver.solve ~max_decisions:b f with
+      | S.Solver.Sat _ ->
+        Alcotest.fail
+          (Printf.sprintf "decision budget %d returned Sat on unsat" b)
+      | S.Solver.Unsat | S.Solver.Unknown -> ())
+    budgets;
+  (* an unbudgeted run concludes *)
+  match S.Solver.solve f with
+  | S.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole must be unsat"
+
+let test_budget_mid_session () =
+  (* a tiny reduce ceiling forces clause-DB reduction during the
+     session; budgeted queries after reductions must stay sound *)
+  let nvars, clauses = pigeonhole_clauses 5 in
+  let session = S.Solver.Incremental.create ~reduce_base:32 () in
+  List.iter (S.Solver.Incremental.add_clause session) clauses;
+  S.Solver.Incremental.ensure_vars session nvars;
+  let tripped = ref 0 in
+  List.iter
+    (fun b ->
+      match S.Solver.Incremental.solve ~max_conflicts:b session with
+      | S.Solver.Sat _ ->
+        Alcotest.fail
+          (Printf.sprintf "budget %d returned Sat on an unsat instance" b)
+      | S.Solver.Unknown -> incr tripped
+      | S.Solver.Unsat -> ())
+    [ 3; 7; 15; 31; 63 ];
+  (* the per-query budgets were small enough to trip at least once *)
+  Alcotest.(check bool) "some query hit its budget" true (!tripped > 0);
+  (* the same session, unbudgeted, still concludes correctly *)
+  (match S.Solver.Incremental.solve session with
+  | S.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "session must still conclude Unsat");
+  let st = S.Solver.Incremental.stats session in
+  Alcotest.(check bool) "reduction actually happened" true
+    (st.S.Solver.Incremental.reduces > 0)
+
+let test_conflicts_monotone () =
+  let nvars, clauses = pigeonhole_clauses 4 in
+  let session = S.Solver.Incremental.create () in
+  List.iter (S.Solver.Incremental.add_clause session) clauses;
+  S.Solver.Incremental.ensure_vars session nvars;
+  let last = ref 0 in
+  for i = 1 to 5 do
+    let _r, per_call =
+      S.Solver.Incremental.solve_stats ~max_conflicts:(10 * i) session
+    in
+    Alcotest.(check bool) "per-call conflicts are non-negative" true
+      (per_call >= 0);
+    let c = (S.Solver.Incremental.stats session).S.Solver.Incremental.conflicts in
+    Alcotest.(check bool)
+      (Printf.sprintf "session conflicts monotone at query %d" i)
+      true (c >= !last);
+    last := c
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Clause-DB reduction: a long session's learnt count stays under the
+   reduce ceiling (regression for the list-based storage that never
+   shrank).                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_learnt_under_ceiling () =
+  let nvars, clauses = pigeonhole_clauses 6 in
+  let session = S.Solver.Incremental.create ~reduce_base:64 () in
+  List.iter (S.Solver.Incremental.add_clause session) clauses;
+  S.Solver.Incremental.ensure_vars session nvars;
+  (* many budgeted queries against a hard instance: learnt clauses pile
+     up and must be reduced, not hoarded *)
+  for _ = 1 to 20 do
+    ignore (S.Solver.Incremental.solve ~max_conflicts:400 session)
+  done;
+  let st = S.Solver.Incremental.stats session in
+  Alcotest.(check bool) "reductions ran" true
+    (st.S.Solver.Incremental.reduces > 0);
+  Alcotest.(check bool) "clauses were dropped" true
+    (st.S.Solver.Incremental.learnt_dropped > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "live learnt %d under ceiling %d"
+       st.S.Solver.Incremental.learnt_live
+       st.S.Solver.Incremental.learnt_ceiling)
+    true
+    (st.S.Solver.Incremental.learnt_live
+    <= st.S.Solver.Incremental.learnt_ceiling);
+  Alcotest.(check bool) "later queries reused learnt clauses" true
+    (st.S.Solver.Incremental.learnt_reused > 0)
+
+(* empty and contradictory clause edge cases *)
+let test_edge_clauses () =
+  (* duplicate literals collapse *)
+  let s = S.Solver.Incremental.create () in
+  S.Solver.Incremental.add_clause s [ 1; 1; 1 ];
+  (match S.Solver.Incremental.solve s with
+  | S.Solver.Sat m -> Alcotest.(check bool) "unit dedup" true m.(1)
+  | _ -> Alcotest.fail "sat expected");
+  (* tautologies constrain nothing *)
+  S.Solver.Incremental.add_clause s [ 2; -2 ];
+  S.Solver.Incremental.add_clause s [ -1 ];
+  (match S.Solver.Incremental.solve s with
+  | S.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "1 and -1 must contradict");
+  (* a contradictory session stays Unsat under any assumptions *)
+  (match S.Solver.Incremental.solve ~assumptions:[ 2 ] s with
+  | S.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "contradiction is permanent");
+  (* the empty clause *)
+  let s2 = S.Solver.Incremental.create () in
+  S.Solver.Incremental.add_clause s2 [];
+  match S.Solver.Incremental.solve s2 with
+  | S.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "empty clause must be unsat"
+
+let tests =
+  [ Alcotest.test_case "differential: 250 random CNFs, single-shot and session"
+      `Slow test_differential;
+    Alcotest.test_case "assumptions agree with units (150 seeds)" `Slow
+      test_assumptions_vs_units;
+    Alcotest.test_case "interleaved add/solve agrees with fresh (100 seeds)"
+      `Slow test_interleaved;
+    Alcotest.test_case "attached CNF sync agrees with fresh (50 seeds)" `Slow
+      test_attach_sync;
+    Alcotest.test_case "variables grow mid-session" `Quick test_growing_vars;
+    Alcotest.test_case "budgets trip to Unknown, never a wrong verdict" `Quick
+      test_budget_soundness;
+    Alcotest.test_case "budgets stay sound after DB reduction" `Quick
+      test_budget_mid_session;
+    Alcotest.test_case "session conflicts are monotone" `Quick
+      test_conflicts_monotone;
+    Alcotest.test_case "long session stays under the reduce ceiling" `Quick
+      test_learnt_under_ceiling;
+    Alcotest.test_case "edge clauses: duplicates, tautologies, empty" `Quick
+      test_edge_clauses ]
