@@ -5,7 +5,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one section
      sections: table1 table2 figure4 security overhead soc ablation
-             parallel cache attack server mixed micro
+             parallel cache attack advise server mixed micro
 
    Paper reference values are printed next to the measured ones so the
    output doubles as the data source for EXPERIMENTS.md. The [micro]
@@ -719,6 +719,66 @@ let run_attack () =
   note "diverges_from_eq1" (Jl.Bool (ranking heur_flow <> ranking cold_flow))
 
 (* ------------------------------------------------------------------ *)
+(* Advisor: Pareto-front exploration on GCD, cold vs warm              *)
+(* ------------------------------------------------------------------ *)
+
+let run_advise () =
+  section "advisor: pre-architecture Pareto sweep on GCD (cold vs warm)";
+  let gcd = Option.get (B.find "GCD") in
+  let base = B.config1 gcd in
+  let axes =
+    { A.Advisor.ax_lut_inputs = [ 4; 6 ]; ax_max_widths = [ 8; 12 ];
+      ax_utilizations = [ base.C.Flow_config.target_utilization ];
+      ax_attack_budgets = [ base.C.Flow_config.attack_budget ];
+      ax_score_modes = [ C.Flow_config.Heuristic ] }
+  in
+  let plan = A.Advisor.plan ~base ~axes in
+  Format.printf "  grid: %d candidates (%d deduplicated)@."
+    (List.length plan.A.Advisor.pl_grid) plan.A.Advisor.pl_deduped;
+  let root = Filename.temp_file "alice_bench" ".cache" in
+  Sys.remove root;
+  let source = A.Flow.Ast (B.parse gcd) in
+  let advise label =
+    let engine = A.Engine.create ~cache_dir:root () in
+    let resumed = ref 0 in
+    let on_point (sp : A.Engine.sweep_point) =
+      if sp.A.Engine.sp_resumed then incr resumed
+    in
+    let report, t = time (fun () -> A.Advisor.run ~on_point engine ~source plan) in
+    Format.printf "  %-22s %6.2fs   front %d of %d, %d resumed@." label t
+      (List.length report.A.Advisor.r_front)
+      (List.length report.A.Advisor.r_entries)
+      !resumed;
+    (report, t, !resumed)
+  in
+  let cold, t_cold, _ = advise "cold (empty store):" in
+  (* a fresh engine over the same store: a second process *)
+  let warm, t_warm, warm_resumed = advise "warm (new engine):" in
+  let json r = Jl.to_string (A.Advisor.json_of_report r) in
+  Format.printf "  warm resumed every candidate: %b@."
+    (warm_resumed = List.length plan.A.Advisor.pl_grid);
+  Format.printf "  warm report byte-identical to cold: %b@."
+    (json cold = json warm);
+  (match cold.A.Advisor.r_front with
+  | (best : A.Advisor.entry) :: _ ->
+    (match best.A.Advisor.e_point.A.Engine.sp_metrics with
+    | Some m ->
+      Format.printf
+        "  recommendation: %s — area %.0f um^2, path %.2f ns, security %.3f@."
+        best.A.Advisor.e_name m.A.Engine.pm_area_um2 m.A.Engine.pm_timing_ns
+        m.A.Engine.pm_security
+    | None -> ())
+  | [] -> Format.printf "  (empty front)@.");
+  note_f "cold_s" t_cold;
+  note_f "warm_s" t_warm;
+  note_f "speedup_warm" (t_cold /. Float.max 1e-9 t_warm);
+  note_i "candidates" (List.length plan.A.Advisor.pl_grid);
+  note_i "deduped" plan.A.Advisor.pl_deduped;
+  note_i "front" (List.length cold.A.Advisor.r_front);
+  note_i "warm_resumed" warm_resumed;
+  note "warm_byte_identical" (Jl.Bool (json cold = json warm))
+
+(* ------------------------------------------------------------------ *)
 (* Redaction service: warm-cache round-trip throughput and latency     *)
 (* ------------------------------------------------------------------ *)
 
@@ -966,6 +1026,7 @@ let all_sections =
     ("parallel", run_parallel);
     ("cache", run_cache);
     ("attack", run_attack);
+    ("advise", run_advise);
     ("server", run_server);
     ("mixed", run_mixed);
     ("micro", run_micro) ]

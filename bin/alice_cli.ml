@@ -462,6 +462,130 @@ let sweep_cmd =
              died")
     Term.(const run $ file $ config $ no_resume $ flow_flags $ diag_format)
 
+(* ---------- advise ----------
+
+   The pre-architecture advisor: enumerate a candidate grid over the
+   searchable (arch × config) axes, run it through the sweep machinery
+   (cached, per-point resumable, attack-verdict-warm), and rank the
+   Pareto front over (area, timing, security). The JSON report is
+   deliberately free of wall-clock and resume provenance, so cold and
+   warm runs are byte-identical — check.sh asserts it. *)
+
+let advise_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.v") in
+  let constraints =
+    Arg.(value & opt (some file) None
+         & info [ "c"; "constraints" ] ~docv:"CONSTRAINTS.yaml"
+             ~doc:"Constraint document: an optional $(b,base) \
+                   flow-configuration map applied to every candidate, \
+                   plus an optional $(b,axes) map pinning the grid axes \
+                   ($(b,lut_inputs), $(b,max_fabric_size), \
+                   $(b,target_utilization), $(b,attack_budget), \
+                   $(b,score)). Unpinned axes default from the design \
+                   itself.")
+  in
+  let format =
+    let format_conv = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt format_conv `Text
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Report format: $(b,text) (ranked table on stderr, \
+                   recommendation on stdout) or $(b,json) \
+                   (machine-readable report on stdout).")
+  in
+  let no_resume =
+    Arg.(value & flag
+         & info [ "no-resume" ]
+             ~doc:"Recompute every candidate instead of serving \
+                   candidates already checkpointed by an earlier \
+                   (possibly killed) run over the same grid. \
+                   Checkpoints are still written.")
+  in
+  let run file constraints format no_resume flags fmt =
+    handle_errors ~fmt (fun () ->
+        let doc =
+          match constraints with
+          | None -> C.Yaml_lite.Null
+          | Some path -> C.Yaml_lite.parse (read_file path)
+        in
+        let base_doc =
+          Option.value (C.Yaml_lite.find doc "base") ~default:C.Yaml_lite.Null
+        in
+        let base = apply_overrides flags (C.Flow_config.of_yaml base_doc) in
+        let ast = load_design file in
+        let source = A.Flow.Ast ast in
+        let plan = A.Advisor.plan_of_source ~base ~constraints:doc source in
+        let engine = A.Engine.of_config base in
+        let report =
+          A.Advisor.run ~resume:(not no_resume) engine ~source plan
+        in
+        let entries = report.A.Advisor.r_entries in
+        let resumed =
+          List.length
+            (List.filter
+               (fun (e : A.Advisor.entry) ->
+                 e.A.Advisor.e_point.A.Engine.sp_resumed)
+               entries)
+        in
+        if resumed > 0 then
+          Format.eprintf
+            "advise: %d of %d candidates resumed from checkpoints (use \
+             --no-resume to recompute)@."
+            resumed (List.length entries);
+        (match format with
+        | `Json ->
+          print_endline (J.to_string (A.Advisor.json_of_report report))
+        | `Text ->
+          Format.eprintf "%a" A.Report.pp_advise_header ();
+          List.iter
+            (fun r -> Format.eprintf "%a" A.Report.pp_advise_row r)
+            (A.Advisor.table_rows report);
+          Format.printf "advise: %d candidates (%d deduplicated), Pareto \
+                         front of %d@."
+            (List.length entries) report.A.Advisor.r_deduped
+            (List.length report.A.Advisor.r_front);
+          match report.A.Advisor.r_front with
+          | [] -> Format.printf "recommend: none (no feasible candidate)@."
+          | best :: _ ->
+            let sp = best.A.Advisor.e_point in
+            let m =
+              match sp.A.Engine.sp_metrics with
+              | Some m -> m
+              | None -> assert false (* front members are feasible *)
+            in
+            Format.printf
+              "recommend: %s (fabrics %s): area %.0f um2, path %.2f ns, \
+               security %.3f (%s)@."
+              best.A.Advisor.e_name
+              (Option.value sp.A.Engine.sp_fabrics ~default:"-")
+              m.A.Engine.pm_area_um2 m.A.Engine.pm_timing_ns
+              m.A.Engine.pm_security
+              (C.Flow_config.score_mode_to_string m.A.Engine.pm_security_mode));
+        (* diagnostics, each tagged with its candidate's name *)
+        let tagged =
+          List.concat_map
+            (fun (e : A.Advisor.entry) ->
+              let sp = e.A.Advisor.e_point in
+              List.map
+                (fun (d : D.t) ->
+                  { d with
+                    D.context = ("config", sp.A.Engine.sp_name) :: d.D.context })
+                sp.A.Engine.sp_diags)
+            entries
+        in
+        render_diags fmt tagged;
+        if List.exists D.is_error tagged then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:"Recommend fabric configurations for a design before \
+             committing to one: sweep a candidate grid over the (arch × \
+             config) space, compute the Pareto front over area, timing \
+             and security, and rank it. Candidates are cached and \
+             checkpointed like sweep entries, so a killed run resumes \
+             with zero recomputation")
+    Term.(const run $ file $ constraints $ format $ no_resume $ flow_flags
+          $ diag_format)
+
 (* ---------- attack ---------- *)
 
 let attack_cmd =
@@ -1030,5 +1154,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ inspect_cmd; redact_cmd; sweep_cmd; attack_cmd; decompose_cmd;
-            simulate_cmd; bench_cmd; serve_cmd; client_cmd; cache_cmd ]))
+          [ inspect_cmd; redact_cmd; sweep_cmd; advise_cmd; attack_cmd;
+            decompose_cmd; simulate_cmd; bench_cmd; serve_cmd; client_cmd;
+            cache_cmd ]))

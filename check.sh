@@ -160,6 +160,49 @@ if cmp -s "$tmpdir/mout_cold.v" "$tmpdir/hout.v"; then
   exit 1
 fi
 
+# --- advisor: a cold advise emits a ranked Pareto front; a warm rerun -
+# --- resumes every candidate and renders byte-identically -------------
+cat > "$tmpdir/advise.yaml" <<'EOF'
+base:
+  top: gcd
+  selected_outputs:
+    - result
+  max_io_pins: 64
+  max_efpgas: 2
+  fabric:
+    min_size: 4
+    max_size: 16
+    target_utilization: 0.5
+    min_clb_utilization: 0.3
+axes:
+  lut_inputs: [4]
+  max_fabric_size: [12, 16]
+EOF
+for run in cold warm; do
+  dune exec --no-build bin/alice_cli.exe -- advise "$tmpdir/gcd.v" \
+    -c "$tmpdir/advise.yaml" --format json \
+    --cache-dir "$tmpdir/acache" \
+    > "$tmpdir/advise_$run.json" 2> "$tmpdir/astderr_$run.txt"
+done
+# the cold run produced a non-empty ranked front...
+if ! grep -q '"rank":1' "$tmpdir/advise_cold.json"; then
+  echo "check.sh: cold advise emitted no ranked Pareto front:" >&2
+  cat "$tmpdir/advise_cold.json" >&2
+  exit 1
+fi
+# ...the warm rerun recomputed zero candidates...
+if ! grep -Eq 'advise: [1-9][0-9]* of [1-9][0-9]* candidates resumed' \
+  "$tmpdir/astderr_warm.txt"; then
+  echo "check.sh: warm advise did not resume from checkpoints:" >&2
+  cat "$tmpdir/astderr_warm.txt" >&2
+  exit 1
+fi
+# ...and rendered byte-identically to the cold run
+if ! cmp -s "$tmpdir/advise_cold.json" "$tmpdir/advise_warm.json"; then
+  echo "check.sh: advise reports differ between cold and warm cache" >&2
+  exit 1
+fi
+
 # --- redaction service: 8 concurrent clients, warm stats, streaming ---
 # --- sweep, clean drain — once per transport (unix + tcp) -------------
 # the daemon is exercised through the built binary directly: `dune exec`

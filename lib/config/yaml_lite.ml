@@ -245,6 +245,37 @@ let get_string_list ?default doc key =
   | Some _, _ -> invalid_arg (Printf.sprintf "key %s: expected list" key)
   | None, None -> invalid_arg (Printf.sprintf "missing key %s" key)
 
+let get_int_list ?default doc key =
+  match (find doc key, default) with
+  | Some (List items), _ ->
+    List.map
+      (function
+        | Int i -> i
+        | Null | Bool _ | Float _ | String _ | List _ | Map _ ->
+          invalid_arg (Printf.sprintf "key %s: expected list of ints" key))
+      items
+  | Some (Int i), _ -> [ i ]
+  | (Some Null | None), Some d -> d
+  | Some _, _ -> invalid_arg (Printf.sprintf "key %s: expected list of ints" key)
+  | None, None -> invalid_arg (Printf.sprintf "missing key %s" key)
+
+let get_float_list ?default doc key =
+  match (find doc key, default) with
+  | Some (List items), _ ->
+    List.map
+      (function
+        | Float f -> f
+        | Int i -> float_of_int i
+        | Null | Bool _ | String _ | List _ | Map _ ->
+          invalid_arg (Printf.sprintf "key %s: expected list of numbers" key))
+      items
+  | Some (Float f), _ -> [ f ]
+  | Some (Int i), _ -> [ float_of_int i ]
+  | (Some Null | None), Some d -> d
+  | Some _, _ ->
+    invalid_arg (Printf.sprintf "key %s: expected list of numbers" key)
+  | None, None -> invalid_arg (Printf.sprintf "missing key %s" key)
+
 let rec to_string = function
   | Null -> "null"
   | Bool b -> string_of_bool b

@@ -34,6 +34,15 @@ val get_bool : ?default:bool -> t -> string -> bool
 
 val get_string_list : ?default:string list -> t -> string -> string list
 
+(** A list of ints; a bare scalar is accepted as a one-element list
+    (so [lut_inputs: 4] and [lut_inputs: \[4, 6\]] both work as sweep
+    axes). *)
+val get_int_list : ?default:int list -> t -> string -> int list
+
+(** A list of floats; ints are promoted, a bare scalar is accepted as a
+    one-element list. *)
+val get_float_list : ?default:float list -> t -> string -> float list
+
 val to_string : t -> string
 
 (** [merge base overlay] deep-merges two documents: maps are merged key

@@ -168,10 +168,18 @@ let gc ?max_bytes (t : t) : Disk_cache.gc_stats option =
 
 (* ---------- resumable sweeps ---------- *)
 
+type point_metrics = {
+  pm_area_um2 : float;
+  pm_timing_ns : float;
+  pm_security : float;
+  pm_security_mode : C.Flow_config.score_mode;
+}
+
 type sweep_point = {
   sp_name : string;
   sp_feasible : bool;
   sp_fabrics : string option;
+  sp_metrics : point_metrics option;
   sp_hits : int;
   sp_computed : int;
   sp_skipped : int;
@@ -194,12 +202,59 @@ let solution_fabrics (flow : Flow.t) : string option =
               F.Fabric.size_label e.Selection.impl.F.Size_search.fabric)
             best.Selection.efpgas))
 
+(* The advisor's three objectives, read off the selected solution. Area
+   sums the chosen fabrics; timing is the slowest fabric's critical
+   path; security is on the configured score mode's own scale — Eq. 1
+   total score for Heuristic, mean measured attack resilience in [0,1]
+   for Measured (falling back to the heuristic score when no verdicts
+   were recorded, e.g. every attack crashed). *)
+let solution_metrics (flow : Flow.t) : point_metrics option =
+  match flow.Flow.selection.Selection.best with
+  | None -> None
+  | Some best ->
+    let cfg = flow.Flow.config in
+    let efpgas = best.Selection.efpgas in
+    let area =
+      List.fold_left
+        (fun acc (e : Selection.efpga_impl) ->
+          acc +. F.Area.fabric_area e.Selection.impl.F.Size_search.fabric)
+        0. efpgas
+    in
+    let timing =
+      List.fold_left
+        (fun acc (e : Selection.efpga_impl) ->
+          let r =
+            F.Timing.estimate e.Selection.impl.F.Size_search.placement
+              e.Selection.mapped
+          in
+          Float.max acc r.F.Timing.critical_path_ns)
+        0. efpgas
+    in
+    let security =
+      match cfg.C.Flow_config.score_mode with
+      | C.Flow_config.Heuristic -> best.Selection.total_score
+      | C.Flow_config.Measured -> (
+        let verdicts =
+          List.filter_map (fun (e : Selection.efpga_impl) -> e.Selection.verdict)
+            efpgas
+        in
+        match verdicts with
+        | [] -> best.Selection.total_score
+        | vs ->
+          List.fold_left (fun acc v -> acc +. Scorer.resilience cfg v) 0. vs
+          /. float_of_int (List.length vs))
+    in
+    Some
+      { pm_area_um2 = area; pm_timing_ns = timing; pm_security = security;
+        pm_security_mode = cfg.C.Flow_config.score_mode }
+
 let summarize (name : string) (flow : Flow.t) : sweep_point =
   let s = flow.Flow.char_stats in
   let a = flow.Flow.selection.Selection.attack in
   { sp_name = name;
     sp_feasible = flow.Flow.selection.Selection.best <> None;
     sp_fabrics = solution_fabrics flow;
+    sp_metrics = solution_metrics flow;
     sp_hits = s.Characterize.cache_hits;
     sp_computed = s.Characterize.computed;
     sp_skipped = s.Characterize.skipped;
@@ -212,11 +267,12 @@ let summarize (name : string) (flow : Flow.t) : sweep_point =
 
 (* A point's identity is everything that can change its result: the
    name keys the row, the (config, source) marshal digests the work.
-   The [v2] prefix versions the summary encoding itself — widening
-   [sweep_point] (v2 added the attack counters) is a format change, not
-   a silently garbled resume. *)
+   The [v3] prefix versions the summary encoding itself — widening
+   [sweep_point] (v2 added the attack counters, v3 the advisor's
+   area/timing/security metrics) is a format change, not a silently
+   garbled resume. *)
 let point_key (name : string) (req : Flow.request) : string =
-  Printf.sprintf "sweep-point v2 %s %s" name
+  Printf.sprintf "sweep-point v3 %s %s" name
     (Digest.to_hex
        (Digest.string
           (Marshal.to_string (req.Flow.config, req.Flow.source) [])))
@@ -226,7 +282,22 @@ let point_key (name : string) (req : Flow.request) : string =
     and (with [resume], the default) points already checkpointed — by a
     previous process, however it died — are served back with
     [sp_resumed = true] and zero recomputation. Fault site
-    ["engine.sweep_point"] is hit before each computed point. *)
+    ["engine.sweep_point"] is hit before each computed point.
+
+    Ordering guarantee for streaming consumers: [on_point] fires only
+    AFTER the point's checkpoint write. A crash anywhere in the window
+    between "point computed" and "row delivered" therefore has exactly
+    two observable outcomes — the checkpoint was written (the rerun
+    resumes the point and re-delivers its row), or it was not (the
+    rerun recomputes the point and delivers its row). A lost row always
+    means "will be recomputed or re-delivered", never "silently skipped
+    on resume". Tested in test/test_engine.ml.
+
+    All points run through this engine's single characterization memo
+    AND its single attack-verdict pool ([attack_cache]): grid entries
+    whose configs differ only in knobs outside {!C.Flow_config.attack_digest}
+    (e.g. [attack_area_weight], [score_mode]) re-rank cached verdicts
+    without re-running a single attack. *)
 let run_sweep ?(shared = false) ?(resume = true)
     ?(on_point : (sweep_point -> unit) option) (t : t)
     (points : (string * Flow.request) list) : sweep_point list =

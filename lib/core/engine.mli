@@ -105,6 +105,19 @@ val enable_cache_writes : t -> unit
     live engine — concurrent loads degrade to misses at worst. *)
 val gc : ?max_bytes:int -> t -> Disk_cache.gc_stats option
 
+(** The advisor's objective vector for one solved point, read off the
+    selected solution: total area of the chosen fabrics, the slowest
+    fabric's critical path, and the security score on the configured
+    score mode's own scale — Eq. 1 total score for [Heuristic], mean
+    measured attack resilience in \[0,1\] for [Measured]. *)
+type point_metrics = {
+  pm_area_um2 : float;
+  pm_timing_ns : float;
+  pm_security : float;
+  pm_security_mode : C.Flow_config.score_mode;
+      (** which scale [pm_security] is on *)
+}
+
 (** One sweep row: the marshalable summary of a completed flow that the
     checkpoint store persists — everything the sweep table and server
     sweep response report, but not the full {!Flow.t}. *)
@@ -112,6 +125,8 @@ type sweep_point = {
   sp_name : string;          (** the sweep entry's label *)
   sp_feasible : bool;        (** a best solution exists *)
   sp_fabrics : string option;(** "+"-joined fabric size labels of best *)
+  sp_metrics : point_metrics option;
+      (** objectives of the best solution; [None] when infeasible *)
   sp_hits : int;             (** characterization cache hits *)
   sp_computed : int;
   sp_skipped : int;          (** deadline skips *)
@@ -139,10 +154,21 @@ val solution_fabrics : Flow.t -> string option
     semantics for the underlying runs (servers); the default is {!run}.
     With caching off there are no checkpoints and this degrades to
     {!run_many} plus summarization. [~on_point] observes each point
-    (resumed or computed) the moment it is available — after its
-    checkpoint is written, so an observer that raises (a streaming
-    client that hung up) aborts the remaining points while every
-    completed one stays resumable. *)
+    (resumed or computed) the moment it is available — strictly AFTER
+    its checkpoint is written. That ordering is a contract streaming
+    consumers build on: a crash between computing a point and
+    delivering its row leaves the point either checkpointed (the rerun
+    resumes it and re-delivers the row) or not (the rerun recomputes it
+    and delivers the row) — a lost row is always recomputed or
+    re-delivered, never silently skipped on resume. Likewise an
+    observer that raises (a streaming client that hung up) aborts the
+    remaining points while every completed one stays resumable.
+
+    All points share this engine's characterization memo and its attack
+    verdict pool: entries whose configurations differ only in knobs
+    outside {!C.Flow_config.attack_digest} — [attack_area_weight],
+    [score_mode], [attack_jobs] — re-rank cached verdicts without
+    re-running any attack. *)
 val run_sweep :
   ?shared:bool -> ?resume:bool -> ?on_point:(sweep_point -> unit) -> t ->
   (string * Flow.request) list -> sweep_point list

@@ -1,0 +1,114 @@
+(** Exact Pareto classification over n objectives (see the interface).
+
+    Everything here is deterministic by construction: the population is
+    first brought into a canonical order (objective vectors compared
+    best-first per direction, labels as the final tie-breaker), and all
+    output lists — front, dominated, unfit — follow that order. Input
+    order can never leak into the result, which is what lets the
+    advisor promise byte-identical reports across resumed runs. *)
+
+type direction = Minimize | Maximize
+
+type 'a point = { label : string; objectives : float array; payload : 'a }
+
+type 'a classified = {
+  front : 'a point list;
+  dominated : ('a point * string) list;
+  unfit : 'a point list;
+}
+
+let fit (p : 'a point) : bool = Array.for_all Float.is_finite p.objectives
+
+(* [a] at least as good as [b] on one objective. A non-finite value
+   never wins or ties (a NaN area is not "better" than anything), and a
+   finite value always beats a non-finite one — though [classify]
+   quarantines unfit points before dominance ever sees them. *)
+let geq (d : direction) (a : float) (b : float) : bool =
+  if not (Float.is_finite a) then false
+  else if not (Float.is_finite b) then true
+  else match d with Minimize -> a <= b | Maximize -> a >= b
+
+let gt (d : direction) (a : float) (b : float) : bool =
+  if not (Float.is_finite a) then false
+  else if not (Float.is_finite b) then true
+  else match d with Minimize -> a < b | Maximize -> a > b
+
+let check_arity ~(directions : direction array) (v : float array) =
+  if Array.length v <> Array.length directions then
+    invalid_arg
+      (Printf.sprintf "Pareto: %d objectives against %d directions"
+         (Array.length v) (Array.length directions))
+
+let dominates ~(directions : direction array) (a : float array)
+    (b : float array) : bool =
+  check_arity ~directions a;
+  check_arity ~directions b;
+  let n = Array.length directions in
+  let all_geq = ref true and some_gt = ref false in
+  for i = 0 to n - 1 do
+    if not (geq directions.(i) a.(i) b.(i)) then all_geq := false;
+    if gt directions.(i) a.(i) b.(i) then some_gt := true
+  done;
+  !all_geq && !some_gt
+
+(* Canonical order: better objective vectors first (per-objective, in
+   declaration order), label as the final tie-breaker. Total because
+   labels are unique. *)
+let compare_points ~(directions : direction array) (a : 'a point)
+    (b : 'a point) : int =
+  let n = Array.length directions in
+  let rec obj i =
+    if i >= n then compare a.label b.label
+    else
+      let c =
+        match directions.(i) with
+        | Minimize -> Float.compare a.objectives.(i) b.objectives.(i)
+        | Maximize -> Float.compare b.objectives.(i) a.objectives.(i)
+      in
+      if c <> 0 then c else obj (i + 1)
+  in
+  obj 0
+
+let classify ~(directions : direction array) (points : 'a point list) :
+    'a classified =
+  List.iter (fun p -> check_arity ~directions p.objectives) points;
+  (let labels = List.sort compare (List.map (fun p -> p.label) points) in
+   let rec dup = function
+     | a :: (b :: _ as rest) ->
+       if String.equal a b then
+         invalid_arg (Printf.sprintf "Pareto: duplicate label %S" a)
+       else dup rest
+     | _ -> ()
+   in
+   dup labels);
+  let fit_points, unfit = List.partition fit points in
+  let unfit =
+    List.sort (fun a b -> compare a.label b.label) unfit
+  in
+  let ordered = List.sort (compare_points ~directions) fit_points in
+  let dominated_by (p : 'a point) : 'a point option =
+    (* first dominator in canonical order; scanning the whole ordered
+       list (not just its prefix) keeps the answer order-independent *)
+    List.find_opt
+      (fun q -> dominates ~directions q.objectives p.objectives)
+      ordered
+  in
+  let front, rest =
+    List.partition (fun p -> dominated_by p = None) ordered
+  in
+  (* every dominated point has a front witness: follow dominators to a
+     maximal element — dominance is a strict partial order, so on a
+     finite set the chain ends on the front. In practice one hop
+     suffices almost always; the loop guards the pathological case. *)
+  let on_front p = List.exists (fun q -> q.label = p.label) front in
+  let witness (p : 'a point) : string =
+    let rec climb q steps =
+      if steps > List.length ordered then q.label
+      else
+        match dominated_by q with
+        | None -> q.label
+        | Some d -> if on_front d then d.label else climb d (steps + 1)
+    in
+    climb p 0
+  in
+  { front; dominated = List.map (fun p -> (p, witness p)) rest; unfit }

@@ -1,0 +1,52 @@
+(** Exact Pareto classification over n objectives.
+
+    A point carries a label, an objective vector and an opaque payload.
+    [classify] splits a population into the Pareto front, the dominated
+    points (each with a witness from the front) and the unfit points
+    (any non-finite objective). The result is deterministic: it depends
+    only on the *set* of (objectives, label) pairs, never on input
+    order, so shuffled inputs classify identically — callers can rely
+    on byte-identical reports across resumed or re-ordered runs.
+
+    Dominance is the standard weak/strict mix: [a] dominates [b] when
+    [a] is at least as good on every objective and strictly better on
+    at least one, "good" read per-objective from [directions]. Points
+    with identical objective vectors therefore never dominate each
+    other — a plateau of equals sits on the front together. *)
+
+type direction = Minimize | Maximize
+
+type 'a point = {
+  label : string;  (** unique name; the deterministic tie-breaker *)
+  objectives : float array;  (** one entry per direction *)
+  payload : 'a;
+}
+
+type 'a classified = {
+  front : 'a point list;
+      (** mutually non-dominated, sorted best-first on the first
+          objective (then the later objectives, then the label) *)
+  dominated : ('a point * string) list;
+      (** each with the label of a front member that dominates it *)
+  unfit : 'a point list;
+      (** points with a NaN or infinite objective — excluded from the
+          front and never counted as dominating anything *)
+}
+
+(** [true] when every objective is finite. *)
+val fit : 'a point -> bool
+
+(** [dominates ~directions a b]: [a] at least ties [b] everywhere and
+    beats it somewhere. Raises [Invalid_argument] on length mismatch.
+    Non-finite values never win or tie, so an unfit vector dominates
+    nothing and is dominated by any fit vector that beats it where it
+    is finite — use {!classify}, which quarantines unfit points, rather
+    than calling this on them. *)
+val dominates : directions:direction array -> float array -> float array -> bool
+
+(** Classify a population. Raises [Invalid_argument] when a point's
+    objective count differs from [Array.length directions] or when two
+    points share a label (labels are the determinism tie-breaker, so
+    they must be unique). O(n²) dominance checks — exact, no
+    approximation. *)
+val classify : directions:direction array -> 'a point list -> 'a classified

@@ -110,6 +110,36 @@ let pp_verdict_row fmt (r : verdict_row) =
   Format.fprintf fmt "%-24s %-10s %-12s %6d %10d %8d@." r.vr_cluster
     r.vr_fabric r.vr_status r.vr_dips r.vr_conflicts r.vr_reused
 
+(** One advisor candidate line: rank on the Pareto front ("-" when
+    dominated or infeasible), the grid point's identity, and its
+    objective vector. *)
+type advise_row = {
+  ar_rank : string;         (* "1".. on the front, "-" otherwise *)
+  ar_name : string;
+  ar_fabrics : string;      (* "-" when infeasible *)
+  ar_area_um2 : float option;
+  ar_timing_ns : float option;
+  ar_security : float option;
+  ar_security_mode : string;
+  ar_note : string;         (* "" | "dominated by X" | "infeasible" *)
+}
+
+let pp_advise_header fmt () =
+  Format.fprintf fmt "%-4s %-18s %-12s %12s %9s %9s %-9s %s@." "Rank" "Candidate"
+    "Fabrics" "Area[um2]" "Path[ns]" "Security" "Scale" "Note"
+
+let pp_advise_row fmt (r : advise_row) =
+  let opt_f digits = function
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.*f" digits v
+  in
+  Format.fprintf fmt "%-4s %-18s %-12s %12s %9s %9s %-9s %s@." r.ar_rank
+    r.ar_name r.ar_fabrics
+    (opt_f 0 r.ar_area_um2)
+    (opt_f 2 r.ar_timing_ns)
+    (opt_f 3 r.ar_security)
+    r.ar_security_mode r.ar_note
+
 type table1_row = {
   t1_design : string;
   t1_modules : int;

@@ -41,6 +41,24 @@ val pp_verdict_header : Format.formatter -> unit -> unit
 
 val pp_verdict_row : Format.formatter -> verdict_row -> unit
 
+(** One advisor candidate line (see [Advisor.table_rows]): rank on the
+    Pareto front ("-" when dominated or infeasible), the grid point's
+    identity, and its objective vector. *)
+type advise_row = {
+  ar_rank : string;
+  ar_name : string;
+  ar_fabrics : string;  (** "-" when infeasible *)
+  ar_area_um2 : float option;
+  ar_timing_ns : float option;
+  ar_security : float option;
+  ar_security_mode : string;  (** which scale [ar_security] is on *)
+  ar_note : string;  (** "" | "dominated by <name>" | "infeasible" *)
+}
+
+val pp_advise_header : Format.formatter -> unit -> unit
+
+val pp_advise_row : Format.formatter -> advise_row -> unit
+
 type table1_row = {
   t1_design : string;
   t1_modules : int;

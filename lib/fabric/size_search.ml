@@ -129,3 +129,19 @@ let pp_implementation fmt (impl : implementation) =
     "%s: %d LUTs, %d FFs, %d I/O; CLB util %.0f%%, I/O util %.0f%%, %d cfg bits"
     (Fabric.size_label impl.fabric) impl.luts_used impl.ffs_used impl.io_used
     (100. *. impl.clb_util) (100. *. impl.io_util) impl.bitstream_bits
+
+(* ---------- searchable axes (pre-architecture advisor) ---------- *)
+
+let min_width_for_io (arch : Arch.t) ~(min_size : int) ~(io_bits : int) : int =
+  let ring_bits_per_width = 2 * arch.Arch.gpio_per_tile in
+  let need = (io_bits + ring_bits_per_width - 1) / ring_bits_per_width in
+  max 1 (max min_size need)
+
+let suggested_max_widths (arch : Arch.t) ~(min_size : int) ~(max_size : int)
+    ~(io_bits : int) : int list =
+  let w0 = min_width_for_io arch ~min_size ~io_bits in
+  let clamp w = min max_size (max w0 w) in
+  (* tight: barely past the pad-ring minimum; medium: ~2x the minimum
+     for CLB headroom (the ring constraint says nothing about logic
+     capacity); roomy: everything the caller permits *)
+  List.sort_uniq compare [ clamp (w0 + 2); clamp (2 * w0); clamp max_size ]

@@ -57,3 +57,21 @@ val minimum :
   (implementation, failure) result
 
 val pp_implementation : Format.formatter -> implementation -> unit
+
+(* ---------- searchable axes (pre-architecture advisor) ---------- *)
+
+(** The smallest width whose pad ring carries [io_bits] I/O bits under
+    [arch] (2·width tiles of [gpio_per_tile] bits each), floored at
+    [min_size] — the same ring-capacity test [minimum] enforces, so a
+    width below this is infeasible for any cluster with that many pins. *)
+val min_width_for_io : Arch.t -> min_size:int -> io_bits:int -> int
+
+(** Candidate [max_fabric_size] bounds worth sweeping for a design whose
+    widest protected cluster carries [io_bits] I/O bits: a tight bound
+    just past the pad-ring minimum, a medium bound with CLB headroom,
+    and the caller's own [max_size] as the roomy bound. Sorted,
+    deduplicated, clamped to \[[min_width_for_io], [max_size]\] — the
+    grid axis the advisor enumerates when the user gives no explicit
+    [max_fabric_size] list. *)
+val suggested_max_widths :
+  Arch.t -> min_size:int -> max_size:int -> io_bits:int -> int list

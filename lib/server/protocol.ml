@@ -13,8 +13,9 @@ let version = 1
 (* minor 1: streaming sweeps; minor 2: measured-selection attack fields
    on redact/sweep responses and the stats "attacks" object; minor 3:
    solver-reuse counter and per-candidate attack verdicts on redact
-   responses *)
-let minor = 3
+   responses; minor 4: the advise op (streaming rows reuse the minor-1
+   row/done framing) and the "metrics" object on sweep/advise rows *)
+let minor = 4
 
 type source = Inline of string | Path of string
 
@@ -26,6 +27,8 @@ type op =
   | Characterize of { source : source; config : Y.t }
   | Sweep of
       { source : source; base : Y.t; entries : Y.t list; stream : bool }
+  | Advise of
+      { source : source; base : Y.t; constraints : Y.t; stream : bool }
   | CacheGc of { max_bytes : int option }
 
 type request = { id : J.t; minor : int; op : op }
@@ -45,12 +48,13 @@ let op_name = function
   | Redact _ -> "redact"
   | Characterize _ -> "characterize"
   | Sweep _ -> "sweep"
+  | Advise _ -> "advise"
   | CacheGc _ -> "cache-gc"
 
 type lane = Cheap | Heavy
 
 let lane_of_op_name = function
-  | "redact" | "characterize" | "sweep" -> Heavy
+  | "redact" | "characterize" | "sweep" | "advise" -> Heavy
   | _ -> Cheap
 
 let lane_of_op op = lane_of_op_name (op_name op)
@@ -88,6 +92,21 @@ let parse_config (j : J.t) : Y.t =
   | Some _ ->
     bad_request ~kind:"unknown_op" ~code:"E1002"
       "`config` must be an object of flow-configuration keys"
+
+let parse_base (j : J.t) : Y.t =
+  match J.find j "base" with
+  | None | Some J.Null -> Y.Null
+  | Some (J.Obj _ as b) -> J.to_yaml b
+  | Some _ ->
+    bad_request ~kind:"unknown_op" ~code:"E1002"
+      "`base` must be an object of flow-configuration keys"
+
+let parse_stream (j : J.t) : bool =
+  match J.find j "stream" with
+  | None | Some J.Null | Some (J.Bool false) -> false
+  | Some (J.Bool true) -> true
+  | Some _ ->
+    bad_request ~kind:"unknown_op" ~code:"E1002" "`stream` must be a boolean"
 
 let parse_view (j : J.t) : Alice.Redact.view =
   match J.find j "view" with
@@ -142,14 +161,7 @@ let parse_request (line : string) : request =
     | Some (J.String "characterize") ->
       Characterize { source = parse_source j; config = parse_config j }
     | Some (J.String "sweep") ->
-      let base =
-        match J.find j "base" with
-        | None | Some J.Null -> Y.Null
-        | Some (J.Obj _ as b) -> J.to_yaml b
-        | Some _ ->
-          bad_request ~kind:"unknown_op" ~code:"E1002"
-            "`base` must be an object of flow-configuration keys"
-      in
+      let base = parse_base j in
       let entries =
         match J.find j "sweep" with
         | Some (J.List (_ :: _ as items)) ->
@@ -165,15 +177,20 @@ let parse_request (line : string) : request =
             "sweep request needs a non-empty `sweep` list of configuration \
              overlays"
       in
-      let stream =
-        match J.find j "stream" with
-        | None | Some J.Null | Some (J.Bool false) -> false
-        | Some (J.Bool true) -> true
+      Sweep { source = parse_source j; base; entries; stream = parse_stream j }
+    | Some (J.String "advise") ->
+      let constraints =
+        match J.find j "constraints" with
+        | None | Some J.Null -> Y.Null
+        | Some (J.Obj _ as c) -> J.to_yaml c
         | Some _ ->
           bad_request ~kind:"unknown_op" ~code:"E1002"
-            "`stream` must be a boolean"
+            "`constraints` must be an object (optionally carrying an `axes` \
+             map of grid axes)"
       in
-      Sweep { source = parse_source j; base; entries; stream }
+      Advise
+        { source = parse_source j; base = parse_base j; constraints;
+          stream = parse_stream j }
     | Some (J.String "cache-gc") ->
       CacheGc
         { max_bytes =
@@ -186,7 +203,7 @@ let parse_request (line : string) : request =
     | Some (J.String op) ->
       bad_request ~kind:"unknown_op" ~code:"E1002"
         "unknown operation %S (have: ping, stats, shutdown, redact, \
-         characterize, sweep, cache-gc)"
+         characterize, sweep, advise, cache-gc)"
         op
     | _ ->
       bad_request ~kind:"unknown_op" ~code:"E1002"
@@ -302,3 +319,16 @@ let sweep_request ?(id = J.Null) ?(base = J.Null) ?(stream = false)
        @ base
        @ [ ("sweep", J.List entries) ]
        @ stream))
+
+let advise_request ?(id = J.Null) ?(base = J.Null) ?(constraints = J.Null)
+    ?(stream = false) (source : source) : string =
+  let base = match base with J.Null -> [] | b -> [ ("base", b) ] in
+  let constraints =
+    match constraints with J.Null -> [] | c -> [ ("constraints", c) ]
+  in
+  let stream = if stream then [ ("stream", J.Bool true) ] else [] in
+  J.to_string
+    (J.Obj
+       (base_fields ~id
+       @ [ ("op", J.String "advise"); source_field source ]
+       @ base @ constraints @ stream))

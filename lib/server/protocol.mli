@@ -12,6 +12,7 @@
     {"v":1,"op":"redact","file":"designs/gcd.v","view":"opaque"}
     {"v":1,"op":"characterize","source":"..."}
     {"v":1,"op":"sweep","source":"...","sweep":[{"name":"a","max_efpgas":1}]}
+    {"v":1,"op":"advise","file":"designs/gcd.v","constraints":{"axes":{"lut_inputs":[4,6]}}}
     {"v":1,"op":"stats"}
     {"v":1,"op":"cache-gc","max_bytes":1048576}
     {"v":1,"op":"shutdown"}
@@ -52,9 +53,16 @@ val version : int
     learnt-clause reuse to the redact [attack] object ([reused]) plus a
     per-candidate [verdicts] array
     ([{"cluster":..,"fabric":..,"status":..,"dips":..,"conflicts":..,
-    "reused":..}] per valid fabric implementation). A request [mv]
-    above the server's is capped, not rejected — minors only ever add
-    behaviour. *)
+    "reused":..}] per valid fabric implementation). Minor 4 adds the
+    [advise] operation — a pre-architecture recommendation sweep whose
+    streaming form reuses the minor-1 row/done framing (one
+    [{"event":"row",...}] per candidate as it completes, then a
+    [{"event":"done","front":[...],...}] frame with the ranked Pareto
+    front; clients announcing [mv < 4] get the buffered single-line
+    form even when they ask to stream) — and a [metrics] object
+    ([area_um2]/[timing_ns]/[security]/[security_mode]) on sweep and
+    advise rows. A request [mv] above the server's is capped, not
+    rejected — minors only ever add behaviour. *)
 val minor : int
 
 (** Where a request's Verilog comes from: inline text in the request
@@ -74,6 +82,14 @@ type op =
           an entry's [name] key labels its result row. [stream] asks
           for incremental row events — honoured only when the request
           also announces [mv >= 1] (see {!minor}) *)
+  | Advise of
+      { source : source; base : Y.t; constraints : Y.t; stream : bool }
+      (** pre-architecture advisor ([Alice.Advisor]): [base] is a
+          flow-configuration overlay over the server's base
+          configuration, [constraints] an optional constraint document
+          whose [axes] map pins the grid axes, [stream] asks for
+          per-candidate row events — honoured only when the request
+          also announces [mv >= 4] (see {!minor}) *)
   | CacheGc of { max_bytes : int option }
       (** validate/quarantine/evict the server's persistent cache and
           re-enable writes; [max_bytes] overrides the configured byte
@@ -98,7 +114,7 @@ val op_name : op -> string
     operations ([ping], [stats], [cache-gc], [shutdown] — and malformed
     requests, which cost one error line) answer in microseconds and
     must never wait behind a saturating sweep; [Heavy] operations
-    ([redact], [characterize], [sweep]) run the flow. *)
+    ([redact], [characterize], [sweep], [advise]) run the flow. *)
 type lane = Cheap | Heavy
 
 val lane_of_op : op -> lane
@@ -158,3 +174,11 @@ val cache_gc_request : ?id:J.t -> ?max_bytes:int -> unit -> string
     (default false) asks for incremental row events. *)
 val sweep_request :
   ?id:J.t -> ?base:J.t -> ?stream:bool -> entries:J.t list -> source -> string
+
+(** [advise_request ?id ?base ?constraints ?stream source] renders an
+    advise request line; [base] is a raw JSON configuration object,
+    [constraints] a raw JSON constraint document (optionally carrying
+    an [axes] map), and [stream] (default false) asks for per-candidate
+    row events. *)
+val advise_request :
+  ?id:J.t -> ?base:J.t -> ?constraints:J.t -> ?stream:bool -> source -> string

@@ -265,6 +265,20 @@ let sweep_row_fields ~(minor : int) (sp : A.Engine.sweep_point) :
          ("attacks_cached", J.Int sp.A.Engine.sp_attacks_cached);
          ("attacks_inconclusive", J.Int sp.A.Engine.sp_attacks_inconclusive)
        ])
+  @ (if minor < 4 then []
+     else
+       [ ( "metrics",
+           match sp.A.Engine.sp_metrics with
+           | None -> J.Null
+           | Some m ->
+             J.Obj
+               [ ("area_um2", J.Float m.A.Engine.pm_area_um2);
+                 ("timing_ns", J.Float m.A.Engine.pm_timing_ns);
+                 ("security", J.Float m.A.Engine.pm_security);
+                 ( "security_mode",
+                   J.String
+                     (C.Flow_config.score_mode_to_string
+                        m.A.Engine.pm_security_mode) ) ] ) ])
   @ [ ("resumed", J.Bool sp.A.Engine.sp_resumed) ]
 
 let tag_point_diags (sp : A.Engine.sweep_point) : D.t list =
@@ -329,6 +343,54 @@ let execute_sweep t ~(id : J.t) ~(minor : int)
     let tagged = List.concat_map tag_point_diags results in
     ( P.ok_response ~id ~op:"sweep"
         ([ ("rows", J.List rows) ] @ diags_field tagged),
+      true )
+
+let execute_advise t ~(id : J.t) ~(minor : int)
+    ~(emit : (string -> unit) option) (source : P.source) (base : Y.t)
+    (constraints : Y.t) (stream : bool) : string * bool =
+  let src = flow_source source in
+  let cfg = effective_config t base in
+  let plan = A.Advisor.plan_of_source ~base:cfg ~constraints src in
+  let finish (report : A.Advisor.report) : (string * J.t) list =
+    [ ("candidates", J.Int (List.length report.A.Advisor.r_entries));
+      ("deduped", J.Int report.A.Advisor.r_deduped);
+      ( "front",
+        J.List (List.map A.Advisor.json_of_entry report.A.Advisor.r_front) )
+    ]
+  in
+  match emit with
+  | Some emit when stream && minor >= 4 ->
+    (* negotiated streaming, same framing as sweep rows: candidates go
+       out as they complete (after their checkpoint write), the
+       terminal frame carries the ranked Pareto front — which can only
+       be computed once every candidate is in *)
+    let resumed = ref 0 in
+    let on_point (sp : A.Engine.sweep_point) =
+      record_point t sp;
+      if sp.A.Engine.sp_resumed then incr resumed;
+      emit
+        (P.event_response ~id ~op:"advise" ~event:"row"
+           (sweep_row_fields ~minor sp @ diags_field (tag_point_diags sp)))
+    in
+    let report = A.Advisor.run ~shared:true ~on_point t.engine ~source:src plan in
+    ( P.event_response ~id ~op:"advise" ~event:"done"
+        (finish report @ [ ("resumed", J.Int !resumed) ]),
+      true )
+  | _ ->
+    (* the buffered form: what pre-minor-4 clients always get, stream
+       flag or not *)
+    let report = A.Advisor.run ~shared:true t.engine ~source:src plan in
+    let points =
+      List.map (fun (e : A.Advisor.entry) -> e.A.Advisor.e_point)
+        report.A.Advisor.r_entries
+    in
+    List.iter (record_point t) points;
+    let rows =
+      List.map (fun sp -> J.Obj (sweep_row_fields ~minor sp)) points
+    in
+    let tagged = List.concat_map tag_point_diags points in
+    ( P.ok_response ~id ~op:"advise"
+        ([ ("rows", J.List rows) ] @ finish report @ diags_field tagged),
       true )
 
 let execute_cache_gc t ~(id : J.t) (max_bytes : int option) : string * bool =
@@ -508,6 +570,14 @@ let execute t ~(id : J.t) ~(minor : int) ~(emit : (string -> unit) option)
       (* after rows went out this error line is still well-formed: a
          non-row frame concludes the exchange on the client side *)
       ( P.error_response ~id ~kind:"failed" ~op:"sweep" (diag_of_exn e),
+        false, `Continue ))
+  | P.Advise { source; base; constraints; stream } -> (
+    match execute_advise t ~id ~minor ~emit source base constraints stream with
+    | resp, ok -> (resp, ok, `Continue)
+    | exception ((Out_of_memory | Stack_overflow | Stream_failed _) as e) ->
+      raise e
+    | exception e ->
+      ( P.error_response ~id ~kind:"failed" ~op:"advise" (diag_of_exn e),
         false, `Continue ))
   | P.CacheGc { max_bytes } -> (
     match execute_cache_gc t ~id max_bytes with

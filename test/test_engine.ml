@@ -321,6 +321,104 @@ let test_concurrent_writers () =
   Alcotest.(check int) "reader saw no corrupt entry" 0
     (A.Disk_cache.stats reader).A.Disk_cache.failures
 
+(* ---------- sweep points carry the advisor's objectives ---------- *)
+
+let test_sweep_point_metrics () =
+  let engine = A.Engine.create ~cache:false () in
+  match
+    A.Engine.run_sweep engine [ ("only", demo_request ()) ]
+  with
+  | [ sp ] -> (
+    Alcotest.(check bool) "feasible" true sp.A.Engine.sp_feasible;
+    match sp.A.Engine.sp_metrics with
+    | None -> Alcotest.fail "feasible point without metrics"
+    | Some m ->
+      Alcotest.(check bool) "positive area" true
+        (Float.is_finite m.A.Engine.pm_area_um2 && m.A.Engine.pm_area_um2 > 0.0);
+      Alcotest.(check bool) "positive critical path" true
+        (Float.is_finite m.A.Engine.pm_timing_ns
+        && m.A.Engine.pm_timing_ns > 0.0);
+      Alcotest.(check bool) "finite security" true
+        (Float.is_finite m.A.Engine.pm_security);
+      Alcotest.(check bool) "heuristic scale" true
+        (m.A.Engine.pm_security_mode = C.Flow_config.Heuristic))
+  | _ -> Alcotest.fail "run_sweep arity"
+
+(* ---------- one attack-verdict pool across sweep entries ---------- *)
+
+(* two entries that differ only in a knob outside attack_digest
+   (attack_area_weight) must share verdicts: the second entry re-ranks
+   cached verdicts and runs zero new attacks *)
+let test_sweep_shares_attack_pool () =
+  let measured w =
+    { demo_cfg with
+      C.Flow_config.score_mode = C.Flow_config.Measured;
+      attack_budget = 2_000; attack_iterations = 16; attack_jobs = 1;
+      attack_area_weight = w }
+  in
+  let req cfg =
+    A.Flow.request ~config:cfg
+      (A.Flow.Text { text = demo_src; file = Some "demo.v" })
+  in
+  let engine = A.Engine.create ~cache_dir:(tmp_root ()) () in
+  match
+    A.Engine.run_sweep engine
+      [ ("w-low", req (measured 0.1)); ("w-high", req (measured 0.9)) ]
+  with
+  | [ first; second ] ->
+    Alcotest.(check bool) "first entry attacks" true
+      (first.A.Engine.sp_attacks_run > 0);
+    Alcotest.(check int) "second entry: zero duplicate attacks" 0
+      second.A.Engine.sp_attacks_run;
+    Alcotest.(check int) "second entry: verdicts from the shared pool"
+      first.A.Engine.sp_attacks_run second.A.Engine.sp_attacks_cached
+  | _ -> Alcotest.fail "run_sweep arity"
+
+(* ---------- on_point fires only after the checkpoint write ---------- *)
+
+(* a consumer that dies mid-delivery loses the row, never the work: the
+   observed point is already checkpointed, so the rerun serves it back
+   as resumed instead of silently skipping or recomputing it *)
+let test_sweep_on_point_after_checkpoint () =
+  let root = tmp_root () in
+  let points () =
+    [ ("p1", demo_request ());
+      ("p2",
+       A.Flow.request
+         ~config:{ demo_cfg with C.Flow_config.max_fabric_size = 8 }
+         (A.Flow.Text { text = demo_src; file = Some "demo.v" })) ]
+  in
+  let fresh () = A.Engine.create ~cache_dir:root () in
+  let seen = ref [] in
+  (* the observer hangs up after the first row *)
+  (match
+     A.Engine.run_sweep
+       ~on_point:(fun sp ->
+         seen := sp.A.Engine.sp_name :: !seen;
+         failwith "consumer hung up")
+       (fresh ()) (points ())
+   with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "observer exception must abort the sweep");
+  Alcotest.(check (list string)) "one row delivered" [ "p1" ] !seen;
+  (* rerun: the delivered point was checkpointed BEFORE delivery, so it
+     resumes; the undelivered remainder is computed and delivered *)
+  let delivered = ref [] in
+  (match
+     A.Engine.run_sweep
+       ~on_point:(fun sp ->
+         delivered := (sp.A.Engine.sp_name, sp.A.Engine.sp_resumed) :: !delivered)
+       (fresh ()) (points ())
+   with
+  | [ p1; p2 ] ->
+    Alcotest.(check bool) "p1 resumed, not recomputed" true
+      p1.A.Engine.sp_resumed;
+    Alcotest.(check bool) "p2 computed" false p2.A.Engine.sp_resumed
+  | _ -> Alcotest.fail "run_sweep arity");
+  Alcotest.(check (list (pair string bool))) "both rows re-delivered in order"
+    [ ("p1", true); ("p2", false) ]
+    (List.rev !delivered)
+
 let tests =
   [ Alcotest.test_case "memo hooks" `Quick test_memo_hooks;
     Alcotest.test_case "concurrent writers same dir" `Quick
@@ -335,4 +433,9 @@ let tests =
     Alcotest.test_case "store corruption survived" `Quick
       test_engine_survives_store_corruption;
     Alcotest.test_case "engine without cache" `Quick test_engine_no_cache;
-    Alcotest.test_case "run_many soc warm" `Quick test_run_many_soc_warm ]
+    Alcotest.test_case "run_many soc warm" `Quick test_run_many_soc_warm;
+    Alcotest.test_case "sweep point metrics" `Quick test_sweep_point_metrics;
+    Alcotest.test_case "sweep shares one attack pool" `Quick
+      test_sweep_shares_attack_pool;
+    Alcotest.test_case "on_point after checkpoint" `Quick
+      test_sweep_on_point_after_checkpoint ]

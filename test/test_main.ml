@@ -16,6 +16,8 @@ let () =
       ("security", Test_security.tests);
       ("flow", Test_flow.tests);
       ("engine", Test_engine.tests);
+      ("pareto", Test_pareto.tests);
+      ("advisor", Test_advisor.tests);
       ("scorer", Test_scorer.tests);
       ("server", Test_server.tests);
       ("redact", Test_redact.tests);

@@ -1,0 +1,193 @@
+(* The standalone Pareto module: dominance semantics, degenerate grids
+   (all-equal points, single objective, non-finite metrics), and seeded
+   properties — front members are mutually non-dominated, every
+   dominated point has a dominating front witness, and classification
+   is deterministic across input shuffles. *)
+
+module P = Alice.Pareto
+
+let dirs2 = [| P.Minimize; P.Maximize |]
+let dirs3 = [| P.Minimize; P.Minimize; P.Maximize |]
+
+let pt label objectives = { P.label; objectives; payload = () }
+
+let labels ps = List.map (fun (p : unit P.point) -> p.P.label) ps
+
+(* ---------- dominance ---------- *)
+
+let test_dominates () =
+  (* strictly better on one axis, tied on the other *)
+  Alcotest.(check bool) "min axis wins" true
+    (P.dominates ~directions:dirs2 [| 1.; 5. |] [| 2.; 5. |]);
+  Alcotest.(check bool) "max axis wins" true
+    (P.dominates ~directions:dirs2 [| 1.; 6. |] [| 1.; 5. |]);
+  (* equal vectors never dominate *)
+  Alcotest.(check bool) "equal does not dominate" false
+    (P.dominates ~directions:dirs2 [| 1.; 5. |] [| 1.; 5. |]);
+  (* trade-offs are incomparable both ways *)
+  Alcotest.(check bool) "trade-off a!>b" false
+    (P.dominates ~directions:dirs2 [| 1.; 5. |] [| 2.; 6. |]);
+  Alcotest.(check bool) "trade-off b!>a" false
+    (P.dominates ~directions:dirs2 [| 2.; 6. |] [| 1.; 5. |]);
+  (* direction matters: same vectors, flipped reading *)
+  Alcotest.(check bool) "flipped direction flips the verdict" true
+    (P.dominates ~directions:[| P.Maximize; P.Maximize |] [| 2.; 6. |]
+       [| 1.; 5. |]);
+  (* arity mismatch is a programming error *)
+  Alcotest.check_raises "arity checked"
+    (Invalid_argument "Pareto: 1 objectives against 2 directions") (fun () ->
+      ignore (P.dominates ~directions:dirs2 [| 1. |] [| 1.; 2. |]))
+
+(* ---------- classify: small hand cases ---------- *)
+
+let test_classify_basic () =
+  let c =
+    P.classify ~directions:dirs2
+      [ pt "cheap-weak" [| 1.; 1. |];   (* front: cheapest *)
+        pt "dear-strong" [| 9.; 9. |];  (* front: strongest *)
+        pt "mid" [| 5.; 5. |];          (* front: a real trade-off *)
+        pt "bad" [| 6.; 4. |];          (* dominated by mid *)
+        pt "worst" [| 9.; 1. |] ]       (* dominated by everything *)
+  in
+  Alcotest.(check (list string)) "front (canonical order)"
+    [ "cheap-weak"; "mid"; "dear-strong" ]
+    (labels c.P.front);
+  let dom = List.map (fun (p, w) -> (p.P.label, w)) c.P.dominated in
+  Alcotest.(check (list (pair string string))) "dominated with witnesses"
+    [ ("mid", "bad"); ("cheap-weak", "worst") ]
+    (List.map (fun (l, w) -> (w, l)) dom |> List.map (fun (w, l) -> (l, w))
+    |> List.map (fun (l, w) -> (w, l)));
+  Alcotest.(check (list string)) "no unfit" [] (labels c.P.unfit)
+
+let test_all_equal_points () =
+  (* a plateau: nobody dominates anybody, the whole grid is the front *)
+  let c =
+    P.classify ~directions:dirs3
+      [ pt "b" [| 2.; 3.; 4. |]; pt "a" [| 2.; 3.; 4. |];
+        pt "c" [| 2.; 3.; 4. |] ]
+  in
+  Alcotest.(check (list string)) "all on front, label order" [ "a"; "b"; "c" ]
+    (labels c.P.front);
+  Alcotest.(check int) "none dominated" 0 (List.length c.P.dominated)
+
+let test_single_objective () =
+  let c =
+    P.classify ~directions:[| P.Minimize |]
+      [ pt "three" [| 3. |]; pt "one" [| 1. |]; pt "two" [| 2. |];
+        pt "one-bis" [| 1. |] ]
+  in
+  (* one objective: the front is exactly the minima (ties included) *)
+  Alcotest.(check (list string)) "minima on front" [ "one"; "one-bis" ]
+    (labels c.P.front);
+  List.iter
+    (fun ((_ : unit P.point), w) ->
+      Alcotest.(check bool) "witness is a minimum" true
+        (List.mem w [ "one"; "one-bis" ]))
+    c.P.dominated
+
+let test_non_finite_guard () =
+  let c =
+    P.classify ~directions:dirs2
+      [ pt "ok" [| 1.; 1. |]; pt "nan" [| Float.nan; 99. |];
+        pt "inf" [| Float.infinity; 99. |];
+        pt "ninf" [| 0.; Float.neg_infinity |] ]
+  in
+  (* non-finite points are quarantined: never on the front, and they
+     never dominate a fit point either *)
+  Alcotest.(check (list string)) "only the fit point fronts" [ "ok" ]
+    (labels c.P.front);
+  Alcotest.(check (list string)) "unfit, label order" [ "inf"; "nan"; "ninf" ]
+    (labels c.P.unfit);
+  Alcotest.(check int) "unfit are not 'dominated'" 0 (List.length c.P.dominated)
+
+let test_duplicate_labels_rejected () =
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Pareto: duplicate label \"x\"") (fun () ->
+      ignore
+        (P.classify ~directions:dirs2 [ pt "x" [| 1.; 1. |]; pt "x" [| 2.; 2. |] ]))
+
+(* ---------- seeded properties ---------- *)
+
+(* small integer-valued objectives make ties and plateaus likely, which
+   is exactly where naive front computations go wrong *)
+let gen_points : unit P.point list QCheck.Gen.t =
+  QCheck.Gen.(
+    let objective = map float_of_int (int_range (-3) 3) in
+    let n = int_range 0 24 in
+    n >>= fun n ->
+    let vecs = array_size (return 3) objective in
+    map
+      (fun vs -> List.mapi (fun i v -> pt (Printf.sprintf "p%02d" i) v) vs)
+      (list_size (return n) vecs))
+
+let arb_points = QCheck.make gen_points
+
+let classify_l ps = P.classify ~directions:dirs3 ps
+
+let prop_front_mutually_nondominated =
+  QCheck.Test.make ~count:200 ~name:"front members mutually non-dominated"
+    arb_points (fun ps ->
+      let c = classify_l ps in
+      List.for_all
+        (fun (a : unit P.point) ->
+          List.for_all
+            (fun (b : unit P.point) ->
+              not (P.dominates ~directions:dirs3 a.P.objectives b.P.objectives))
+            c.P.front)
+        c.P.front)
+
+let prop_dominated_have_front_witness =
+  QCheck.Test.make ~count:200
+    ~name:"every dominated point is dominated by its front witness" arb_points
+    (fun ps ->
+      let c = classify_l ps in
+      let front_lbls = labels c.P.front in
+      List.for_all
+        (fun ((p : unit P.point), w) ->
+          List.mem w front_lbls
+          &&
+          let q =
+            List.find (fun (q : unit P.point) -> q.P.label = w) c.P.front
+          in
+          P.dominates ~directions:dirs3 q.P.objectives p.P.objectives)
+        c.P.dominated)
+
+let prop_partition =
+  QCheck.Test.make ~count:200 ~name:"front+dominated+unfit partition the input"
+    arb_points (fun ps ->
+      let c = classify_l ps in
+      let out =
+        labels c.P.front
+        @ List.map (fun ((p : unit P.point), _) -> p.P.label) c.P.dominated
+        @ labels c.P.unfit
+      in
+      List.sort compare out = List.sort compare (labels ps))
+
+(* a deterministic pseudo-shuffle driven by the same generated list *)
+let shuffle ps =
+  let tagged =
+    List.mapi (fun i p -> ((i * 7919 + 13) mod 104729, p)) ps
+  in
+  List.map snd (List.sort compare tagged)
+
+let prop_shuffle_deterministic =
+  QCheck.Test.make ~count:200 ~name:"classification ignores input order"
+    arb_points (fun ps ->
+      let a = classify_l ps and b = classify_l (shuffle ps) in
+      labels a.P.front = labels b.P.front
+      && List.map (fun ((p : unit P.point), w) -> (p.P.label, w)) a.P.dominated
+         = List.map (fun ((p : unit P.point), w) -> (p.P.label, w)) b.P.dominated
+      && labels a.P.unfit = labels b.P.unfit)
+
+let tests =
+  [ Alcotest.test_case "dominates" `Quick test_dominates;
+    Alcotest.test_case "classify basic" `Quick test_classify_basic;
+    Alcotest.test_case "all-equal plateau" `Quick test_all_equal_points;
+    Alcotest.test_case "single objective" `Quick test_single_objective;
+    Alcotest.test_case "non-finite guard" `Quick test_non_finite_guard;
+    Alcotest.test_case "duplicate labels rejected" `Quick
+      test_duplicate_labels_rejected;
+    QCheck_alcotest.to_alcotest prop_front_mutually_nondominated;
+    QCheck_alcotest.to_alcotest prop_dominated_have_front_witness;
+    QCheck_alcotest.to_alcotest prop_partition;
+    QCheck_alcotest.to_alcotest prop_shuffle_deterministic ]

@@ -130,6 +130,45 @@ let test_protocol_parse () =
     Alcotest.(check int) "minor capped" S.Protocol.minor minor
   | _ -> Alcotest.fail "sweep shape"
 
+let test_protocol_advise_parse () =
+  (match
+     S.Protocol.parse_request
+       {|{"v":1,"mv":4,"op":"advise","file":"d.v","base":{"top":"gcd"},"constraints":{"axes":{"lut_inputs":[4,6]}},"stream":true}|}
+   with
+  | { S.Protocol.minor;
+      op =
+        S.Protocol.Advise
+          { source = S.Protocol.Path p; base; constraints; stream };
+      _ } ->
+    Alcotest.(check string) "path" "d.v" p;
+    Alcotest.(check string) "base through" "gcd" (Y.get_string base "top");
+    Alcotest.(check bool) "constraints carry axes" true
+      (Y.find constraints "axes" <> None);
+    Alcotest.(check bool) "stream flag" true stream;
+    Alcotest.(check int) "minor 4" 4 minor
+  | _ -> Alcotest.fail "advise shape");
+  (* constraints default to empty, base to empty *)
+  (match
+     S.Protocol.parse_request {|{"v":1,"op":"advise","source":"module m; endmodule"}|}
+   with
+  | { S.Protocol.op = S.Protocol.Advise { base; constraints; stream; _ }; _ } ->
+    Alcotest.(check bool) "null base" true (base = Y.Null);
+    Alcotest.(check bool) "null constraints" true (constraints = Y.Null);
+    Alcotest.(check bool) "buffered by default" false stream
+  | _ -> Alcotest.fail "minimal advise shape");
+  (* the client-side builder round-trips *)
+  match
+    S.Protocol.parse_request
+      (S.Protocol.advise_request ~stream:true
+         ~constraints:(J.Obj [ ("axes", J.Obj [ ("lut_inputs", J.Int 4) ]) ])
+         (S.Protocol.Inline "module m; endmodule"))
+  with
+  | { S.Protocol.op = S.Protocol.Advise { stream = true; constraints; _ }; _ }
+    ->
+    Alcotest.(check bool) "builder constraints through" true
+      (Y.find constraints "axes" <> None)
+  | _ -> Alcotest.fail "builder round trip"
+
 let check_bad line kind code =
   match S.Protocol.parse_request line with
   | exception S.Protocol.Bad_request { kind = k; diag } ->
@@ -150,6 +189,8 @@ let test_protocol_rejects () =
   check_bad {|{"v":1,"op":"redact","source":"m","file":"f.v"}|} "unknown_op"
     "E1002";
   check_bad {|{"v":1,"op":"sweep","source":"m","sweep":[{}],"stream":1}|}
+    "unknown_op" "E1002";
+  check_bad {|{"v":1,"op":"advise","source":"m","constraints":[1]}|}
     "unknown_op" "E1002"
 
 let test_protocol_lanes () =
@@ -169,6 +210,7 @@ let test_protocol_lanes () =
   check "redact" S.Protocol.Heavy {|{"v":1,"op":"redact","source":"m"}|};
   check "characterize" S.Protocol.Heavy {|{"v":1,"op":"characterize"}|};
   check "sweep" S.Protocol.Heavy {|{"v":1,"op":"sweep"}|};
+  check "advise" S.Protocol.Heavy {|{"v":1,"op":"advise"}|};
   (* garbage costs one error line: it must never wait behind a sweep *)
   check "garbage" S.Protocol.Cheap "not json at all";
   check "no op" S.Protocol.Cheap {|{"v":1}|};
@@ -626,6 +668,89 @@ let test_server_streaming_negotiation () =
         Alcotest.(check int) "all rows in one response" 3 (List.length rows)
       | _ -> Alcotest.fail "no rows list in buffered response")
 
+let advise_constraints =
+  J.Obj
+    [ ( "axes",
+        J.Obj
+          [ ("lut_inputs", J.List [ J.Int 4 ]);
+            ("max_fabric_size", J.List [ J.Int 8; J.Int 12 ]) ] ) ]
+
+let test_server_streaming_advise () =
+  with_server (fun socket _t ->
+      let conn = S.Client.connect ~socket () in
+      Fun.protect ~finally:(fun () -> S.Client.close conn) @@ fun () ->
+      let rows = ref [] in
+      let final =
+        S.Client.rpc_stream conn
+          ~on_event:(fun line -> rows := line :: !rows)
+          (S.Protocol.advise_request ~stream:true
+             ~constraints:advise_constraints (S.Protocol.Inline demo_src))
+      in
+      let rows = List.rev !rows in
+      (* one frame per candidate, in grid order, each carrying the
+         minor-4 metrics object *)
+      Alcotest.(check int) "one row per candidate" 2 (List.length rows);
+      let names =
+        List.map
+          (fun line ->
+            let j = J.parse line in
+            Alcotest.(check bool) "row ok" true (J.get_bool j "ok");
+            Alcotest.(check string) "row event" "row" (J.get_string j "event");
+            (match J.find j "metrics" with
+            | Some (J.Obj _ as m) ->
+              Alcotest.(check bool) "area reported" true
+                (J.find m "area_um2" <> None);
+              Alcotest.(check bool) "security scale labeled" true
+                (J.find m "security_mode" <> None)
+            | Some J.Null -> ()  (* infeasible candidate *)
+            | _ -> Alcotest.fail "no metrics object on an mv-4 row");
+            J.get_string j "name")
+          rows
+      in
+      Alcotest.(check (list string)) "rows in grid order"
+        [ "k4-w8"; "k4-w12" ] names;
+      let done_frame = J.parse final in
+      Alcotest.(check string) "terminal frame" "done"
+        (J.get_string done_frame "event");
+      Alcotest.(check int) "candidate count" 2
+        (J.get_int done_frame "candidates");
+      match J.find done_frame "front" with
+      | Some (J.List (first :: _)) ->
+        (* the front is ranked best-first *)
+        Alcotest.(check int) "rank 1 leads" 1 (J.get_int first "rank");
+        Alcotest.(check bool) "front entry named" true
+          (J.find first "name" <> None)
+      | _ -> Alcotest.fail "done frame carries no non-empty front")
+
+let test_server_advise_negotiation () =
+  (* a pre-minor-4 client asking to stream gets the buffered single
+     line — and its rows must not carry the minor-4 metrics object *)
+  with_server (fun socket _t ->
+      let raw =
+        J.to_string
+          (J.Obj
+             [ ("v", J.Int 1); ("mv", J.Int 1); ("op", J.String "advise");
+               ("source", J.String demo_src); ("stream", J.Bool true);
+               ("constraints", advise_constraints) ])
+      in
+      let resp = J.parse (rpc socket raw) in
+      Alcotest.(check bool) "buffered ok" true (J.get_bool resp "ok");
+      Alcotest.(check bool) "no event frame leaked" true
+        (J.find resp "event" = None);
+      (match J.find resp "rows" with
+      | Some (J.List rows) ->
+        Alcotest.(check int) "all rows in one response" 2 (List.length rows);
+        List.iter
+          (fun row ->
+            Alcotest.(check bool) "metrics gated on minor 4" true
+              (J.find row "metrics" = None))
+          rows
+      | _ -> Alcotest.fail "no rows list in buffered response");
+      (* the ranked front is part of the buffered response too *)
+      match J.find resp "front" with
+      | Some (J.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "buffered response carries no front")
+
 let test_server_attack_verdicts_minor3 () =
   (* minor 3 adds the solver-reuse counter and per-candidate verdicts to
      the redact attack object; minor-2 clients keep the old shape and
@@ -709,6 +834,8 @@ let tests =
     Alcotest.test_case "json-yaml bridge" `Quick test_json_yaml_bridge;
     Alcotest.test_case "endpoint grammar" `Quick test_endpoint_parse;
     Alcotest.test_case "protocol parse" `Quick test_protocol_parse;
+    Alcotest.test_case "protocol advise parse" `Quick
+      test_protocol_advise_parse;
     Alcotest.test_case "protocol rejects" `Quick test_protocol_rejects;
     Alcotest.test_case "protocol lanes" `Quick test_protocol_lanes;
     Alcotest.test_case "protocol responses" `Quick test_protocol_responses;
@@ -728,6 +855,9 @@ let tests =
     Alcotest.test_case "streaming sweep" `Quick test_server_streaming_sweep;
     Alcotest.test_case "streaming negotiation" `Quick
       test_server_streaming_negotiation;
+    Alcotest.test_case "streaming advise" `Quick test_server_streaming_advise;
+    Alcotest.test_case "advise negotiation" `Quick
+      test_server_advise_negotiation;
     Alcotest.test_case "attack verdicts gated on minor 3" `Quick
       test_server_attack_verdicts_minor3;
     Alcotest.test_case "shutdown drain" `Quick test_server_shutdown_drain ]
